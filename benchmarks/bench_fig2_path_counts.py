@@ -1,0 +1,63 @@
+"""Fig. 2 — path-count asymmetry between netlists and wires.
+
+(a) The number of gate-level paths explodes (exponentially) with gate
+count; (b) the number of wire paths per net stays tiny (tens at most).
+This asymmetry is the paper's motivation for doing graph learning at the
+wire level.
+"""
+
+import numpy as np
+
+from conftest import BENCH_SCALE, emit
+from repro.bench import format_table
+from repro.design import (DesignSpec, count_netlist_paths, generate_design,
+                          generate_benchmark, max_wire_paths,
+                          wire_path_histogram)
+
+
+def test_fig2a_netlist_paths_grow_superlinearly(benchmark, library, capsys):
+    """Regenerates Fig. 2(a): #netlist paths vs #gates."""
+    sizes = [30, 60, 120, 240, 480]
+    rows = []
+    designs = []
+    for n in sizes:
+        spec = DesignSpec(f"fig2a_{n}", n_combinational=n,
+                          n_ffs=max(6, n // 12), n_paths=5,
+                          levels=max(4, n // 12), input_locality=0.9,
+                          seed=n)
+        design = generate_design(spec, library)
+        designs.append(design)
+        rows.append([design.num_cells, count_netlist_paths(design)])
+
+    benchmark(count_netlist_paths, designs[-1])
+
+    emit(capsys, format_table(
+        ["#Gates", "#Netlist paths (exact)"], rows,
+        title="Fig. 2(a): netlist path count vs gate count "
+              "(paper: >1M paths at 10K gates)"))
+
+    counts = [r[1] for r in rows]
+    # Exponential blow-up: the paper reports >1M paths at 10K gates; deep
+    # reconvergent designs cross 1M long before that.
+    assert counts[-1] > 1_000_000
+    assert counts[-1] / rows[-1][0] > 100 * counts[0] / rows[0][0]
+    assert all(a < b for a, b in zip(counts, counts[1:]))
+
+
+def test_fig2b_wire_paths_stay_small(benchmark, library, capsys):
+    """Regenerates Fig. 2(b): histogram of wire paths per net."""
+    design = generate_benchmark("TV_CORE", library, scale=BENCH_SCALE)
+    histogram = benchmark(wire_path_histogram, design)
+
+    rows = [[k, v] for k, v in sorted(histogram.items())]
+    emit(capsys, format_table(
+        ["#Wire paths in net", "#Nets"], rows,
+        title=f"Fig. 2(b): wire paths per net ({design.name}, "
+              f"{design.num_nets} nets; paper max = 49)"))
+
+    # The paper's observation: the per-net path count maxes out in the
+    # tens, nowhere near the millions of netlist paths.
+    assert max_wire_paths(design) < 64
+    total_nets = sum(histogram.values())
+    small = sum(v for k, v in histogram.items() if k <= 30)
+    assert small / total_nets > 0.9

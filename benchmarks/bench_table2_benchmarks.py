@@ -1,0 +1,47 @@
+"""Table II — benchmark statistics of the (scaled) design suite.
+
+Regenerates every named design and reports the same columns as the paper:
+cells, nets (non-tree), FFs, and timing paths, plus the published
+non-tree fraction next to the generated one.
+"""
+
+from conftest import BENCH_SCALE, emit
+from repro.bench import format_table
+from repro.design import (PAPER_BENCHMARKS, TEST_BENCHMARKS,
+                          TRAIN_BENCHMARKS, generate_benchmark)
+
+
+def test_table2_benchmark_statistics(benchmark, library, capsys):
+    rows = []
+    totals = {"train": [0] * 4, "test": [0] * 4}
+    for name in TRAIN_BENCHMARKS + TEST_BENCHMARKS:
+        design = generate_benchmark(name, library, scale=BENCH_SCALE)
+        stats = design.statistics()
+        paper = PAPER_BENCHMARKS[name]
+        rows.append([
+            paper.split, name, stats["cells"],
+            f"{stats['nets']} ({stats['nontree_nets']})",
+            stats["ffs"], stats["paths"],
+            f"{stats['nontree_nets'] / stats['nets']:.2f}"
+            f" vs {paper.nontree_frac:.2f}",
+        ])
+        bucket = totals[paper.split]
+        bucket[0] += stats["cells"]
+        bucket[1] += stats["nets"]
+        bucket[2] += stats["ffs"]
+        bucket[3] += stats["paths"]
+        # The generated non-tree fraction must track the published one.
+        assert abs(stats["nontree_nets"] / stats["nets"]
+                   - paper.nontree_frac) < 0.2
+
+    for split in ("train", "test"):
+        c, n, f, p = totals[split]
+        rows.append([split, "Total", c, str(n), f, p, ""])
+
+    emit(capsys, format_table(
+        ["Split", "Benchmark", "#Cells", "#Nets (Non-tree)", "#FFs", "#CPs",
+         "non-tree frac (ours vs paper)"],
+        rows,
+        title=f"Table II (scaled 1/{BENCH_SCALE}): benchmark statistics"))
+
+    benchmark(generate_benchmark, "WB_DMA", library, BENCH_SCALE)

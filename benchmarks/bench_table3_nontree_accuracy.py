@@ -1,0 +1,58 @@
+"""Table III — wire slew/delay estimation accuracy on NON-TREE nets.
+
+Trains all six models (DAC20, GCNII, GraphSage, GAT, graph Transformer,
+GNNTrans) on the training designs and reports per-test-design R^2 for the
+non-tree subset, in the paper's slew/delay cell format.
+
+Expected shape (paper Table III): GNNTrans clearly first on delay, the
+graph baselines in the middle, DAC20 last (loop-breaking induced error).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.bench import MODEL_ORDER, accuracy_table, format_table
+from repro.data import nontree_only
+
+
+def test_table3_nontree_accuracy(benchmark, dataset, trained_models, capsys):
+    table = accuracy_table(dataset, trained_models, subset="nontree")
+    emit(capsys, format_table(
+        table.headers(), table.rows(),
+        title="Table III: wire slew/delay R^2 on NON-TREE nets "
+              "(paper avg: DAC20 0.666/0.639 ... GNNTrans 0.978/0.970)"))
+
+    averages = {m: table.average(m) for m in trained_models}
+    # GNNTrans wins on delay against every baseline.
+    for model, (slew, delay) in averages.items():
+        if model != "GNNTrans":
+            assert averages["GNNTrans"][1] > delay, (
+                f"GNNTrans delay R^2 must beat {model}")
+    # On slew, GNNTrans is at or near the top (our golden slew is driven
+    # almost entirely by the input transition, so every model with the
+    # slew feature scores high; see EXPERIMENTS.md).
+    assert averages["GNNTrans"][0] >= max(
+        v[0] for v in averages.values()) - 0.1
+    # DAC20's loop-broken delay falls below GNNTrans by a wide margin.
+    assert averages["GNNTrans"][1] - averages["DAC20"][1] > 0.1
+
+    nontree = nontree_only(dataset.test)
+    benchmark(trained_models["GNNTrans"].evaluate, nontree)
+
+
+def test_table3_dac20_degrades_on_nontree(benchmark, dataset, trained_models,
+                                          capsys):
+    """The loop-breaking penalty: DAC20 loses more accuracy than GNNTrans
+    when moving from all nets to the non-tree subset."""
+    dac = trained_models["DAC20"]
+    gnn = trained_models["GNNTrans"]
+    nontree = nontree_only(dataset.test)
+
+    dac_drop = (dac.evaluate(dataset.test).r2_delay
+                - dac.evaluate(nontree).r2_delay)
+    gnn_drop = (gnn.evaluate(dataset.test).r2_delay
+                - gnn.evaluate(nontree).r2_delay)
+    emit(capsys, f"Delay R^2 drop (all -> non-tree): "
+                 f"DAC20 {dac_drop:+.3f}, GNNTrans {gnn_drop:+.3f}")
+    assert dac_drop > gnn_drop
+    benchmark(dac.evaluate, nontree)

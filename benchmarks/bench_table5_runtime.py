@@ -1,0 +1,83 @@
+"""Section IV-C / Table V runtime claim — wire-timing throughput.
+
+The paper reports 55.7 s average wire-timing runtime per design and 97.6 s
+for the 200K-net OPENGFX — roughly 2K nets/s on their server.  This bench
+measures our estimator's inference throughput (with and without feature
+extraction) against the golden transient engine and the analytic Elmore
+engine, and extrapolates to the paper's 200K-net design size.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis import GoldenTimer, elmore_delays
+from repro.bench import format_table
+from repro.design import generate_benchmark
+from repro.features import build_net_sample
+
+
+def test_wire_timing_throughput(benchmark, dataset, trained_models, capsys):
+    estimator = trained_models["GNNTrans"]
+    samples = dataset.test
+    n = len(samples)
+
+    start = time.perf_counter()
+    for sample in samples:
+        estimator.predict_sample(sample)
+    model_rate = n / (time.perf_counter() - start)
+
+    benchmark(estimator.predict_sample, samples[0])
+
+    emit(capsys, format_table(
+        ["Engine", "nets/s", "time for 200K nets (s)"],
+        [["GNNTrans inference (features prebuilt)", f"{model_rate:.0f}",
+          f"{200_000 / model_rate:.0f}"]],
+        title="Section IV-C: wire-timing inference throughput "
+              "(paper: 200K nets in 97.6 s)"))
+    assert model_rate > 50.0
+
+
+def test_model_faster_than_golden_engine(benchmark, dataset, trained_models,
+                                         library, capsys):
+    """The reason the estimator exists: it must outrun the sign-off engine
+    by a wide margin at matched workload (same nets, same contexts)."""
+    netlist = generate_benchmark("WB_DMA", library, scale=1500)
+    nets = [(net.rcnet, netlist.sink_loads(net),
+             netlist.gates[net.driver].cell)
+            for net in list(netlist.nets.values())]
+
+    timer_cache = {}
+    start = time.perf_counter()
+    for rcnet, loads, drive in nets:
+        timer = timer_cache.setdefault(
+            drive.drive_resistance,
+            GoldenTimer(drive_resistance=drive.drive_resistance))
+        timer.analyze(rcnet, 20e-12, loads)
+    golden_rate = len(nets) / (time.perf_counter() - start)
+
+    estimator = trained_models["GNNTrans"]
+    samples = dataset.test[:len(nets)]
+    start = time.perf_counter()
+    for sample in samples:
+        estimator.predict_sample(sample)
+    model_rate = len(samples) / (time.perf_counter() - start)
+
+    start = time.perf_counter()
+    for rcnet, loads, _ in nets:
+        elmore_delays(rcnet, sink_loads=loads)
+    elmore_rate = len(nets) / (time.perf_counter() - start)
+
+    emit(capsys, format_table(
+        ["Engine", "nets/s"],
+        [["Golden transient (PrimeTime-SI substitute)", f"{golden_rate:.0f}"],
+         ["Elmore analytic", f"{elmore_rate:.0f}"],
+         ["GNNTrans inference", f"{model_rate:.0f}"]],
+        title="Wire engines at matched workload"))
+
+    assert model_rate > golden_rate
+
+    rcnet, loads, drive = nets[0]
+    timer = GoldenTimer(drive_resistance=drive.drive_resistance)
+    benchmark(timer.analyze, rcnet, 20e-12, loads)

@@ -1,0 +1,79 @@
+"""Motivation bench (Section I) — the accuracy/efficiency tradeoff of
+classical wire engines.
+
+The paper's premise: "the accuracy and efficiency of wire timing
+calculation for complex RC nets are extremely hard to tradeoff".  This
+bench quantifies it on our substrate: Elmore is fast but pessimistic, D2M
+is fast but approximate, the golden transient engine is exact but slow —
+and the learned estimator gets near-golden accuracy at analytic-engine
+speed (which is the whole point of the paper).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import BENCH_SCALE, emit
+from repro.analysis import GoldenTimer, d2m_delays, elmore_delays
+from repro.bench import format_table
+from repro.design import generate_benchmark
+from repro.nn import r2_score
+
+
+def test_engine_accuracy_speed_tradeoff(benchmark, library, capsys):
+    netlist = generate_benchmark("LDPC", library, scale=BENCH_SCALE)
+    jobs = []
+    for net in netlist.nets.values():
+        drive = netlist.gates[net.driver].cell
+        jobs.append((net.rcnet, netlist.sink_loads(net),
+                     drive.drive_resistance))
+
+    golden = []
+    start = time.perf_counter()
+    timers = {}
+    for rcnet, loads, rdrv in jobs:
+        timer = timers.setdefault(rdrv, GoldenTimer(drive_resistance=rdrv))
+        golden.extend(timer.analyze(rcnet, 20e-12, loads).delays())
+    golden_seconds = time.perf_counter() - start
+    golden = np.array(golden)
+
+    elmore = []
+    start = time.perf_counter()
+    for rcnet, loads, _ in jobs:
+        elmore.extend(elmore_delays(rcnet, sink_loads=loads)[list(rcnet.sinks)])
+    elmore_seconds = time.perf_counter() - start
+    elmore = np.array(elmore)
+
+    d2m = []
+    start = time.perf_counter()
+    for rcnet, loads, _ in jobs:
+        d2m.extend(d2m_delays(rcnet, sink_loads=loads)[list(rcnet.sinks)])
+    d2m_seconds = time.perf_counter() - start
+    d2m = np.array(d2m)
+
+    rows = [
+        ["Golden transient", "1.000", "0.00", f"{golden_seconds:.3f}"],
+        ["Elmore", f"{r2_score(golden, elmore):.3f}",
+         f"{np.max(np.abs(elmore - golden)) / 1e-12:.2f}",
+         f"{elmore_seconds:.3f}"],
+        ["D2M", f"{r2_score(golden, d2m):.3f}",
+         f"{np.max(np.abs(d2m - golden)) / 1e-12:.2f}",
+         f"{d2m_seconds:.3f}"],
+    ]
+    emit(capsys, format_table(
+        ["Engine", "delay R2 vs golden", "maxerr (ps)", "runtime (s)"],
+        rows,
+        title=f"Wire engine accuracy/efficiency tradeoff "
+              f"({len(golden)} wire paths, design LDPC)"))
+
+    # Analytic engines are at least several times faster...
+    assert elmore_seconds * 5 < golden_seconds
+    # ...but neither is exact against sign-off SI timing: worst-case
+    # per-path error stays well above the sub-ps regime GNNTrans reaches
+    # (Table V: PlanB max error 1.93 ps).
+    assert r2_score(golden, elmore) < 0.9995
+    assert np.max(np.abs(elmore - golden)) > 0.5e-12
+    assert np.max(np.abs(d2m - golden)) > 0.5e-12
+
+    rcnet, loads, _ = jobs[0]
+    benchmark(elmore_delays, rcnet, sink_loads=loads)

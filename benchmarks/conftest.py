@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper.  Sizes default to
+a CPU-friendly miniature of the full experiment; set ``REPRO_BENCH_FULL=1``
+for the complete Table II suite (all 11 train + 7 test designs, more nets,
+longer training), or override individual knobs:
+
+``REPRO_BENCH_SCALE``  design down-scale factor        (default 1200)
+``REPRO_BENCH_NETS``   sampled nets per design          (default 40)
+``REPRO_BENCH_EPOCHS`` training epochs per model        (default 40)
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.bench import MODEL_ORDER, train_all_models
+from repro.core import PLAN_B
+from repro.data import generate_dataset
+from repro.design import TEST_BENCHMARKS, TRAIN_BENCHMARKS
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+if FULL:
+    BENCH_SCALE = _env_int("REPRO_BENCH_SCALE", 800)
+    BENCH_NETS = _env_int("REPRO_BENCH_NETS", 60)
+    BENCH_EPOCHS = _env_int("REPRO_BENCH_EPOCHS", 80)
+    BENCH_TRAIN = list(TRAIN_BENCHMARKS)
+    BENCH_TEST = list(TEST_BENCHMARKS)
+else:
+    BENCH_SCALE = _env_int("REPRO_BENCH_SCALE", 800)
+    BENCH_NETS = _env_int("REPRO_BENCH_NETS", 60)
+    BENCH_EPOCHS = _env_int("REPRO_BENCH_EPOCHS", 80)
+    BENCH_TRAIN = ["PCI_BRIDGE", "DMA", "B19", "SALSA", "VGA_LCD", "ECG"]
+    BENCH_TEST = ["WB_DMA", "LDPC", "DES_PERT"]
+
+BENCH_CONFIG = replace(PLAN_B, epochs=BENCH_EPOCHS)
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The shared train/test dataset for all accuracy benches."""
+    return generate_dataset(train_names=BENCH_TRAIN, test_names=BENCH_TEST,
+                            scale=BENCH_SCALE, nets_per_design=BENCH_NETS)
+
+
+@pytest.fixture(scope="session")
+def trained_models(dataset):
+    """All six estimators of Tables III/IV, trained once per session."""
+    return train_all_models(dataset, BENCH_CONFIG, include=MODEL_ORDER,
+                            epochs=BENCH_EPOCHS)
+
+
+@pytest.fixture(scope="session")
+def library():
+    from repro.liberty import make_default_library
+
+    return make_default_library()
+
+
+def emit(capsys, text):
+    """Print a results table to the live terminal despite capture."""
+    with capsys.disabled():
+        print()
+        print(text)

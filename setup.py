@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Offline environments without the ``wheel`` package cannot perform PEP 660
+editable installs; ``python setup.py develop`` (or ``pip install -e .``
+with a new enough toolchain) both work through this shim.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

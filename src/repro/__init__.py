@@ -1,0 +1,26 @@
+"""GNNTrans reproduction: fast and accurate wire timing estimation.
+
+Reproduction of Ye et al., "Fast and Accurate Wire Timing Estimation Based
+on Graph Learning" (DATE 2023), built entirely from scratch on numpy/scipy:
+RC-net substrate with SPEF I/O, an exact golden transient timer standing in
+for PrimeTime SI, a synthetic cell library and design generator, Table I
+feature extraction, the GNNTrans model with a pure-numpy autograd engine,
+five baselines, and benches regenerating every table and figure.
+
+Quick start::
+
+    from repro.data import generate_dataset
+    from repro.core import WireTimingEstimator
+
+    dataset = generate_dataset(scale=2000, nets_per_design=30)
+    estimator = WireTimingEstimator()
+    estimator.fit(dataset.train)
+    print(estimator.evaluate(dataset.test))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis", "baselines", "bench", "core", "data", "design", "features",
+    "liberty", "nn", "rcnet", "__version__",
+]

@@ -1,0 +1,28 @@
+"""Wire-timing analysis engines: MNA, Elmore, moments, D2M, golden simulator.
+
+This subpackage provides both the *feature generators* (Elmore downstream
+capacitance, stage delays, D2M — the engineered quantities of Table I) and
+the *golden reference* (an exact transient solver standing in for PrimeTime
+SI, see DESIGN.md for the substitution argument).
+"""
+
+from .mna import (ReducedSystem, capacitance_vector, conductance_matrix,
+                  reduce_source, transfer_resistance_matrix)
+from .elmore import (downstream_caps, elmore_delay_to_sink, elmore_delays,
+                     path_elmore_delay, stage_delays)
+from .moments import moments
+from .d2m import d2m_delay_to_sink, d2m_delays
+from .awe import TwoPoleModel, awe2_delays, awe2_timing, fit_two_pole
+from .simulator import (GoldenTimer, SinkTiming, TransientSolution,
+                        WireTimingResult)
+
+__all__ = [
+    "conductance_matrix", "capacitance_vector", "reduce_source",
+    "transfer_resistance_matrix", "ReducedSystem",
+    "elmore_delays", "elmore_delay_to_sink", "downstream_caps",
+    "stage_delays", "path_elmore_delay",
+    "moments",
+    "d2m_delays", "d2m_delay_to_sink",
+    "awe2_delays", "awe2_timing", "fit_two_pole", "TwoPoleModel",
+    "GoldenTimer", "TransientSolution", "WireTimingResult", "SinkTiming",
+]

@@ -1,0 +1,144 @@
+"""Modified nodal analysis (MNA) matrix assembly for RC nets.
+
+Everything downstream — Elmore delays, higher-order moments and the golden
+transient simulator — consumes the matrices built here:
+
+* ``G``: the conductance (Laplacian) matrix over net nodes;
+* ``C``: the diagonal capacitance matrix (optionally including coupling
+  capacitance mapped to ground, with a Miller factor for SI analysis);
+* reduced versions with the source node eliminated, used when the source is
+  driven by an ideal voltage (wire-only delay) or a Thevenin driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..rcnet.graph import RCNet
+
+
+def conductance_matrix(net: RCNet) -> np.ndarray:
+    """Full ``n x n`` Laplacian of edge conductances.
+
+    Symmetric positive semi-definite with zero row sums; singular until a
+    reference (the driven source) is eliminated.
+    """
+    n = net.num_nodes
+    g = np.zeros((n, n), dtype=np.float64)
+    for edge in net.edges:
+        conductance = 1.0 / edge.resistance
+        g[edge.u, edge.u] += conductance
+        g[edge.v, edge.v] += conductance
+        g[edge.u, edge.v] -= conductance
+        g[edge.v, edge.u] -= conductance
+    return g
+
+
+def capacitance_vector(net: RCNet, miller_factor: Optional[float] = None,
+                       sink_loads: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-node total capacitance to ground, in farads.
+
+    Parameters
+    ----------
+    net:
+        The RC net.
+    miller_factor:
+        When ``None``, coupling caps are grounded quietly (factor 1).  When
+        given, each coupling cap is scaled by ``1 + miller_factor * activity``
+        — the standard Miller approximation of a switching aggressor used by
+        sign-off SI analysis.
+    sink_loads:
+        Optional extra load capacitance per sink (e.g. receiver pin caps),
+        aligned with ``net.sinks``.
+    """
+    caps = net.cap_vector()
+    for coupling in net.couplings:
+        if miller_factor is None:
+            caps[coupling.victim] += coupling.cap
+        else:
+            caps[coupling.victim] += coupling.cap * (
+                1.0 + miller_factor * coupling.activity)
+    if sink_loads is not None:
+        sink_loads = np.asarray(sink_loads, dtype=np.float64)
+        if sink_loads.shape != (net.num_sinks,):
+            raise ValueError(
+                f"sink_loads must have shape ({net.num_sinks},), got {sink_loads.shape}")
+        for sink, load in zip(net.sinks, sink_loads):
+            caps[sink] += load
+    return caps
+
+
+@dataclass
+class ReducedSystem:
+    """MNA system with the source node eliminated (held at the input voltage).
+
+    The state equation is ``C dv/dt = -G v + g_src * u(t)`` where ``v`` holds
+    the non-source node voltages, ``u`` is the source-node voltage and
+    ``g_src[i]`` is the direct conductance from node ``i`` to the source.
+
+    Attributes
+    ----------
+    g:
+        Reduced conductance matrix (symmetric positive definite).
+    caps:
+        Per-node capacitance vector (diagonal of the C matrix).
+    source_conductance:
+        Coupling vector from the source voltage into each retained node.
+    index_map:
+        ``index_map[original_node] = reduced_index`` (source maps to -1).
+    nodes:
+        Original indices of the retained nodes, in reduced order.
+    """
+
+    g: np.ndarray
+    caps: np.ndarray
+    source_conductance: np.ndarray
+    index_map: np.ndarray
+    nodes: np.ndarray
+
+    def reduced_index(self, node: int) -> int:
+        """Reduced index of an original node (raises for the source)."""
+        idx = int(self.index_map[node])
+        if idx < 0:
+            raise ValueError(f"node {node} is the eliminated source")
+        return idx
+
+
+def reduce_source(net: RCNet, miller_factor: Optional[float] = None,
+                  sink_loads: Optional[np.ndarray] = None) -> ReducedSystem:
+    """Eliminate the source node from the full MNA system.
+
+    With the source voltage treated as a known input, the remaining system
+    is non-singular; its inverse's entries are the transfer resistances used
+    by Elmore/moment analysis.
+    """
+    n = net.num_nodes
+    if n < 2:
+        raise ValueError("cannot reduce a single-node net")
+    full_g = conductance_matrix(net)
+    caps = capacitance_vector(net, miller_factor, sink_loads)
+    keep = np.array([i for i in range(n) if i != net.source], dtype=np.intp)
+    index_map = np.full(n, -1, dtype=np.intp)
+    index_map[keep] = np.arange(n - 1)
+    g = full_g[np.ix_(keep, keep)]
+    source_conductance = -full_g[keep, net.source]
+    return ReducedSystem(
+        g=g,
+        caps=caps[keep],
+        source_conductance=source_conductance,
+        index_map=index_map,
+        nodes=keep,
+    )
+
+
+def transfer_resistance_matrix(system: ReducedSystem) -> np.ndarray:
+    """Dense inverse of the reduced conductance matrix.
+
+    Entry ``(i, j)`` is the voltage at node ``i`` per unit current injected
+    at node ``j`` with the source grounded — the *transfer resistance* that
+    generalizes "shared path resistance" to non-tree nets.
+    """
+    return np.linalg.inv(system.g)

@@ -1,0 +1,54 @@
+"""Higher-order moment computation (asymptotic waveform evaluation style).
+
+The transfer function from source to node ``k`` expands as
+``H_k(s) = 1 + m1_k s + m2_k s^2 + ...``; the recursion
+
+    m^(0) = 1 (DC gain),   m^(i) = -G^{-1} C m^(i-1)
+
+yields each moment vector with one linear solve.  The first moment is the
+negated Elmore delay; the second feeds the D2M metric (Table I's "D2M
+delay" feature).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..rcnet.graph import RCNet
+from .mna import reduce_source
+
+
+def moments(net: RCNet, order: int = 2, miller_factor: Optional[float] = None,
+            sink_loads: Optional[np.ndarray] = None) -> np.ndarray:
+    """Moment vectors ``m^(1) .. m^(order)`` for every node.
+
+    Returns an array of shape ``(order, num_nodes)`` indexed by original
+    node index; the source row entries are 0 (its voltage is the input).
+    ``result[0]`` is the (signed, negative) first moment, so the Elmore
+    delay of node ``k`` is ``-result[0, k]``.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    system = reduce_source(net, miller_factor, sink_loads)
+    # Pre-factorize the reduced conductance matrix for repeated solves.
+    lu_piv = _factorize(system.g)
+    current = np.ones(len(system.nodes), dtype=np.float64)  # m^(0): DC gain 1.
+    out = np.zeros((order, net.num_nodes), dtype=np.float64)
+    for k in range(order):
+        current = -_solve(lu_piv, system.caps * current)
+        out[k, system.nodes] = current
+    return out
+
+
+def _factorize(matrix: np.ndarray):
+    from scipy.linalg import lu_factor
+
+    return lu_factor(matrix)
+
+
+def _solve(lu_piv, rhs: np.ndarray) -> np.ndarray:
+    from scipy.linalg import lu_solve
+
+    return lu_solve(lu_piv, rhs)

@@ -1,0 +1,78 @@
+"""Graph attention network baseline (Velickovic et al., 2017) — Table III.
+
+Dense-mask implementation of GAT: attention logits
+``e_ij = LeakyReLU(a_src . W x_i + a_dst . W x_j)`` are computed for every
+pair, non-edges are masked to ``-inf`` before the row softmax, and the
+attention-weighted neighborhood (including a self loop) is aggregated.
+Multi-head outputs are averaged, the variant GAT uses on its final layer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..nn.layers import Linear, Module, Parameter
+from ..nn.init import xavier_uniform
+from ..nn.tensor import Tensor
+from .common import binary_adjacency
+
+_MASK_VALUE = -1e9
+
+
+class GATLayer(Module):
+    """One multi-head graph-attention layer over a dense edge mask."""
+
+    def __init__(self, in_features: int, out_features: int, num_heads: int,
+                 rng: np.random.Generator, residual: bool = True,
+                 negative_slope: float = 0.2) -> None:
+        super().__init__()
+        self.num_heads = num_heads
+        self.negative_slope = negative_slope
+        self.projections = [Linear(in_features, out_features, rng, bias=False)
+                            for _ in range(num_heads)]
+        self.attn_src = [Parameter(xavier_uniform((out_features, 1), rng))
+                         for _ in range(num_heads)]
+        self.attn_dst = [Parameter(xavier_uniform((out_features, 1), rng))
+                         for _ in range(num_heads)]
+        self.residual = residual and in_features == out_features
+
+    def forward(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        """``mask``: (N, N) with 0 on allowed pairs, -1e9 on non-edges."""
+        head_outputs: List[Tensor] = []
+        for k in range(self.num_heads):
+            projected = self.projections[k](x)                  # (N, F)
+            src_score = projected @ self.attn_src[k]            # (N, 1)
+            dst_score = projected @ self.attn_dst[k]            # (N, 1)
+            logits = (src_score + dst_score.T).leaky_relu(self.negative_slope)
+            attention = (logits + mask).softmax(axis=-1)        # (N, N)
+            head_outputs.append(attention @ projected)
+        out = head_outputs[0]
+        for head in head_outputs[1:]:
+            out = out + head
+        out = (out * (1.0 / self.num_heads)).relu()
+        if self.residual:
+            out = out + x
+        return out
+
+
+class GATBackbone(Module):
+    """Stack of GAT layers with shared edge mask."""
+
+    def __init__(self, in_features: int, hidden: int, num_layers: int,
+                 rng: np.random.Generator, num_heads: int = 2) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one layer")
+        dims = [in_features] + [hidden] * num_layers
+        self.layers = [GATLayer(dims[i], dims[i + 1], num_heads, rng)
+                       for i in range(num_layers)]
+
+    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
+        connectivity = binary_adjacency(adjacency, self_loops=True,
+                                        row_normalize=False)
+        mask = np.where(connectivity > 0.0, 0.0, _MASK_VALUE)
+        for layer in self.layers:
+            x = layer(x, mask)
+        return x

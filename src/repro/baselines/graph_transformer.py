@@ -1,0 +1,60 @@
+"""Graph-transformer baseline (Dwivedi & Bresson, 2020) — Table III col. 5.
+
+A pure attention stack over the net's nodes: an input projection followed
+by ``L`` multi-head self-attention layers (the same attention block the
+GNNTrans transformer module uses), with Laplacian-eigenvector positional
+encodings added to the input as in the original paper so the model receives
+*some* structural signal.  What it lacks — and what Tables III/IV measure —
+is the local resistance-weighted aggregation GNNTrans performs before
+attention: structure only enters through the positional encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.transformer_layer import MultiHeadSelfAttention
+from ..nn.layers import Linear, Module
+from ..nn.tensor import Tensor, concat
+
+
+def laplacian_positional_encoding(adjacency: np.ndarray, dim: int) -> np.ndarray:
+    """First ``dim`` non-trivial Laplacian eigenvectors of the connectivity.
+
+    Uses the symmetric normalized Laplacian of the binary connectivity;
+    columns are zero-padded when the graph has fewer nodes than ``dim + 1``.
+    """
+    n = len(adjacency)
+    binary = (adjacency > 0.0).astype(np.float64)
+    degree = binary.sum(axis=1)
+    inv_sqrt = np.where(degree > 0.0, 1.0 / np.sqrt(np.maximum(degree, 1e-12)), 0.0)
+    laplacian = np.eye(n) - binary * inv_sqrt[:, None] * inv_sqrt[None, :]
+    _, vectors = np.linalg.eigh(laplacian)
+    # Skip the trivial (constant) eigenvector; take the next `dim`.
+    encoding = np.zeros((n, dim))
+    available = min(dim, max(0, n - 1))
+    encoding[:, :available] = vectors[:, 1:1 + available]
+    return encoding
+
+
+class GraphTransformerBackbone(Module):
+    """Input projection + positional encoding + L attention layers."""
+
+    def __init__(self, in_features: int, hidden: int, num_layers: int,
+                 rng: np.random.Generator, num_heads: int = 4,
+                 pos_dim: int = 4) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one layer")
+        self.pos_dim = pos_dim
+        self.input_proj = Linear(in_features + pos_dim, hidden, rng)
+        self.layers = [MultiHeadSelfAttention(hidden, num_heads, rng)
+                       for _ in range(num_layers)]
+
+    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
+        encoding = laplacian_positional_encoding(adjacency, self.pos_dim)
+        x = concat([x, Tensor(encoding)], axis=-1)
+        x = self.input_proj(x)
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,133 @@
+"""CART regression trees — the weak learner of the DAC20-style booster.
+
+A plain binary regression tree with variance-reduction splits, written on
+numpy.  Split search sorts each feature once per node and scans prefix
+sums, so fitting is ``O(features * n log n)`` per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves have ``feature < 0``."""
+
+    feature: int
+    threshold: float
+    left: Optional["_Node"]
+    right: Optional["_Node"]
+    value: float
+
+
+class RegressionTree:
+    """Binary regression tree minimizing squared error.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_leaf:
+        Minimum samples in each child for a split to be accepted.
+    min_samples_split:
+        Minimum samples at a node to consider splitting at all.
+    """
+
+    def __init__(self, max_depth: int = 4, min_samples_leaf: int = 3,
+                 min_samples_split: int = 6) -> None:
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = max(min_samples_split, 2 * min_samples_leaf)
+        self._root: Optional[_Node] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-dimensional")
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        if len(y) == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        value = float(y.mean())
+        if (depth >= self.max_depth or len(y) < self.min_samples_split
+                or np.allclose(y, y[0])):
+            return _Node(-1, 0.0, None, None, value)
+        feature, threshold = self._best_split(x, y)
+        if feature < 0:
+            return _Node(-1, 0.0, None, None, value)
+        mask = x[:, feature] <= threshold
+        left = self._build(x[mask], y[mask], depth + 1)
+        right = self._build(x[~mask], y[~mask], depth + 1)
+        return _Node(feature, threshold, left, right, value)
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray) -> tuple:
+        n = len(y)
+        best_gain = 1e-12
+        best = (-1, 0.0)
+        total_sum = y.sum()
+        total_sq = float(np.sum(y ** 2))
+        base_sse = total_sq - total_sum ** 2 / n
+        for feature in range(x.shape[1]):
+            order = np.argsort(x[:, feature], kind="stable")
+            xs = x[order, feature]
+            ys = y[order]
+            prefix = np.cumsum(ys)
+            # Candidate split after position i (1-based sizes).
+            sizes_left = np.arange(1, n)
+            valid = ((sizes_left >= self.min_samples_leaf)
+                     & (n - sizes_left >= self.min_samples_leaf)
+                     & (xs[:-1] < xs[1:]))  # no split inside ties
+            if not valid.any():
+                continue
+            left_sum = prefix[:-1]
+            right_sum = total_sum - left_sum
+            # SSE decomposition: gain = base - (sse_left + sse_right)
+            # = left_sum^2/n_l + right_sum^2/n_r - total^2/n  (+ const)
+            score = (left_sum ** 2 / sizes_left
+                     + right_sum ** 2 / (n - sizes_left)
+                     - total_sum ** 2 / n)
+            score[~valid] = -np.inf
+            idx = int(np.argmax(score))
+            gain = float(score[idx])
+            if gain > best_gain:
+                best_gain = gain
+                best = (feature, float(0.5 * (xs[idx] + xs[idx + 1])))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty(len(x), dtype=np.float64)
+        for i, row in enumerate(x):
+            node = self._root
+            while node.feature >= 0:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.feature < 0:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)

@@ -1,0 +1,11 @@
+"""Benchmark harness: model training orchestration and table rendering."""
+
+from .harness import (MODEL_ORDER, AccuracyTable, accuracy_table,
+                      train_all_models, train_model)
+from .reporting import format_table
+from .stats import bootstrap_ci, format_ci
+
+__all__ = [
+    "MODEL_ORDER", "train_model", "train_all_models", "accuracy_table",
+    "AccuracyTable", "format_table", "bootstrap_ci", "format_ci",
+]

@@ -1,0 +1,125 @@
+"""Benchmark orchestration: train every model once, evaluate per design.
+
+This is the shared engine behind the Table III / Table IV / Table V
+benches: it trains GNNTrans and the five baselines on the same dataset and
+produces per-benchmark accuracy rows in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import DAC20Estimator, make_baseline_factory
+from ..core.config import DEFAULT_CONFIG, GNNTransConfig
+from ..core.estimator import EvalMetrics, WireTimingEstimator
+from ..data.generate import WireTimingDataset
+from ..data.split import by_design, nontree_only, train_val_split
+
+# Paper column order of Tables III/IV.
+MODEL_ORDER = ("DAC20", "GCNII", "GraphSage", "GAT", "Transformer", "GNNTrans")
+
+_BASELINE_KIND = {
+    "GCNII": "gcnii",
+    "GraphSage": "graphsage",
+    "GAT": "gat",
+    "Transformer": "transformer",
+}
+
+
+def train_model(name: str, dataset: WireTimingDataset,
+                config: GNNTransConfig = DEFAULT_CONFIG,
+                epochs: Optional[int] = None, seed: int = 0):
+    """Train one named model on the dataset's training split.
+
+    Returns an object exposing ``evaluate(samples) -> EvalMetrics`` and
+    ``predict(samples)`` — either a :class:`WireTimingEstimator` or a
+    :class:`DAC20Estimator`.
+    """
+    if name == "DAC20":
+        estimator = DAC20Estimator(feature_scaler=dataset.scaler, seed=seed)
+        estimator.fit(dataset.train)
+        return estimator
+    config = replace(config, seed=seed)
+    if name == "GNNTrans":
+        estimator = WireTimingEstimator(config)
+    elif name in _BASELINE_KIND:
+        estimator = WireTimingEstimator(
+            config, model_factory=make_baseline_factory(_BASELINE_KIND[name]))
+    else:
+        raise ValueError(f"unknown model {name!r}; choose from {MODEL_ORDER}")
+    train, val = train_val_split(dataset.train, val_fraction=0.1, seed=seed)
+    estimator.fit(train, val_samples=val, epochs=epochs)
+    return estimator
+
+
+@dataclass
+class AccuracyTable:
+    """Per-design slew/delay R^2 for a set of models (Table III/IV shape)."""
+
+    subset: str                                  # "nontree" or "all"
+    designs: List[str] = field(default_factory=list)
+    # scores[model][design] = (r2_slew, r2_delay)
+    scores: Dict[str, Dict[str, Tuple[float, float]]] = field(default_factory=dict)
+
+    def average(self, model: str) -> Tuple[float, float]:
+        values = [self.scores[model][d] for d in self.designs]
+        slews = float(np.mean([v[0] for v in values]))
+        delays = float(np.mean([v[1] for v in values]))
+        return slews, delays
+
+    def rows(self) -> List[List[object]]:
+        """Rows formatted like the paper: one per design plus Average."""
+        out: List[List[object]] = []
+        models = [m for m in MODEL_ORDER if m in self.scores]
+        for design in self.designs:
+            row: List[object] = [design]
+            for model in models:
+                r2s, r2d = self.scores[model][design]
+                row.append(f"{r2s:.3f}/{r2d:.3f}")
+            out.append(row)
+        avg_row: List[object] = ["Average"]
+        for model in models:
+            r2s, r2d = self.average(model)
+            avg_row.append(f"{r2s:.3f}/{r2d:.3f}")
+        out.append(avg_row)
+        return out
+
+    def headers(self) -> List[str]:
+        return ["Benchmark"] + [m for m in MODEL_ORDER if m in self.scores]
+
+
+def accuracy_table(dataset: WireTimingDataset, models: Dict[str, object],
+                   subset: str = "nontree") -> AccuracyTable:
+    """Evaluate trained models per test benchmark (Table III/IV engine).
+
+    ``subset`` selects ``"nontree"`` (Table III) or ``"all"`` (Table IV).
+    Designs whose subset is empty are skipped.
+    """
+    if subset not in ("nontree", "all"):
+        raise ValueError(f"unknown subset {subset!r}")
+    table = AccuracyTable(subset=subset)
+    grouped = by_design(dataset.test)
+    for design, samples in sorted(grouped.items()):
+        if subset == "nontree":
+            samples = nontree_only(samples)
+        if not samples:
+            continue
+        table.designs.append(design)
+        for model_name, model in models.items():
+            metrics: EvalMetrics = model.evaluate(samples)
+            table.scores.setdefault(model_name, {})[design] = (
+                metrics.r2_slew, metrics.r2_delay)
+    return table
+
+
+def train_all_models(dataset: WireTimingDataset,
+                     config: GNNTransConfig = DEFAULT_CONFIG,
+                     include: Sequence[str] = MODEL_ORDER,
+                     epochs: Optional[int] = None,
+                     seed: int = 0) -> Dict[str, object]:
+    """Train every requested model on the same training split."""
+    return {name: train_model(name, dataset, config, epochs, seed)
+            for name in include}

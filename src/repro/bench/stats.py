@@ -1,0 +1,51 @@
+"""Statistical utilities for benchmark reporting.
+
+R² computed over a few hundred paths is a noisy statistic; per-design
+subsets (Table III's non-tree columns) can swing by several points between
+seeds.  :func:`bootstrap_ci` quantifies that: a nonparametric bootstrap
+confidence interval over paths, so table entries can be read with error
+bars.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..nn.metrics import r2_score
+
+
+def bootstrap_ci(y_true: np.ndarray, y_pred: np.ndarray,
+                 metric: Callable[[np.ndarray, np.ndarray], float] = r2_score,
+                 n_boot: int = 1000, alpha: float = 0.05,
+                 seed: int = 0) -> Tuple[float, float, float]:
+    """Bootstrap confidence interval of a paired metric.
+
+    Returns ``(point_estimate, lower, upper)`` where the bounds are the
+    ``alpha/2`` and ``1 - alpha/2`` percentiles of the bootstrap
+    distribution over resampled (true, pred) pairs.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size < 2:
+        raise ValueError("bootstrap needs at least 2 samples")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = y_true.size
+    point = metric(y_true, y_pred)
+    values = np.empty(n_boot)
+    for b in range(n_boot):
+        idx = rng.integers(0, n, size=n)
+        values[b] = metric(y_true[idx], y_pred[idx])
+    lower = float(np.percentile(values, 100 * alpha / 2))
+    upper = float(np.percentile(values, 100 * (1 - alpha / 2)))
+    return float(point), lower, upper
+
+
+def format_ci(point: float, lower: float, upper: float) -> str:
+    """Render ``point [lower, upper]`` with three decimals."""
+    return f"{point:.3f} [{lower:.3f}, {upper:.3f}]"

@@ -1,0 +1,289 @@
+"""Command-line interface for the GNNTrans reproduction.
+
+Installed as the ``repro`` console script.  Subcommands cover the full
+user workflow without writing Python:
+
+``repro dataset``      generate a benchmark dataset with golden labels
+``repro train``        train GNNTrans (or a baseline) on a dataset file
+``repro evaluate``     report R^2 / max-error of a trained model
+``repro spef-timing``  golden wire timing for every net of a SPEF file
+``repro benchmarks``   list the Table II benchmark suite
+
+Example session::
+
+    repro dataset -o ds.npz --train PCI_BRIDGE DMA --test WB_DMA --scale 1200
+    repro train -d ds.npz -o model.npz --plan PlanB --epochs 40
+    repro evaluate -d ds.npz -m model.npz --nontree
+    repro spef-timing design.spef --input-slew 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import PLANS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GNNTrans wire-timing estimation (DATE 2023 reproduction)")
+    sub = parser.add_subparsers(title="commands")
+
+    p = sub.add_parser("dataset", help="generate a dataset with golden labels")
+    p.add_argument("-o", "--output", required=True, help="output .npz path")
+    p.add_argument("--train", nargs="+", default=["PCI_BRIDGE", "DMA"],
+                   help="training benchmark names")
+    p.add_argument("--test", nargs="+", default=["WB_DMA"],
+                   help="test benchmark names")
+    p.add_argument("--scale", type=int, default=1200,
+                   help="design down-scale factor (1 = paper size)")
+    p.add_argument("--nets", type=int, default=40,
+                   help="max sampled nets per design")
+    p.add_argument("--no-si", action="store_true",
+                   help="label without crosstalk injection")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(handler=_cmd_dataset)
+
+    p = sub.add_parser("train", help="train an estimator on a dataset file")
+    p.add_argument("-d", "--dataset", required=True)
+    p.add_argument("-o", "--output", required=True, help="model .npz path")
+    p.add_argument("--plan", choices=sorted(PLANS), default="PlanB")
+    p.add_argument("--model", choices=["gnntrans", "gcnii", "graphsage",
+                                       "gat", "transformer"],
+                   default="gnntrans")
+    p.add_argument("--epochs", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_cmd_train)
+
+    p = sub.add_parser("evaluate", help="evaluate a trained model")
+    p.add_argument("-d", "--dataset", required=True)
+    p.add_argument("-m", "--model", required=True)
+    p.add_argument("--plan", choices=sorted(PLANS), default="PlanB",
+                   help="plan the model was trained with")
+    p.add_argument("--nontree", action="store_true",
+                   help="evaluate the non-tree subset (Table III)")
+    p.add_argument("--per-design", action="store_true",
+                   help="report one row per test design")
+    p.set_defaults(handler=_cmd_evaluate)
+
+    p = sub.add_parser("spef-timing",
+                       help="golden wire timing for a SPEF file")
+    p.add_argument("spef", help="input SPEF path")
+    p.add_argument("--input-slew", type=float, default=20.0,
+                   help="driver transition time in ps")
+    p.add_argument("--drive-res", type=float, default=100.0,
+                   help="driver Thevenin resistance in ohms")
+    p.add_argument("--no-si", action="store_true",
+                   help="ignore coupling (quiet aggressors)")
+    p.set_defaults(handler=_cmd_spef_timing)
+
+    p = sub.add_parser("export-design",
+                       help="write a benchmark as Verilog + SPEF + Liberty")
+    p.add_argument("benchmark", help="Table II benchmark name")
+    p.add_argument("-o", "--outdir", required=True)
+    p.add_argument("--scale", type=int, default=1200)
+    p.set_defaults(handler=_cmd_export_design)
+
+    p = sub.add_parser("report",
+                       help="STA timing report from Verilog + SPEF + Liberty")
+    p.add_argument("--verilog", required=True)
+    p.add_argument("--spef", required=True)
+    p.add_argument("--lib", required=True)
+    p.add_argument("--engine", choices=["golden", "elmore", "d2m", "awe"],
+                   default="golden")
+    p.add_argument("--paths", type=int, default=20,
+                   help="number of timing paths to sample")
+    p.add_argument("--clock", type=float, default=1500.0,
+                   help="clock period in ps (paper setting: 1.5 ns)")
+    p.add_argument("--sdc", help="SDC constraints file "
+                                 "(overrides --clock and launch slew)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_cmd_report)
+
+    p = sub.add_parser("benchmarks", help="list the Table II suite")
+    p.set_defaults(handler=_cmd_benchmarks)
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .data import generate_dataset, save_dataset
+
+    dataset = generate_dataset(
+        train_names=args.train, test_names=args.test, scale=args.scale,
+        nets_per_design=args.nets, si_mode=not args.no_si, seed=args.seed)
+    save_dataset(args.output, dataset)
+    print(f"wrote {args.output}: {len(dataset.train)} train nets "
+          f"({dataset.num_train_paths} paths), {len(dataset.test)} test nets "
+          f"({dataset.num_test_paths} paths)")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .baselines import make_baseline_factory
+    from .core import WireTimingEstimator
+    from .data import load_dataset, train_val_split
+
+    dataset = load_dataset(args.dataset)
+    config = replace(PLANS[args.plan], epochs=args.epochs, seed=args.seed)
+    factory = None
+    if args.model != "gnntrans":
+        factory = make_baseline_factory(args.model)
+    estimator = WireTimingEstimator(config, model_factory=factory)
+    train, val = train_val_split(dataset.train, 0.1, seed=args.seed)
+    history = estimator.fit(train, val_samples=val, epochs=args.epochs)
+    estimator.save(args.output)
+    print(f"trained {args.model} ({args.plan}) for {len(history)} epochs; "
+          f"final loss {history.final_train_loss:.5f}; wrote {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .core import WireTimingEstimator
+    from .data import load_dataset, nontree_only
+    from .features import NUM_NODE_FEATURES, NUM_PATH_FEATURES
+
+    dataset = load_dataset(args.dataset)
+    estimator = WireTimingEstimator(PLANS[args.plan])
+    estimator.load(args.model, NUM_NODE_FEATURES, NUM_PATH_FEATURES)
+    samples = dataset.test
+    if args.nontree:
+        samples = nontree_only(samples)
+    if not samples:
+        print("no samples in the requested subset", file=sys.stderr)
+        return 1
+    if args.per_design:
+        from .data import by_design
+
+        for design, group in sorted(by_design(samples).items()):
+            print(f"{design:<12} {estimator.evaluate(group)}")
+    print(f"{'overall':<12} {estimator.evaluate(samples)}")
+    return 0
+
+
+def _cmd_spef_timing(args: argparse.Namespace) -> int:
+    from .analysis import GoldenTimer
+    from .rcnet import SPEFError, load_spef
+
+    try:
+        design = load_spef(args.spef)
+    except (OSError, SPEFError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    timer = GoldenTimer(drive_resistance=args.drive_res,
+                        si_mode=not args.no_si)
+    print(f"design {design.design!r}: {len(design)} nets "
+          f"(input slew {args.input_slew} ps, Rdrv {args.drive_res} ohm)")
+    for net in design.nets:
+        result = timer.analyze(net, args.input_slew * 1e-12)
+        for timing in result.sink_timings:
+            sink_name = net.nodes[timing.sink].name
+            print(f"{net.name:<20} {sink_name:<24} "
+                  f"delay {timing.delay / 1e-12:8.3f} ps   "
+                  f"slew {timing.slew / 1e-12:8.3f} ps")
+    return 0
+
+
+def _cmd_export_design(args: argparse.Namespace) -> int:
+    import os
+
+    from .design import export_design, generate_benchmark
+    from .liberty import make_default_library, save_liberty
+
+    library = make_default_library()
+    try:
+        netlist = generate_benchmark(args.benchmark, library, args.scale)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    os.makedirs(args.outdir, exist_ok=True)
+    verilog_text, spef_text = export_design(netlist)
+    with open(os.path.join(args.outdir, "netlist.v"), "w") as handle:
+        handle.write(verilog_text)
+    with open(os.path.join(args.outdir, "parasitics.spef"), "w") as handle:
+        handle.write(spef_text)
+    save_liberty(os.path.join(args.outdir, "cells.lib"), library)
+    print(f"wrote netlist.v, parasitics.spef, cells.lib to {args.outdir} "
+          f"({netlist.num_cells} cells, {netlist.num_nets} nets)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .design import (AWEWireModel, D2MWireModel, ElmoreWireModel,
+                         GoldenWireModel, STAEngine, format_design_report,
+                         import_design, sample_timing_paths)
+    from .design.interchange import InterchangeError
+    from .design.verilog import VerilogError
+    from .liberty import LibertyError, load_liberty
+    from .rcnet import SPEFError
+
+    engines = {"golden": GoldenWireModel, "elmore": ElmoreWireModel,
+               "d2m": D2MWireModel, "awe": AWEWireModel}
+    try:
+        library = load_liberty(args.lib)
+        with open(args.verilog) as handle:
+            verilog_text = handle.read()
+        with open(args.spef) as handle:
+            spef_text = handle.read()
+        netlist = import_design(verilog_text, spef_text, library)
+    except (OSError, LibertyError, SPEFError, VerilogError,
+            InterchangeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    clock_period = args.clock * 1e-12
+    launch_slew = 20e-12
+    if args.sdc:
+        from .design.sdc import SDCError as _SDCError
+        from .design.sdc import parse_sdc
+
+        try:
+            with open(args.sdc) as handle:
+                constraints = parse_sdc(handle.read())
+        except (OSError, _SDCError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        clock_period = constraints.clock_period
+        launch_slew = constraints.input_transition
+    for path in sample_timing_paths(netlist, args.paths,
+                                    np.random.default_rng(args.seed)):
+        netlist.add_path(path)
+    if not netlist.paths:
+        print("error: no launch-to-capture paths found", file=sys.stderr)
+        return 1
+    report = STAEngine(netlist, engines[args.engine](),
+                       launch_slew=launch_slew).analyze_design()
+    print(format_design_report(report, top=10, clock_period=clock_period))
+    return 0
+
+
+def _cmd_benchmarks(args: argparse.Namespace) -> int:
+    from .bench import format_table
+    from .design import PAPER_BENCHMARKS
+
+    rows = [[s.split, s.name, s.cells, s.nets, s.nontree_nets, s.ffs, s.paths]
+            for s in PAPER_BENCHMARKS.values()]
+    print(format_table(
+        ["split", "benchmark", "#cells", "#nets", "#non-tree", "#FFs", "#CPs"],
+        rows, title="Table II benchmark suite (paper-size statistics)"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

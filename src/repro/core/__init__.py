@@ -1,0 +1,28 @@
+"""GNNTrans — the paper's primary contribution, plus its high-level API.
+
+Architecture (Fig. 4): a weighted-GraphSage GNN module for local structure
+(Eq. 1), a graph-transformer module for global relationships (Eq. 2-3),
+path pooling with raw path features (Eq. 4), and slew/delay MLP heads
+(Eq. 5-6).  :class:`WireTimingEstimator` wraps training/inference;
+:class:`LearnedWireModel` plugs the result into STA.
+"""
+
+from .config import (DEFAULT_CONFIG, PLAN_A, PLAN_B, PLAN_C, PLANS,
+                     GNNTransConfig, paper_plan)
+from .gnn_layer import GNNModule, WeightedSageLayer, normalize_adjacency
+from .transformer_layer import MultiHeadSelfAttention, TransformerModule
+from .pooling import path_pooling_matrix, pool_paths
+from .heads import TimingHeads
+from .gnntrans import GNNTrans
+from .estimator import (EvalMetrics, LabelScaler, LearnedWireModel,
+                        WireTimingEstimator)
+
+__all__ = [
+    "GNNTransConfig", "PLANS", "PLAN_A", "PLAN_B", "PLAN_C",
+    "DEFAULT_CONFIG", "paper_plan",
+    "WeightedSageLayer", "GNNModule", "normalize_adjacency",
+    "MultiHeadSelfAttention", "TransformerModule",
+    "pool_paths", "path_pooling_matrix",
+    "TimingHeads", "GNNTrans",
+    "WireTimingEstimator", "LearnedWireModel", "EvalMetrics", "LabelScaler",
+]

@@ -1,0 +1,310 @@
+"""High-level wire-timing estimation API.
+
+:class:`WireTimingEstimator` wraps any per-net model (GNNTrans by default,
+the graph baselines via ``model_factory``) with everything the experiments
+need: label standardization, the training loop, R^2 / max-error evaluation,
+persistence, and an adapter (:class:`LearnedWireModel`) that plugs the
+trained estimator into the STA engine as a wire-delay model — the Table V
+"Our Work" flow.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..design.sta import WireTimingModel
+from ..features.path_features import NetContext
+from ..features.pipeline import FeatureScaler, NetSample, build_net_sample
+from ..nn.layers import Module
+from ..nn.loss import mse_loss
+from ..nn.metrics import max_abs_error, r2_score
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+from ..nn.trainer import Trainer, TrainingHistory
+from ..rcnet.graph import RCNet
+from .config import DEFAULT_CONFIG, GNNTransConfig
+from .gnntrans import GNNTrans
+
+_PS = 1e-12
+
+ModelFactory = Callable[[int, int, GNNTransConfig, np.random.Generator], Module]
+
+
+@dataclass
+class EvalMetrics:
+    """Accuracy summary in the units the paper reports.
+
+    ``r2_slew``/``r2_delay`` are the Table III/IV scores; the max-error
+    fields are in picoseconds (Table V's "MAE").
+    """
+
+    r2_slew: float
+    r2_delay: float
+    max_err_slew_ps: float
+    max_err_delay_ps: float
+    num_paths: int
+
+    def __str__(self) -> str:
+        return (f"R2 slew={self.r2_slew:.3f} delay={self.r2_delay:.3f} "
+                f"maxerr slew={self.max_err_slew_ps:.2f}ps "
+                f"delay={self.max_err_delay_ps:.2f}ps (n={self.num_paths})")
+
+
+class LabelScaler:
+    """Standardizes slew/delay labels (picoseconds) for training."""
+
+    def __init__(self) -> None:
+        self.slew_mean = 0.0
+        self.slew_std = 1.0
+        self.delay_mean = 0.0
+        self.delay_std = 1.0
+
+    def fit(self, samples: Sequence[NetSample]) -> "LabelScaler":
+        slews = np.array([p.label_slew for s in samples for p in s.paths])
+        delays = np.array([p.label_delay for s in samples for p in s.paths])
+        return self.fit_values(slews, delays)
+
+    def fit_values(self, slews: np.ndarray, delays: np.ndarray
+                   ) -> "LabelScaler":
+        """Fit directly on target arrays (e.g. slew residuals)."""
+        if slews.size == 0:
+            raise ValueError("cannot fit label scaler without labeled paths")
+        if not (np.all(np.isfinite(slews)) and np.all(np.isfinite(delays))):
+            raise ValueError(
+                "labels contain NaN/inf — samples built with labeled=False "
+                "are inference-only and cannot be used for training")
+        self.slew_mean = float(slews.mean())
+        self.slew_std = float(max(slews.std(), 1e-9))
+        self.delay_mean = float(delays.mean())
+        self.delay_std = float(max(delays.std(), 1e-9))
+        return self
+
+    def normalize(self, slews: np.ndarray, delays: np.ndarray
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+        return ((slews - self.slew_mean) / self.slew_std,
+                (delays - self.delay_mean) / self.delay_std)
+
+    def denormalize(self, slews: np.ndarray, delays: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        return (slews * self.slew_std + self.slew_mean,
+                delays * self.delay_std + self.delay_mean)
+
+    def state(self) -> Dict[str, float]:
+        return {"slew_mean": self.slew_mean, "slew_std": self.slew_std,
+                "delay_mean": self.delay_mean, "delay_std": self.delay_std}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, float]) -> "LabelScaler":
+        scaler = cls()
+        scaler.slew_mean = float(state["slew_mean"])
+        scaler.slew_std = float(state["slew_std"])
+        scaler.delay_mean = float(state["delay_mean"])
+        scaler.delay_std = float(state["delay_std"])
+        return scaler
+
+
+def _default_factory(num_node_features: int, num_path_features: int,
+                     config: GNNTransConfig,
+                     rng: np.random.Generator) -> Module:
+    return GNNTrans(num_node_features, num_path_features, config, rng)
+
+
+class WireTimingEstimator:
+    """Trainable wire slew/delay estimator with a scikit-style API.
+
+    Parameters
+    ----------
+    config:
+        Hyper-parameters (defaults to the scaled PlanB).
+    model_factory:
+        Alternative per-net model constructor; every graph baseline in
+        :mod:`repro.baselines` plugs in through this hook, so all models
+        share identical training and evaluation machinery.
+    """
+
+    def __init__(self, config: GNNTransConfig = DEFAULT_CONFIG,
+                 model_factory: Optional[ModelFactory] = None) -> None:
+        self.config = config
+        self.model_factory = model_factory or _default_factory
+        self.model: Optional[Module] = None
+        self.label_scaler = LabelScaler()
+        self.history: Optional[TrainingHistory] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, train_samples: Sequence[NetSample],
+            val_samples: Optional[Sequence[NetSample]] = None,
+            epochs: Optional[int] = None, patience: Optional[int] = 12,
+            verbose: bool = False) -> TrainingHistory:
+        """Train on labeled samples, minimizing MSE of slew + delay (S IV)."""
+        if not train_samples:
+            raise ValueError("fit() requires at least one training sample")
+        first = train_samples[0]
+        rng = np.random.default_rng(self.config.seed)
+        self.model = self.model_factory(
+            first.node_features.shape[1], first.paths[0].features.shape[0],
+            self.config, rng)
+        fit_pool = list(train_samples) + list(val_samples or [])
+        all_slews = np.concatenate([self._slew_targets(s) for s in fit_pool])
+        all_delays = np.array(
+            [p.label_delay for s in fit_pool for p in s.paths])
+        self.label_scaler.fit_values(all_slews, all_delays)
+
+        scaler = self.label_scaler
+        slew_targets = self._slew_targets
+
+        def loss_fn(model: Module, sample: NetSample) -> Tensor:
+            slew_pred, delay_pred = model(sample)
+            slews = slew_targets(sample)
+            _, delays = sample.labels()
+            slew_t, delay_t = scaler.normalize(slews, delays)
+            return (mse_loss(slew_pred, Tensor(slew_t))
+                    + mse_loss(delay_pred, Tensor(delay_t)))
+
+        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        trainer = Trainer(self.model, optimizer, loss_fn,
+                          grad_clip=self.config.grad_clip,
+                          rng=np.random.default_rng(self.config.seed + 1))
+        self.history = trainer.fit(
+            list(train_samples), epochs=epochs or self.config.epochs,
+            batch_size=self.config.batch_size,
+            val_samples=list(val_samples) if val_samples else None,
+            patience=patience, verbose=verbose)
+        return self.history
+
+    # ------------------------------------------------------------------
+    def _slew_targets(self, sample: NetSample) -> np.ndarray:
+        """Training target for the slew head, per the parameterization."""
+        slews = np.array([p.label_slew for p in sample.paths])
+        mode = self.config.slew_parameterization
+        if mode == "absolute":
+            return slews
+        input_slews = np.array([p.input_slew_ps for p in sample.paths])
+        if mode == "residual":
+            return slews - input_slews
+        return np.sqrt(np.maximum(slews ** 2 - input_slews ** 2, 0.0))
+
+    def _reconstruct_slews(self, predicted: np.ndarray,
+                           sample: NetSample) -> np.ndarray:
+        """Invert :meth:`_slew_targets` back to absolute slew in ps."""
+        mode = self.config.slew_parameterization
+        if mode == "absolute":
+            return predicted
+        input_slews = np.array([p.input_slew_ps for p in sample.paths])
+        if mode == "residual":
+            return predicted + input_slews
+        return np.sqrt(input_slews ** 2 + np.maximum(predicted, 0.0) ** 2)
+
+    def predict_sample(self, sample: NetSample) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-path ``(slew_ps, delay_ps)`` predictions for one net."""
+        self._require_fitted()
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            slew, delay = self.model(sample)
+        finally:
+            if was_training:
+                self.model.train()
+        slew_ps, delay_ps = self.label_scaler.denormalize(slew.data, delay.data)
+        return self._reconstruct_slews(slew_ps, sample), delay_ps
+
+    def predict(self, samples: Sequence[NetSample]
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated per-path predictions over many nets, in ps."""
+        self._require_fitted()
+        slews: List[np.ndarray] = []
+        delays: List[np.ndarray] = []
+        for sample in samples:
+            s, d = self.predict_sample(sample)
+            slews.append(s)
+            delays.append(d)
+        if not slews:
+            return np.zeros(0), np.zeros(0)
+        return np.concatenate(slews), np.concatenate(delays)
+
+    def evaluate(self, samples: Sequence[NetSample]) -> EvalMetrics:
+        """R^2 and max-abs-error against golden labels (paper's metrics)."""
+        pred_slew, pred_delay = self.predict(samples)
+        true_slew = np.array([p.label_slew for s in samples for p in s.paths])
+        true_delay = np.array([p.label_delay for s in samples for p in s.paths])
+        return EvalMetrics(
+            r2_slew=r2_score(true_slew, pred_slew),
+            r2_delay=r2_score(true_delay, pred_delay),
+            max_err_slew_ps=max_abs_error(true_slew, pred_slew),
+            max_err_delay_ps=max_abs_error(true_delay, pred_delay),
+            num_paths=len(true_slew),
+        )
+
+    def throughput(self, samples: Sequence[NetSample],
+                   repeats: int = 1) -> float:
+        """Nets per second of pure inference (Section IV-C runtime claim)."""
+        self._require_fitted()
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for sample in samples:
+                self.predict_sample(sample)
+        elapsed = time.perf_counter() - start
+        return repeats * len(samples) / elapsed if elapsed > 0 else float("inf")
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist model weights + label scaler to a ``.npz``."""
+        self._require_fitted()
+        arrays = {f"param.{k}": v for k, v in self.model.state_dict().items()}
+        for key, value in self.label_scaler.state().items():
+            arrays[f"label.{key}"] = np.array(value)
+        np.savez_compressed(path, **arrays)
+
+    def load(self, path: str, num_node_features: int,
+             num_path_features: int) -> None:
+        """Restore a previously saved estimator (feature widths required)."""
+        rng = np.random.default_rng(self.config.seed)
+        self.model = self.model_factory(num_node_features, num_path_features,
+                                        self.config, rng)
+        with np.load(path, allow_pickle=False) as data:
+            state = {key[len("param."):]: data[key]
+                     for key in data.files if key.startswith("param.")}
+            label_state = {key[len("label."):]: float(data[key])
+                           for key in data.files if key.startswith("label.")}
+        self.model.load_state_dict(state)
+        self.label_scaler = LabelScaler.from_state(label_state)
+        self.model.eval()
+
+    def _require_fitted(self) -> None:
+        if self.model is None:
+            raise RuntimeError("estimator is not fitted; call fit() or load()")
+
+
+class LearnedWireModel(WireTimingModel):
+    """Adapter exposing a trained estimator as an STA wire-delay engine.
+
+    Feature extraction (without golden labeling) happens on the fly from
+    the net and its electrical context; features are standardized with the
+    training-set :class:`FeatureScaler` before inference.
+    """
+
+    def __init__(self, estimator: WireTimingEstimator,
+                 feature_scaler: FeatureScaler) -> None:
+        estimator._require_fitted()
+        self.estimator = estimator
+        self.feature_scaler = feature_scaler
+
+    def wire_timing(self, net: RCNet, input_slew: float,
+                    sink_loads: np.ndarray, drive_resistance: float,
+                    context: Optional[NetContext] = None
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        if context is None:
+            raise ValueError(
+                "LearnedWireModel needs the cell context; run it through "
+                "STAEngine, which provides one")
+        sample = build_net_sample(net, context, labeled=False)
+        sample = self.feature_scaler.transform([sample])[0]
+        slew_ps, delay_ps = self.estimator.predict_sample(sample)
+        return delay_ps * _PS, slew_ps * _PS
+
+    @property
+    def name(self) -> str:
+        return "LearnedWireModel"

@@ -1,0 +1,98 @@
+"""The GNNTrans model — the paper's primary contribution (Fig. 4).
+
+Pipeline per RC net:
+
+1. **GNN module** (``L1`` weighted-GraphSage layers, Eq. 1) learns local
+   short-range structure from the resistance-weighted adjacency;
+2. **Graph-transformer module** (``L2`` multi-head self-attention layers,
+   Eq. 2-3) learns global long-range relationships among *all* nodes,
+   sidestepping GNN over-smoothing;
+3. **Pooling** (Eq. 4) averages final node representations over each wire
+   path and concatenates the raw Table I path features;
+4. **Heads** (Eq. 5-6) predict wire slew, then wire delay conditioned on
+   the predicted slew.
+
+The model operates on :class:`~repro.features.NetSample` objects and emits
+predictions in the (standardized) label space; unit handling lives in
+:class:`~repro.core.estimator.WireTimingEstimator`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..features.pipeline import NetSample
+from ..nn.layers import Module
+from ..nn.tensor import Tensor
+from .config import DEFAULT_CONFIG, GNNTransConfig
+from .gnn_layer import GNNModule
+from .heads import TimingHeads
+from .pooling import pool_paths
+from .transformer_layer import TransformerModule
+
+
+class GNNTrans(Module):
+    """End-to-end wire-timing model of Fig. 4.
+
+    Parameters
+    ----------
+    num_node_features:
+        Width of raw node feature vectors (8 for Table I).
+    num_path_features:
+        Width of raw path feature vectors (10 for Table I).
+    config:
+        Architecture/hyper-parameter bundle (:class:`GNNTransConfig`).
+    rng:
+        Weight-init generator (derived from ``config.seed`` when omitted).
+    """
+
+    def __init__(self, num_node_features: int, num_path_features: int,
+                 config: GNNTransConfig = DEFAULT_CONFIG,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.config = config
+        rng = rng or np.random.default_rng(config.seed)
+        self.gnn = GNNModule(num_node_features, config.hidden, config.l1, rng,
+                             residual=config.residual,
+                             adjacency_norm=config.adjacency_norm)
+        self.transformer = TransformerModule(config.hidden, config.l2,
+                                             config.num_heads, rng,
+                                             layer_norm=config.layer_norm)
+        representation_width = config.hidden + (
+            num_path_features if config.include_path_features else 0)
+        self.heads = TimingHeads(representation_width, config.head_hidden, rng,
+                                 config.condition_delay_on_slew)
+
+    # ------------------------------------------------------------------
+    def encode(self, sample: NetSample) -> Tensor:
+        """Final node representations ``X^(L1+L2)`` for one net."""
+        x = Tensor(sample.node_features)
+        x = self.gnn(x, sample.adjacency)
+        return self.transformer(x)
+
+    def path_representations(self, sample: NetSample) -> Tensor:
+        """Wire-path representations ``F = {f_q}`` (Eq. 4)."""
+        nodes = self.encode(sample)
+        return pool_paths(nodes, sample,
+                          include_path_features=self.config.include_path_features)
+
+    def forward(self, sample: NetSample) -> Tuple[Tensor, Tensor]:
+        """Predict ``(slew, delay)`` for every wire path of ``sample``.
+
+        Both outputs have shape ``(num_paths,)`` in the label space the
+        model was trained in.
+        """
+        return self.heads(self.path_representations(sample))
+
+    def predict(self, sample: NetSample) -> Tuple[np.ndarray, np.ndarray]:
+        """Inference-mode numpy predictions for one net."""
+        was_training = self.training
+        self.eval()
+        try:
+            slew, delay = self.forward(sample)
+        finally:
+            if was_training:
+                self.train()
+        return slew.data.copy(), delay.data.copy()

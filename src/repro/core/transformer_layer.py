@@ -1,0 +1,96 @@
+"""Graph-transformer layer — Eq. (2)/(3) of the paper.
+
+Multi-head self-attention over *all* nodes of the RC net, independent of
+edge connectivity: every capacitance can attend to every other, which is
+how GNNTrans captures global long-range relationships without stacking GNN
+layers into the over-smoothing regime.
+
+Eq. (2) builds the per-head attention map from learnable query/key
+projections; Eq. (3) aggregates value projections over all nodes,
+concatenates the heads, projects with ``W3`` and adds the residual input.
+A pre-attention LayerNorm (standard transformer practice, ablatable) keeps
+the deep stack trainable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.layers import LayerNorm, Linear, Module
+from ..nn.tensor import Tensor, concat
+
+
+class MultiHeadSelfAttention(Module):
+    """K-head scaled dot-product self-attention with residual (Eq. 2-3)."""
+
+    def __init__(self, features: int, num_heads: int,
+                 rng: np.random.Generator, layer_norm: bool = True) -> None:
+        super().__init__()
+        if features % num_heads != 0:
+            raise ValueError(
+                f"features ({features}) must be divisible by heads ({num_heads})")
+        self.num_heads = num_heads
+        self.head_dim = features // num_heads
+        # Per-head W_Q, W_K, W_V — the paper writes them per head, without
+        # bias terms (pure linear transformation matrices).
+        self.w_query = [Linear(features, self.head_dim, rng, bias=False)
+                        for _ in range(num_heads)]
+        self.w_key = [Linear(features, self.head_dim, rng, bias=False)
+                      for _ in range(num_heads)]
+        self.w_value = [Linear(features, self.head_dim, rng, bias=False)
+                        for _ in range(num_heads)]
+        self.w_out = Linear(features, features, rng, bias=False)  # W3
+        self.norm = LayerNorm(features) if layer_norm else None
+        self._scale = 1.0 / np.sqrt(self.head_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``x``: (N, features) node representations; returns same shape."""
+        normed = self.norm(x) if self.norm is not None else x
+        heads: List[Tensor] = []
+        for k in range(self.num_heads):
+            query = self.w_query[k](normed)          # (N, d_k)
+            key = self.w_key[k](normed)              # (N, d_k)
+            value = self.w_value[k](normed)          # (N, d_k)
+            scores = (query @ key.T) * self._scale   # (N, N)
+            attention = scores.softmax(axis=-1)      # Eq. (2)
+            heads.append(attention @ value)          # (N, d_k)
+        multi = concat(heads, axis=-1)               # ||_k  in Eq. (3)
+        return x + self.w_out(multi)                 # residual of Eq. (3)
+
+    def attention_maps(self, x: Tensor) -> List[np.ndarray]:
+        """Per-head attention matrices for inspection (no gradients)."""
+        normed = self.norm(x) if self.norm is not None else x
+        maps: List[np.ndarray] = []
+        for k in range(self.num_heads):
+            query = self.w_query[k](normed).data
+            key = self.w_key[k](normed).data
+            scores = (query @ key.T) * self._scale
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            exp = np.exp(shifted)
+            maps.append(exp / exp.sum(axis=-1, keepdims=True))
+        return maps
+
+
+class TransformerModule(Module):
+    """The paper's graph-transformer module: ``L2`` stacked attention layers."""
+
+    def __init__(self, features: int, num_layers: int, num_heads: int,
+                 rng: np.random.Generator, layer_norm: bool = True) -> None:
+        super().__init__()
+        if num_layers < 0:
+            raise ValueError("layer count cannot be negative")
+        self.layers = [
+            MultiHeadSelfAttention(features, num_heads, rng, layer_norm)
+            for _ in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,161 @@
+"""End-to-end dataset generation: designs → nets → features → golden labels.
+
+This is the reproduction of the paper's data pipeline (StarRC parasitics +
+PrimeTime-SI golden reports): for every net of a generated benchmark design
+we derive the electrical context from the actual driving/receiving cells,
+run the golden timer, and package a :class:`~repro.features.NetSample`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.simulator import GoldenTimer
+from ..design.benchmarks import (DEFAULT_SCALE, TEST_BENCHMARKS,
+                                 TRAIN_BENCHMARKS, generate_benchmark)
+from ..design.netlist import Netlist
+from ..features.path_features import NetContext
+from ..features.pipeline import FeatureScaler, NetSample, build_net_sample
+from ..liberty.ceff import effective_capacitance
+from ..liberty.library import Library, make_default_library
+
+_LAUNCH_SLEW = 20e-12
+
+
+@dataclass
+class WireTimingDataset:
+    """A train/test split of net samples with a fitted feature scaler.
+
+    ``train`` and ``test`` hold *standardized* samples; ``scaler`` carries
+    the training-set statistics so new nets can be normalized identically
+    at inference time.
+    """
+
+    train: List[NetSample] = field(default_factory=list)
+    test: List[NetSample] = field(default_factory=list)
+    scaler: Optional[FeatureScaler] = None
+
+    def test_by_design(self) -> Dict[str, List[NetSample]]:
+        """Test samples grouped per benchmark, for per-row table output."""
+        grouped: Dict[str, List[NetSample]] = {}
+        for sample in self.test:
+            grouped.setdefault(sample.design, []).append(sample)
+        return grouped
+
+    @property
+    def num_train_paths(self) -> int:
+        return sum(s.num_paths for s in self.train)
+
+    @property
+    def num_test_paths(self) -> int:
+        return sum(s.num_paths for s in self.test)
+
+
+def design_net_samples(netlist: Netlist, max_nets: Optional[int] = None,
+                       rng: Optional[np.random.Generator] = None,
+                       si_mode: bool = True) -> List[NetSample]:
+    """Build one sample per net of ``netlist`` (optionally a random subset).
+
+    The input slew of each net is the actual output slew of its driving
+    cell at the net's effective capacitance, so features and labels see a
+    self-consistent operating point — exactly what a timer would propagate.
+    """
+    nets = list(netlist.nets.values())
+    if max_nets is not None and len(nets) > max_nets:
+        rng = rng or np.random.default_rng(0)
+        picked = rng.choice(len(nets), size=max_nets, replace=False)
+        nets = [nets[int(i)] for i in sorted(picked)]
+    samples: List[NetSample] = []
+    for net in nets:
+        drive_cell = netlist.gates[net.driver].cell
+        load_cells = [netlist.gates[load.gate].cell for load in net.loads]
+        sink_loads = np.array([c.input_cap for c in load_cells])
+        ceff = effective_capacitance(net.rcnet, drive_cell.drive_resistance,
+                                     sink_loads)
+        _, input_slew = drive_cell.delay_and_slew(_LAUNCH_SLEW, ceff)
+        context = NetContext(input_slew=input_slew, drive_cell=drive_cell,
+                             load_cells=load_cells)
+        timer = GoldenTimer(drive_resistance=drive_cell.drive_resistance,
+                            si_mode=si_mode)
+        samples.append(build_net_sample(net.rcnet, context,
+                                        design=netlist.name, timer=timer))
+    return samples
+
+
+def _samples_for_benchmark(args) -> List[NetSample]:
+    """Worker entry point: one benchmark's samples (picklable args)."""
+    name, scale, nets_per_design, si_mode, worker_seed = args
+    library = make_default_library()
+    netlist = generate_benchmark(name, library, scale)
+    rng = np.random.default_rng(worker_seed)
+    return design_net_samples(netlist, nets_per_design, rng, si_mode)
+
+
+def generate_dataset(train_names: Sequence[str] = tuple(TRAIN_BENCHMARKS),
+                     test_names: Sequence[str] = tuple(TEST_BENCHMARKS),
+                     scale: int = DEFAULT_SCALE,
+                     nets_per_design: Optional[int] = 60,
+                     library: Optional[Library] = None,
+                     si_mode: bool = True,
+                     seed: int = 7,
+                     n_jobs: int = 1) -> WireTimingDataset:
+    """Generate and standardize the full benchmark dataset.
+
+    Parameters
+    ----------
+    train_names, test_names:
+        Benchmark names (defaults: the paper's Table II split).
+    scale:
+        Design down-scaling factor (see :mod:`repro.design.benchmarks`).
+    nets_per_design:
+        Cap on sampled nets per design (None = all nets).
+    library:
+        Cell library (default synthetic library).
+    si_mode:
+        Whether golden labels include SI coupling effects.
+    seed:
+        Seed for net subsampling.
+    n_jobs:
+        Worker processes for golden labeling (the generation bottleneck;
+        the paper parallelized the analogous stage over 4 GPUs).  Results
+        are identical for any ``n_jobs`` because each benchmark owns a
+        deterministic per-design seed.
+    """
+    if library is not None and n_jobs > 1:
+        raise ValueError(
+            "a custom library cannot be shipped to worker processes; "
+            "use n_jobs=1 or the default library")
+    names = list(train_names) + list(test_names)
+    jobs = [(name, scale, nets_per_design, si_mode, seed + index)
+            for index, name in enumerate(names)]
+
+    if n_jobs > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=n_jobs) as pool:
+            per_benchmark = pool.map(_samples_for_benchmark, jobs)
+    elif library is not None:
+        # In-process path with the caller's library.
+        per_benchmark = []
+        for name, _, _, _, worker_seed in jobs:
+            netlist = generate_benchmark(name, library, scale)
+            rng = np.random.default_rng(worker_seed)
+            per_benchmark.append(
+                design_net_samples(netlist, nets_per_design, rng, si_mode))
+    else:
+        per_benchmark = [_samples_for_benchmark(job) for job in jobs]
+
+    train: List[NetSample] = []
+    test: List[NetSample] = []
+    for name, samples in zip(names, per_benchmark):
+        (train if name in train_names else test).extend(samples)
+
+    scaler = FeatureScaler().fit(train)
+    return WireTimingDataset(
+        train=scaler.transform(train),
+        test=scaler.transform(test),
+        scaler=scaler,
+    )

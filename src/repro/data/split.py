@@ -1,0 +1,57 @@
+"""Dataset filtering and splitting utilities.
+
+Tables III and IV differ only in the evaluated subset: non-tree nets versus
+all nets.  These helpers express those subsets, plus generic per-design
+grouping and a seeded train/validation split.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..features.pipeline import NetSample
+
+
+def nontree_only(samples: Sequence[NetSample]) -> List[NetSample]:
+    """Samples whose net contains at least one resistive loop (Table III)."""
+    return [s for s in samples if not s.is_tree]
+
+
+def tree_only(samples: Sequence[NetSample]) -> List[NetSample]:
+    """Samples whose net is loop-free."""
+    return [s for s in samples if s.is_tree]
+
+
+def by_design(samples: Sequence[NetSample]) -> Dict[str, List[NetSample]]:
+    """Group samples by owning design name."""
+    grouped: Dict[str, List[NetSample]] = {}
+    for sample in samples:
+        grouped.setdefault(sample.design, []).append(sample)
+    return grouped
+
+
+def train_val_split(samples: Sequence[NetSample], val_fraction: float = 0.1,
+                    seed: int = 0) -> Tuple[List[NetSample], List[NetSample]]:
+    """Random train/validation split at the net granularity."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(samples))
+    n_val = max(1, int(round(val_fraction * len(samples))))
+    val_idx = set(int(i) for i in indices[:n_val])
+    train = [s for i, s in enumerate(samples) if i not in val_idx]
+    val = [s for i, s in enumerate(samples) if i in val_idx]
+    return train, val
+
+
+def collect_labels(samples: Sequence[NetSample]) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate (slew, delay) labels over all paths of ``samples``, ps."""
+    slews: List[float] = []
+    delays: List[float] = []
+    for sample in samples:
+        for path in sample.paths:
+            slews.append(path.label_slew)
+            delays.append(path.label_delay)
+    return np.array(slews), np.array(delays)

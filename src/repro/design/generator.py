@@ -1,0 +1,301 @@
+"""Synthetic design generator.
+
+Builds layered-DAG netlists with routed RC parasitics on every net, serving
+as the substitution for the paper's routed OpenCore designs (see DESIGN.md).
+Every quantity Table II reports — cell count, net count, non-tree net
+fraction, flip-flop count, timing-path count — is a controllable parameter,
+so the named paper benchmarks can be regenerated at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..liberty.library import Library, make_default_library
+from ..rcnet.builder import RCNetBuilder
+from ..rcnet.graph import RCNet
+from ..rcnet.topology import ParasiticRanges, random_nontree_net, random_tree_net
+from .netlist import DesignNet, Gate, LoadPin, Netlist, PathStage, TimingPath
+
+
+@dataclass
+class DesignSpec:
+    """Parameters of one synthetic design.
+
+    Attributes
+    ----------
+    name:
+        Design name (also used in net/gate names).
+    n_combinational:
+        Number of combinational gates.
+    n_ffs:
+        Number of flip-flops (split roughly evenly into launch and capture).
+    n_paths:
+        Number of timing paths to record (Table II's "#CPs").
+    nontree_frac:
+        Fraction of nets realized with resistive loops.
+    levels:
+        Depth of the combinational DAG.
+    net_nodes_range:
+        Min/max RC nodes per net (before sink-leaf padding).
+    input_locality:
+        Probability that a gate input connects to the *immediately
+        previous* level instead of any earlier one.  High locality makes
+        deep reconvergent logic whose path count grows exponentially with
+        depth (the Fig. 2(a) regime); 0 keeps uniform fanin.
+    seed:
+        Seed of the design's private RNG; the same spec always generates
+        the identical design.
+    """
+
+    name: str
+    n_combinational: int = 120
+    n_ffs: int = 16
+    n_paths: int = 40
+    nontree_frac: float = 0.3
+    levels: int = 5
+    net_nodes_range: Tuple[int, int] = (6, 28)
+    input_locality: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_combinational < self.levels:
+            raise ValueError("need at least one gate per level")
+        if self.n_ffs < 4:
+            raise ValueError("need at least 4 flip-flops (2 launch + 2 capture)")
+        if not 0.0 <= self.nontree_frac <= 1.0:
+            raise ValueError("nontree_frac must be in [0, 1]")
+
+
+def generate_design(spec: DesignSpec, library: Optional[Library] = None) -> Netlist:
+    """Generate a complete netlist from ``spec``.
+
+    The construction is:
+
+    1. place launch flip-flops at level 0 and capture flip-flops after the
+       last level; spread combinational gates over levels 1..L;
+    2. connect every combinational input pin to a random gate in an earlier
+       level (or a launch FF), defining each gate's fanout;
+    3. route one RC net per driving gate with exactly ``fanout`` sinks,
+       non-tree with probability ``spec.nontree_frac``;
+    4. record ``spec.n_paths`` random launch-to-capture timing paths.
+    """
+    library = library or make_default_library()
+    rng = np.random.default_rng(spec.seed)
+    netlist = Netlist(spec.name)
+
+    n_launch = max(2, spec.n_ffs // 2)
+    n_capture = max(2, spec.n_ffs - n_launch)
+    ff_cells = library.sequential
+    comb_cells = library.combinational
+
+    launch_ffs = [f"{spec.name}/lff{i}" for i in range(n_launch)]
+    for name in launch_ffs:
+        netlist.add_gate(Gate(name, ff_cells[int(rng.integers(len(ff_cells)))]))
+
+    # Levelized combinational gates.
+    levels: List[List[str]] = [[] for _ in range(spec.levels)]
+    for i in range(spec.n_combinational):
+        level = i % spec.levels if i < spec.levels else int(rng.integers(spec.levels))
+        name = f"{spec.name}/g{i}"
+        netlist.add_gate(Gate(name, comb_cells[int(rng.integers(len(comb_cells)))]))
+        levels[level].append(name)
+
+    # Wire inputs: record (load gate, pin) lists per driver, remembering
+    # each assignment so unused gates can be rewired in below.
+    fanout: Dict[str, List[LoadPin]] = {g: [] for g in netlist.gates}
+    gate_level = {g: idx for idx, lvl in enumerate(levels) for g in lvl}
+    assignments: List[List] = []  # mutable [source, LoadPin, load_level]
+    for level_idx, level_gates in enumerate(levels):
+        sources = list(launch_ffs)
+        for earlier in levels[:level_idx]:
+            sources.extend(earlier)
+        previous = levels[level_idx - 1] if level_idx > 0 else []
+        for gate_name in level_gates:
+            gate = netlist.gates[gate_name]
+            for pin_idx in range(gate.cell.num_inputs):
+                pin = chr(ord("A") + pin_idx)
+                if (spec.input_locality > 0.0 and previous
+                        and rng.random() < spec.input_locality):
+                    source = previous[int(rng.integers(len(previous)))]
+                else:
+                    source = sources[int(rng.integers(len(sources)))]
+                load = LoadPin(gate_name, pin)
+                fanout[source].append(load)
+                assignments.append([source, load, level_idx])
+
+    # Rewire pass: gates that ended up without fanout steal a load pin
+    # from a multi-fanout source at a later level, so nearly every gate
+    # drives something without inflating the flip-flop count.
+    for gate_name in (g for lvl in levels for g in lvl):
+        if fanout[gate_name]:
+            continue
+        level = gate_level[gate_name]
+        candidates = [a for a in assignments
+                      if a[2] > level and len(fanout[a[0]]) >= 2]
+        if not candidates:
+            continue
+        chosen = candidates[int(rng.integers(len(candidates)))]
+        old_source, load, _ = chosen
+        fanout[old_source].remove(load)
+        fanout[gate_name].append(load)
+        chosen[0] = gate_name
+
+    # Capture FFs: every D pin has exactly one driver (single-driver
+    # semantics, as structural Verilog requires).  Remaining zero-fanout
+    # gates (typically only last-level ones) each get a dedicated capture
+    # FF so every gate lies on a launch-to-capture route; any remaining FF
+    # budget consumes random deep gates.
+    zero_fanout = [g for lvl in levels for g in lvl if not fanout[g]]
+    n_capture = max(n_capture, len(zero_fanout))
+    capture_ffs = [f"{spec.name}/cff{i}" for i in range(n_capture)]
+    for name in capture_ffs:
+        netlist.add_gate(Gate(name, ff_cells[int(rng.integers(len(ff_cells)))]))
+        fanout[name] = []
+    deep_sources = levels[-1] + levels[-2] if spec.levels >= 2 else levels[-1]
+    for index, ff_name in enumerate(capture_ffs):
+        if index < len(zero_fanout):
+            source = zero_fanout[index]
+        else:
+            source = deep_sources[int(rng.integers(len(deep_sources)))]
+        fanout[source].append(LoadPin(ff_name, "D"))
+
+    # Route one RC net per driving gate.
+    net_index = 0
+    for driver, loads in fanout.items():
+        if not loads:
+            continue
+        net_name = f"{spec.name}/n{net_index}"
+        net_index += 1
+        non_tree = rng.random() < spec.nontree_frac
+        rcnet = make_net_with_sinks(rng, net_name, len(loads),
+                                    non_tree=non_tree,
+                                    nodes_range=spec.net_nodes_range)
+        netlist.add_net(DesignNet(net_name, driver, list(loads), rcnet))
+
+    _record_paths(netlist, spec, rng, launch_ffs, set(capture_ffs))
+    return netlist
+
+
+def make_net_with_sinks(rng: np.random.Generator, name: str, n_sinks: int,
+                        non_tree: bool,
+                        nodes_range: Tuple[int, int] = (6, 28),
+                        ranges: Optional[ParasiticRanges] = None) -> RCNet:
+    """Generate an RC net with *exactly* ``n_sinks`` sinks.
+
+    The topology generators pick sinks among tree leaves, so a tree with too
+    few leaves is padded with extra leaf nodes before sink selection.
+    """
+    ranges = ranges or ParasiticRanges()
+    n_nodes = int(rng.integers(max(nodes_range[0], n_sinks + 2),
+                               max(nodes_range[1], n_sinks + 3) + 1))
+    base_name = name.replace("/", "_")
+    if non_tree:
+        net = random_nontree_net(rng, n_nodes, n_sinks=None,
+                                 n_loops=int(rng.integers(2, 5)),
+                                 name=base_name, ranges=ranges,
+                                 coupling_prob=0.5)
+    else:
+        net = random_tree_net(rng, n_nodes, n_sinks=None, name=base_name,
+                              ranges=ranges, coupling_prob=0.35)
+    if net.num_sinks == n_sinks:
+        return net
+    if net.num_sinks > n_sinks:
+        return _trim_sinks(net, rng, n_sinks)
+    return _pad_leaves(net, rng, n_sinks, ranges)
+
+
+def _trim_sinks(net: RCNet, rng: np.random.Generator, n_sinks: int) -> RCNet:
+    """Keep a random subset of ``n_sinks`` sinks."""
+    chosen = sorted(int(s) for s in
+                    rng.choice(net.sinks, size=n_sinks, replace=False))
+    return RCNet(net.name, net.nodes, net.edges, net.source, chosen,
+                 net.couplings)
+
+
+def _pad_leaves(net: RCNet, rng: np.random.Generator, n_sinks: int,
+                ranges: ParasiticRanges) -> RCNet:
+    """Attach extra leaf nodes until ``n_sinks`` sinks exist."""
+    builder = RCNetBuilder(net.name)
+    for node in net.nodes:
+        builder.add_node(node.name, cap=node.cap)
+    for edge in net.edges:
+        builder.add_edge(net.nodes[edge.u].name, net.nodes[edge.v].name,
+                         edge.resistance)
+    builder.set_source(net.nodes[net.source].name)
+    sinks = [net.nodes[s].name for s in net.sinks]
+    extra = 0
+    while len(sinks) < n_sinks:
+        attach = int(rng.integers(net.num_nodes))
+        leaf_name = f"{net.name}:x{extra}"
+        extra += 1
+        builder.add_node(leaf_name, cap=ranges.sample_cap(rng))
+        builder.add_edge(net.nodes[attach].name, leaf_name,
+                         ranges.sample_resistance(rng))
+        sinks.append(leaf_name)
+    for sink in sinks:
+        builder.add_sink(sink)
+    for coupling in net.couplings:
+        builder.add_coupling(net.nodes[coupling.victim].name,
+                             coupling.aggressor_name, coupling.cap,
+                             coupling.activity)
+    return builder.build()
+
+
+def _record_paths(netlist: Netlist, spec: DesignSpec, rng: np.random.Generator,
+                  launch_ffs: Sequence[str], capture_ffs: set) -> None:
+    """Sample ``spec.n_paths`` random launch-to-capture timing paths."""
+    for path in sample_timing_paths(netlist, spec.n_paths, rng,
+                                    launch_ffs=launch_ffs,
+                                    capture_ffs=capture_ffs,
+                                    max_hops=4 * spec.levels + 4):
+        netlist.add_path(path)
+
+
+def sample_timing_paths(netlist: Netlist, n_paths: int,
+                        rng: Optional[np.random.Generator] = None,
+                        launch_ffs: Optional[Sequence[str]] = None,
+                        capture_ffs: Optional[set] = None,
+                        max_hops: int = 40) -> List[TimingPath]:
+    """Sample random launch-to-capture timing paths through any netlist.
+
+    Launch points default to sequential gates that drive a net; capture
+    points to sequential gates (reached through a load pin).  Useful for
+    designs reconstructed from Verilog/SPEF, which carry no path list.
+    """
+    rng = rng or np.random.default_rng(0)
+    if launch_ffs is None:
+        launch_ffs = [g.name for g in netlist.gates.values()
+                      if g.is_sequential and netlist.net_driven_by(g.name)]
+    else:
+        launch_ffs = list(launch_ffs)
+    if capture_ffs is None:
+        capture_ffs = {g.name for g in netlist.gates.values()
+                       if g.is_sequential}
+    if not launch_ffs:
+        return []
+    paths: List[TimingPath] = []
+    attempts = 0
+    while len(paths) < n_paths and attempts < 50 * max(1, n_paths):
+        attempts += 1
+        gate_name = launch_ffs[int(rng.integers(len(launch_ffs)))]
+        input_pin = "CK"
+        stages: List[PathStage] = []
+        ok = False
+        for _ in range(max_hops):
+            net = netlist.net_driven_by(gate_name)
+            if net is None:
+                break
+            sink_index = int(rng.integers(net.fanout))
+            stages.append(PathStage(gate_name, input_pin, net.name, sink_index))
+            load = net.loads[sink_index]
+            if load.gate in capture_ffs and load.gate != stages[0].gate:
+                ok = True
+                break
+            gate_name, input_pin = load.gate, load.pin
+        if ok and stages:
+            paths.append(TimingPath(f"{netlist.name}/p{len(paths)}", stages))
+    return paths

@@ -1,0 +1,178 @@
+"""Gate-level netlist structure.
+
+A design is a layered DAG of gates connected by *design nets*; each design
+net owns an extracted :class:`~repro.rcnet.graph.RCNet` whose source is the
+driving gate's output pin and whose sinks map one-to-one onto the load pins.
+This is the object the benchmark generator produces and the STA engine
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..liberty.cell import Cell
+from ..rcnet.graph import RCNet
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One instantiated cell."""
+
+    name: str
+    cell: Cell
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.cell.is_sequential
+
+
+@dataclass(frozen=True)
+class LoadPin:
+    """A (gate, input pin) pair receiving a net."""
+
+    gate: str
+    pin: str
+
+
+@dataclass
+class DesignNet:
+    """A routed net: driver gate output to one or more load pins.
+
+    ``rcnet.sinks[i]`` is the RC node where ``loads[i]`` connects, so sink
+    loads for timing analysis are the input capacitances of the load cells
+    in the same order.
+    """
+
+    name: str
+    driver: str
+    loads: List[LoadPin]
+    rcnet: RCNet
+
+    def __post_init__(self) -> None:
+        if len(self.loads) != self.rcnet.num_sinks:
+            raise ValueError(
+                f"net {self.name!r}: {len(self.loads)} loads but RC net has "
+                f"{self.rcnet.num_sinks} sinks")
+
+    @property
+    def fanout(self) -> int:
+        return len(self.loads)
+
+
+@dataclass(frozen=True)
+class PathStage:
+    """One gate-plus-wire hop of a timing path.
+
+    The signal enters ``gate`` at ``input_pin``, propagates through the gate,
+    then travels along ``net`` to the sink indexed ``sink_index`` (which is
+    the input pin of the next stage's gate).
+    """
+
+    gate: str
+    input_pin: str
+    net: str
+    sink_index: int
+
+
+@dataclass
+class TimingPath:
+    """A launch-to-capture timing path: an ordered list of stages."""
+
+    name: str
+    stages: List[PathStage]
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+
+class Netlist:
+    """A complete synthetic design."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.gates: Dict[str, Gate] = {}
+        self.nets: Dict[str, DesignNet] = {}
+        self.paths: List[TimingPath] = []
+        # net driven by each gate (gate name -> net name)
+        self._driven_net: Dict[str, str] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_gate(self, gate: Gate) -> None:
+        if gate.name in self.gates:
+            raise ValueError(f"duplicate gate {gate.name!r}")
+        self.gates[gate.name] = gate
+
+    def add_net(self, net: DesignNet) -> None:
+        if net.name in self.nets:
+            raise ValueError(f"duplicate net {net.name!r}")
+        if net.driver not in self.gates:
+            raise ValueError(f"net {net.name!r}: unknown driver {net.driver!r}")
+        for load in net.loads:
+            if load.gate not in self.gates:
+                raise ValueError(f"net {net.name!r}: unknown load gate {load.gate!r}")
+        if net.driver in self._driven_net:
+            raise ValueError(f"gate {net.driver!r} already drives a net")
+        self.nets[net.name] = net
+        self._driven_net[net.driver] = net.name
+
+    def add_path(self, path: TimingPath) -> None:
+        for stage in path.stages:
+            if stage.gate not in self.gates:
+                raise ValueError(f"path {path.name!r}: unknown gate {stage.gate!r}")
+            if stage.net not in self.nets:
+                raise ValueError(f"path {path.name!r}: unknown net {stage.net!r}")
+            net = self.nets[stage.net]
+            if not 0 <= stage.sink_index < net.fanout:
+                raise ValueError(
+                    f"path {path.name!r}: sink index {stage.sink_index} out of "
+                    f"range for net {stage.net!r}")
+        self.paths.append(path)
+
+    # -- queries -----------------------------------------------------------
+    def net_driven_by(self, gate_name: str) -> Optional[DesignNet]:
+        """The net this gate's output drives, if any."""
+        net_name = self._driven_net.get(gate_name)
+        return self.nets[net_name] if net_name is not None else None
+
+    def sink_loads(self, net: DesignNet) -> np.ndarray:
+        """Receiver pin capacitances of a net, aligned with its sinks."""
+        return np.array(
+            [self.gates[load.gate].cell.input_cap for load in net.loads])
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def num_ffs(self) -> int:
+        return sum(1 for g in self.gates.values() if g.is_sequential)
+
+    @property
+    def num_nontree_nets(self) -> int:
+        return sum(1 for n in self.nets.values() if not n.rcnet.is_tree())
+
+    def iter_rcnets(self) -> Iterator[Tuple[DesignNet, RCNet]]:
+        for net in self.nets.values():
+            yield net, net.rcnet
+
+    def statistics(self) -> Dict[str, int]:
+        """The Table II row for this design."""
+        return {
+            "cells": self.num_cells,
+            "nets": self.num_nets,
+            "nontree_nets": self.num_nontree_nets,
+            "ffs": self.num_ffs,
+            "paths": len(self.paths),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Netlist({self.name!r}, cells={self.num_cells}, "
+                f"nets={self.num_nets}, paths={len(self.paths)})")

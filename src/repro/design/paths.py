@@ -1,0 +1,72 @@
+"""Path counting on netlists and on wires (the Fig. 2 statistics).
+
+The paper motivates GNNTrans with an asymmetry: the number of *netlist*
+paths explodes exponentially with gate count (Fig. 2(a)), while each wire
+has only as many paths as sinks — at most a few tens (Fig. 2(b)).  This
+module computes both statistics exactly:
+
+* :func:`count_netlist_paths` — dynamic programming over the gate DAG, so
+  the count is exact even when it is astronomically large;
+* :func:`wire_path_histogram` — per-net path (sink) counts of a design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .netlist import Netlist
+
+
+def count_netlist_paths(netlist: Netlist) -> int:
+    """Exact number of launch-to-capture gate-level paths in the design.
+
+    A path starts at a sequential gate's output and ends when it reaches a
+    sequential gate's input.  Counting uses memoized DP over the gate DAG
+    (``paths(g) = sum over fanout loads``), so runtime is linear in edges
+    even though the result grows exponentially with depth.
+    """
+    memo: Dict[str, int] = {}
+
+    def paths_from(gate_name: str) -> int:
+        if gate_name in memo:
+            return memo[gate_name]
+        memo[gate_name] = 0  # cycle guard; layered designs have none
+        net = netlist.net_driven_by(gate_name)
+        if net is None:
+            memo[gate_name] = 0
+            return 0
+        total = 0
+        for load in net.loads:
+            if netlist.gates[load.gate].is_sequential:
+                total += 1
+            else:
+                total += paths_from(load.gate)
+        memo[gate_name] = total
+        return total
+
+    return sum(paths_from(g.name) for g in netlist.gates.values()
+               if g.is_sequential)
+
+
+def wire_path_histogram(netlist: Netlist) -> Dict[int, int]:
+    """Histogram ``{paths_per_net: net_count}`` over all nets of a design.
+
+    Since a wire path runs from the source to one sink (Definition 1), the
+    per-net path count is simply the sink count; the histogram is the data
+    behind Fig. 2(b).
+    """
+    histogram: Dict[int, int] = {}
+    for net in netlist.nets.values():
+        count = net.rcnet.num_sinks
+        histogram[count] = histogram.get(count, 0) + 1
+    return histogram
+
+
+def max_wire_paths(netlist: Netlist) -> int:
+    """Largest per-net wire path count in the design (Fig. 2(b)'s max)."""
+    return max((net.rcnet.num_sinks for net in netlist.nets.values()), default=0)
+
+
+def path_count_sweep(netlists: List[Netlist]) -> List[Tuple[int, int]]:
+    """(gate count, exact netlist path count) pairs for a design sweep."""
+    return [(n.num_cells, count_netlist_paths(n)) for n in netlists]

@@ -1,0 +1,95 @@
+"""Sign-off-style timing reports.
+
+Formats :class:`~repro.design.sta.PathTiming` results the way engineers
+read them — a per-stage ``report_timing`` table with incremental and
+cumulative columns, plus a design-level summary ordered by arrival time
+(critical path first).  Useful both for humans debugging the flow and for
+the incremental-optimization example.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .netlist import Netlist
+from .sta import PathTiming, STAReport
+
+_PS = 1e-12
+
+
+def format_path_report(timing: PathTiming, netlist: Optional[Netlist] = None,
+                       clock_period: Optional[float] = None) -> str:
+    """One path's stage-by-stage timing table (like ``report_timing``).
+
+    Parameters
+    ----------
+    timing:
+        The analyzed path.
+    netlist:
+        When given, stage rows show the driving cell's library name.
+    clock_period:
+        When given, a slack line (``period - arrival``) is appended.
+    """
+    lines: List[str] = [
+        f"Timing report for path {timing.path_name}",
+        "-" * 72,
+        f"{'stage':<28} {'cell':<12} {'gate(ps)':>9} {'wire(ps)':>9} "
+        f"{'slew(ps)':>9} {'arrival':>9}",
+        "-" * 72,
+    ]
+    cumulative = 0.0
+    for stage in timing.stages:
+        cell_name = ""
+        if netlist is not None and stage.gate in netlist.gates:
+            cell_name = netlist.gates[stage.gate].cell.name
+        cumulative += stage.gate_delay + stage.wire_delay
+        stage_label = f"{stage.gate} -> {stage.net}"
+        if len(stage_label) > 28:
+            stage_label = "..." + stage_label[-25:]
+        lines.append(
+            f"{stage_label:<28} {cell_name:<12} "
+            f"{stage.gate_delay / _PS:>9.2f} {stage.wire_delay / _PS:>9.2f} "
+            f"{stage.slew_out / _PS:>9.2f} {cumulative / _PS:>9.2f}")
+    lines.append("-" * 72)
+    lines.append(f"{'data arrival time':<52}{timing.arrival / _PS:>9.2f} ps")
+    lines.append(
+        f"{'  gate / wire split':<38}"
+        f"{timing.gate_delay_total / _PS:>9.2f} /"
+        f"{timing.wire_delay_total / _PS:>9.2f} ps")
+    if clock_period is not None:
+        slack = clock_period - timing.arrival
+        verdict = "MET" if slack >= 0.0 else "VIOLATED"
+        lines.append(f"{'slack (' + verdict + ')':<52}{slack / _PS:>9.2f} ps")
+    return "\n".join(lines)
+
+
+def format_design_report(report: STAReport, top: int = 10,
+                         clock_period: Optional[float] = None) -> str:
+    """Design-level summary: the ``top`` slowest paths plus runtime split."""
+    ordered = sorted(report.paths, key=lambda p: p.arrival, reverse=True)
+    lines: List[str] = [
+        f"STA summary for design {report.design} "
+        f"(wire model: {report.wire_model})",
+        "=" * 64,
+        f"{'path':<32} {'arrival(ps)':>12} {'gate(ps)':>9} {'wire(ps)':>9}",
+        "-" * 64,
+    ]
+    for timing in ordered[:top]:
+        name = timing.path_name
+        if len(name) > 32:
+            name = "..." + name[-29:]
+        lines.append(f"{name:<32} {timing.arrival / _PS:>12.2f} "
+                     f"{timing.gate_delay_total / _PS:>9.2f} "
+                     f"{timing.wire_delay_total / _PS:>9.2f}")
+    lines.append("-" * 64)
+    if clock_period is not None and ordered:
+        worst = ordered[0]
+        slack = clock_period - worst.arrival
+        verdict = "MET" if slack >= 0.0 else "VIOLATED"
+        lines.append(f"worst slack: {slack / _PS:.2f} ps ({verdict}, "
+                     f"clock {clock_period / _PS:.0f} ps)")
+    lines.append(f"paths analyzed: {len(report.paths)}; "
+                 f"runtime gate {report.gate_seconds:.3f}s + "
+                 f"wire {report.wire_seconds:.3f}s = "
+                 f"{report.total_seconds:.3f}s")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Wire-path feature extraction — the "Path" half of Table I.
+
+Each wire path gets a 10-dimensional raw feature vector:
+
+==  ====================  ================================================
+ #  Table I name          Definition used here
+==  ====================  ================================================
+ 0  downstream cap        Elmore downstream capacitance at the first
+                          stage node of the path (the load the driver
+                          sees down this route), fF
+ 1  stage delay           largest Elmore stage delay along the path, ps
+ 2  input slew            driver output transition time, ps
+ 3  dir. of drive cell    drive strength of the driving cell
+ 4  func. of drive cell   integer function encoding of the driving cell
+ 5  dir. of load cell     drive strength of the receiving cell
+ 6  func. of load cell    integer function encoding of the receiving cell
+ 7  ceff of load cell     effective (pin) capacitance of the receiver, fF
+ 8  Elmore delay          wire path Elmore delay, ps
+ 9  D2M delay             wire path D2M delay, ps
+==  ====================  ================================================
+
+The paper computes downstream capacitance and stage delays "through the
+Elmore delay calculation"; we use the exact generalizations from
+:mod:`repro.analysis` so the definitions hold on non-tree nets too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.d2m import d2m_delays
+from ..analysis.elmore import downstream_caps, elmore_delays, stage_delays
+from ..liberty.cell import Cell
+from ..rcnet.graph import RCNet
+from ..rcnet.paths import WirePath
+
+PATH_FEATURE_NAMES = (
+    "downstream_cap",
+    "max_stage_delay",
+    "input_slew",
+    "drive_strength_driver",
+    "function_driver",
+    "drive_strength_load",
+    "function_load",
+    "ceff_load",
+    "elmore_delay",
+    "d2m_delay",
+)
+
+NUM_PATH_FEATURES = len(PATH_FEATURE_NAMES)
+
+_FF = 1e-15
+_PS = 1e-12
+
+
+@dataclass(frozen=True)
+class NetContext:
+    """Electrical context a net is embedded in.
+
+    Attributes
+    ----------
+    input_slew:
+        Driver output transition time in seconds.
+    drive_cell:
+        The cell driving the net.
+    load_cells:
+        Receiving cells, aligned with ``net.sinks``.
+    """
+
+    input_slew: float
+    drive_cell: Cell
+    load_cells: Sequence[Cell]
+
+    def sink_loads(self) -> np.ndarray:
+        """Receiver pin capacitances in farads, aligned with the sinks."""
+        return np.array([cell.input_cap for cell in self.load_cells])
+
+
+def extract_path_features(net: RCNet, paths: Sequence[WirePath],
+                          context: NetContext) -> np.ndarray:
+    """Raw path feature matrix ``H`` of shape ``(num_paths, 10)``.
+
+    ``paths`` must be ordered like ``net.sinks`` (the order produced by
+    :func:`repro.rcnet.paths.extract_wire_paths`).
+    """
+    if len(context.load_cells) != net.num_sinks:
+        raise ValueError(
+            f"context has {len(context.load_cells)} load cells for "
+            f"{net.num_sinks} sinks")
+    sink_loads = context.sink_loads()
+    elmore = elmore_delays(net, sink_loads=sink_loads)
+    d2m = d2m_delays(net, sink_loads=sink_loads)
+    downstream = downstream_caps(net, sink_loads=sink_loads)
+    sink_position = {sink: i for i, sink in enumerate(net.sinks)}
+
+    features = np.zeros((len(paths), NUM_PATH_FEATURES), dtype=np.float64)
+    for row, path in enumerate(paths):
+        load_cell = context.load_cells[sink_position[path.sink]]
+        stages = stage_delays(net, path, sink_loads=sink_loads)
+        first_stage_node = path.nodes[1] if len(path.nodes) > 1 else path.nodes[0]
+        features[row, 0] = downstream[first_stage_node] / _FF
+        features[row, 1] = (stages.max() if stages.size else 0.0) / _PS
+        features[row, 2] = context.input_slew / _PS
+        features[row, 3] = context.drive_cell.drive_strength
+        features[row, 4] = context.drive_cell.function_id
+        features[row, 5] = load_cell.drive_strength
+        features[row, 6] = load_cell.function_id
+        features[row, 7] = load_cell.input_cap / _FF
+        features[row, 8] = elmore[path.sink] / _PS
+        features[row, 9] = d2m[path.sink] / _PS
+    return features

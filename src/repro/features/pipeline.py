@@ -1,0 +1,214 @@
+"""Feature pipeline: per-net graph samples and standardization.
+
+A :class:`NetSample` is the fully numeric view of one RC net that every
+model in this repo (GNNTrans and all baselines) consumes: node feature
+matrix ``X``, resistance-weighted adjacency ``A``, per-path feature vectors
+``H`` with node-membership index lists, and golden slew/delay labels in
+picoseconds (Fig. 5 of the paper, in data-structure form).
+
+:class:`FeatureScaler` standardizes node and path features with statistics
+fitted on the training split only, as proper ML hygiene requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.simulator import GoldenTimer
+from ..rcnet.graph import RCNet
+from ..rcnet.paths import WirePath, extract_wire_paths
+from .node_features import NUM_NODE_FEATURES, extract_node_features
+from .path_features import (NUM_PATH_FEATURES, NetContext,
+                            extract_path_features)
+
+_PS = 1e-12
+# Resistance scale (ohms) dividing the weighted adjacency so the GNN
+# aggregation weights land near unity.
+ADJACENCY_RESISTANCE_SCALE = 100.0
+
+
+@dataclass
+class PathRecord:
+    """One wire path of a sample: node membership, features and labels.
+
+    ``input_slew_ps`` keeps the *raw* driver transition (also present,
+    standardized, inside ``features``) so estimators can predict the slew
+    degradation ``label_slew - input_slew_ps`` and reconstruct absolute
+    slew at inference time.
+    """
+
+    sink: int
+    node_indices: Tuple[int, ...]
+    features: np.ndarray          # (NUM_PATH_FEATURES,)
+    label_slew: float             # golden wire slew, ps
+    label_delay: float            # golden wire delay, ps
+    input_slew_ps: float = 0.0    # raw driver transition, ps
+
+
+@dataclass
+class NetSample:
+    """Fully numeric training/evaluation sample for one net."""
+
+    name: str
+    design: str
+    is_tree: bool
+    node_features: np.ndarray     # (N, NUM_NODE_FEATURES)
+    adjacency: np.ndarray         # (N, N) scaled resistance weights
+    paths: List[PathRecord] = field(default_factory=list)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.node_features.shape[0]
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+    def labels(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(slews, delays) label vectors in picoseconds."""
+        slews = np.array([p.label_slew for p in self.paths])
+        delays = np.array([p.label_delay for p in self.paths])
+        return slews, delays
+
+
+def build_adjacency(net: RCNet,
+                    scale: float = ADJACENCY_RESISTANCE_SCALE) -> np.ndarray:
+    """Resistance-weighted adjacency matrix of Section III-B, rescaled.
+
+    Entries are resistance values divided by ``scale`` so typical weights
+    are O(1); zero means "no direct resistance".
+    """
+    return net.weighted_adjacency() / scale
+
+
+def build_net_sample(net: RCNet, context: NetContext, design: str = "",
+                     timer: Optional[GoldenTimer] = None,
+                     paths: Optional[Sequence[WirePath]] = None,
+                     labeled: bool = True) -> NetSample:
+    """Extract features (and, by default, golden labels) for one net.
+
+    Parameters
+    ----------
+    net:
+        The RC net.
+    context:
+        Driver/receiver cells and input slew (see :class:`NetContext`).
+    design:
+        Owning design name, carried through for per-benchmark reporting.
+    timer:
+        Golden timer used for labels; a default SI-mode timer is built from
+        the drive cell's output resistance when omitted.
+    paths:
+        Pre-extracted wire paths (computed when omitted).
+    labeled:
+        When ``False`` the golden timer is skipped entirely and label
+        fields are NaN — the inference-time path used when the estimator
+        serves as a wire model inside STA.
+    """
+    paths = list(paths) if paths is not None else extract_wire_paths(net)
+    sink_loads = context.sink_loads()
+    golden = None
+    if labeled:
+        timer = timer or GoldenTimer(
+            drive_resistance=context.drive_cell.drive_resistance)
+        golden = timer.analyze(net, context.input_slew, sink_loads)
+
+    node_features = extract_node_features(net)
+    path_features = extract_path_features(net, paths, context)
+    adjacency = build_adjacency(net)
+
+    records: List[PathRecord] = []
+    for row, path in enumerate(paths):
+        if golden is not None:
+            timing = golden.timing_for(path.sink)
+            label_slew, label_delay = timing.slew / _PS, timing.delay / _PS
+        else:
+            label_slew = label_delay = float("nan")
+        records.append(PathRecord(
+            sink=path.sink,
+            node_indices=path.nodes,
+            features=path_features[row],
+            label_slew=label_slew,
+            label_delay=label_delay,
+            input_slew_ps=context.input_slew / _PS,
+        ))
+    return NetSample(
+        name=net.name,
+        design=design,
+        is_tree=net.is_tree(),
+        node_features=node_features,
+        adjacency=adjacency,
+        paths=records,
+    )
+
+
+class FeatureScaler:
+    """Standardizes node and path features to zero mean / unit variance.
+
+    Statistics are fitted on a training set of samples and then applied to
+    any split; constant features keep their value but are centered.
+    """
+
+    def __init__(self) -> None:
+        self.node_mean: Optional[np.ndarray] = None
+        self.node_std: Optional[np.ndarray] = None
+        self.path_mean: Optional[np.ndarray] = None
+        self.path_std: Optional[np.ndarray] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.node_mean is not None
+
+    def fit(self, samples: Sequence[NetSample]) -> "FeatureScaler":
+        """Fit per-dimension statistics over every node/path in ``samples``."""
+        if not samples:
+            raise ValueError("cannot fit scaler on an empty sample list")
+        nodes = np.vstack([s.node_features for s in samples])
+        paths = np.vstack([p.features for s in samples for p in s.paths])
+        self.node_mean = nodes.mean(axis=0)
+        self.node_std = _safe_std(nodes)
+        self.path_mean = paths.mean(axis=0)
+        self.path_std = _safe_std(paths)
+        return self
+
+    def transform(self, samples: Sequence[NetSample]) -> List[NetSample]:
+        """Return standardized copies of ``samples`` (inputs untouched)."""
+        if not self.fitted:
+            raise RuntimeError("FeatureScaler.transform called before fit")
+        out: List[NetSample] = []
+        for sample in samples:
+            node_features = (sample.node_features - self.node_mean) / self.node_std
+            paths = [replace(p, features=(p.features - self.path_mean) / self.path_std)
+                     for p in sample.paths]
+            out.append(replace(sample, node_features=node_features, paths=paths))
+        return out
+
+    def fit_transform(self, samples: Sequence[NetSample]) -> List[NetSample]:
+        return self.fit(samples).transform(samples)
+
+    # -- persistence -----------------------------------------------------
+    def state(self) -> dict:
+        if not self.fitted:
+            raise RuntimeError("scaler not fitted")
+        return {
+            "node_mean": self.node_mean, "node_std": self.node_std,
+            "path_mean": self.path_mean, "path_std": self.path_std,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FeatureScaler":
+        scaler = cls()
+        scaler.node_mean = np.asarray(state["node_mean"], dtype=np.float64)
+        scaler.node_std = np.asarray(state["node_std"], dtype=np.float64)
+        scaler.path_mean = np.asarray(state["path_mean"], dtype=np.float64)
+        scaler.path_std = np.asarray(state["path_std"], dtype=np.float64)
+        return scaler
+
+
+def _safe_std(matrix: np.ndarray) -> np.ndarray:
+    std = matrix.std(axis=0)
+    std[std < 1e-12] = 1.0
+    return std

@@ -1,0 +1,22 @@
+"""Cell-library substrate: NLDM tables, cells and the synthetic library.
+
+Gate timing in the paper comes from "interpolating look-up tables in cell
+libraries"; this package provides that machinery plus the electrical cell
+facts (drive resistance, pin capacitance, drive strength, function encoding)
+that the wire-timing features of Table I depend on.
+"""
+
+from .table import TimingTable
+from .cell import FUNCTION_IDS, Cell, TimingArc
+from .library import Library, make_default_library
+from .ceff import effective_capacitance
+from .libfile import (LibertyError, load_liberty, parse_liberty,
+                      save_liberty, write_liberty)
+
+__all__ = [
+    "TimingTable", "TimingArc", "Cell", "FUNCTION_IDS",
+    "Library", "make_default_library",
+    "effective_capacitance",
+    "write_liberty", "parse_liberty", "save_liberty", "load_liberty",
+    "LibertyError",
+]

@@ -1,0 +1,51 @@
+"""Effective capacitance seen through a resistive wire.
+
+Resistive shielding makes the load a driver "feels" smaller than the net's
+total capacitance.  Sign-off timers reduce the RC load to a single
+*effective capacitance* (ceff) before indexing the NLDM tables; we implement
+the classic first-order shielding model:
+
+    ceff = sum_j C_j * R_drive / (R_drive + R_path(source -> j))
+
+Each capacitance is discounted by the voltage divider between the driver
+resistance and the wire resistance in front of it.  For zero wire
+resistance this reduces to the total capacitance, and it decreases
+monotonically as the wire gets more resistive — the two limits the STA
+engine's tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..rcnet.graph import RCNet
+from ..rcnet.paths import shortest_path_tree
+from ..analysis.mna import capacitance_vector
+
+
+def effective_capacitance(net: RCNet, drive_resistance: float,
+                          sink_loads: Optional[np.ndarray] = None) -> float:
+    """Effective capacitance of ``net`` for a driver with ``drive_resistance``.
+
+    Parameters
+    ----------
+    net:
+        The RC net being driven.
+    drive_resistance:
+        Thevenin resistance of the driving cell, ohms.
+    sink_loads:
+        Optional receiver pin capacitances aligned with ``net.sinks``.
+
+    Returns
+    -------
+    float
+        Effective capacitance in farads, in ``(0, total_cap]``.
+    """
+    if drive_resistance <= 0.0:
+        raise ValueError("drive_resistance must be positive")
+    caps = capacitance_vector(net, miller_factor=None, sink_loads=sink_loads)
+    dist, _, _ = shortest_path_tree(net)  # resistance from source to each node
+    weights = drive_resistance / (drive_resistance + np.asarray(dist))
+    return float(np.sum(caps * weights))

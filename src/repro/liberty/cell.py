@@ -1,0 +1,101 @@
+"""Standard-cell timing model: cells, timing arcs and NLDM tables.
+
+Cells carry the two things the rest of the reproduction needs:
+
+* a timing arc (delay table + output-slew table) used by the STA engine to
+  compute gate delay exactly as the paper does ("interpolating look-up
+  tables in cell libraries");
+* electrical facts — input pin capacitance and Thevenin drive resistance —
+  consumed by the golden wire simulator and by the Table I path features
+  ("dir. of drive cell", "func. of drive cell", pin caps as sink loads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .table import TimingTable
+
+# Canonical functionality encoding shared by feature extraction.
+FUNCTION_IDS: Dict[str, int] = {
+    "INV": 0, "BUF": 1, "NAND2": 2, "NOR2": 3, "AND2": 4, "OR2": 5,
+    "AOI21": 6, "OAI21": 7, "XOR2": 8, "DFF": 9,
+}
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """One input-to-output timing arc with NLDM delay and slew tables."""
+
+    related_pin: str
+    delay: TimingTable
+    output_slew: TimingTable
+
+    def evaluate(self, input_slew: float, load: float) -> Tuple[float, float]:
+        """Return ``(delay, output slew)`` in seconds for an operating point."""
+        return (self.delay.lookup(input_slew, load),
+                self.output_slew.lookup(input_slew, load))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A characterized standard cell.
+
+    Attributes
+    ----------
+    name:
+        Library cell name, e.g. ``"INV_X4"``.
+    function:
+        Logic function key (one of :data:`FUNCTION_IDS`).
+    drive_strength:
+        Relative drive (1, 2, 4, 8, ...); Table I's "dir. of drive cell".
+    num_inputs:
+        Number of input pins.
+    input_cap:
+        Capacitance of each input pin, farads.
+    drive_resistance:
+        Thevenin output resistance used for wire simulation, ohms.
+    arcs:
+        Timing arcs keyed by input pin name.
+    """
+
+    name: str
+    function: str
+    drive_strength: int
+    num_inputs: int
+    input_cap: float
+    drive_resistance: float
+    arcs: Dict[str, TimingArc] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.function not in FUNCTION_IDS:
+            raise ValueError(f"unknown cell function {self.function!r}")
+        if self.drive_strength < 1:
+            raise ValueError("drive_strength must be >= 1")
+        if self.input_cap <= 0.0:
+            raise ValueError("input_cap must be positive")
+        if self.drive_resistance <= 0.0:
+            raise ValueError("drive_resistance must be positive")
+
+    @property
+    def function_id(self) -> int:
+        """Integer encoding of the logic function (feature value)."""
+        return FUNCTION_IDS[self.function]
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.function == "DFF"
+
+    def arc(self, input_pin: str = "A") -> TimingArc:
+        """Timing arc for an input pin (default first pin ``A``)."""
+        try:
+            return self.arcs[input_pin]
+        except KeyError:
+            raise KeyError(
+                f"cell {self.name!r} has no arc from pin {input_pin!r}") from None
+
+    def delay_and_slew(self, input_slew: float, load: float,
+                       input_pin: str = "A") -> Tuple[float, float]:
+        """Gate delay and output slew at an operating point, seconds."""
+        return self.arc(input_pin).evaluate(input_slew, load)

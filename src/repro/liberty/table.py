@@ -1,0 +1,76 @@
+"""NLDM-style two-dimensional timing lookup tables.
+
+The paper's premise (Section I) is that *gate* timing is cheap and accurate
+because it only needs interpolation into cell-library lookup tables.  This
+module implements exactly that mechanism: a table indexed by input slew and
+output load, evaluated by bilinear interpolation with clamped extrapolation
+at the table edges (the standard sign-off behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class TimingTable:
+    """A delay-or-slew lookup table ``values[slew_index, load_index]``.
+
+    Parameters
+    ----------
+    slew_axis:
+        Strictly increasing input-transition index values, seconds.
+    load_axis:
+        Strictly increasing output-capacitance index values, farads.
+    values:
+        Table body of shape ``(len(slew_axis), len(load_axis))``, seconds.
+    """
+
+    def __init__(self, slew_axis: Sequence[float], load_axis: Sequence[float],
+                 values: np.ndarray) -> None:
+        self.slew_axis = np.asarray(slew_axis, dtype=np.float64)
+        self.load_axis = np.asarray(load_axis, dtype=np.float64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.slew_axis.ndim != 1 or self.load_axis.ndim != 1:
+            raise ValueError("axes must be one-dimensional")
+        if np.any(np.diff(self.slew_axis) <= 0.0):
+            raise ValueError("slew axis must be strictly increasing")
+        if np.any(np.diff(self.load_axis) <= 0.0):
+            raise ValueError("load axis must be strictly increasing")
+        expected = (len(self.slew_axis), len(self.load_axis))
+        if self.values.shape != expected:
+            raise ValueError(
+                f"table shape {self.values.shape} does not match axes {expected}")
+
+    def lookup(self, slew: float, load: float) -> float:
+        """Bilinear interpolation with clamping beyond the table corners.
+
+        Clamped (constant) extrapolation matches how sign-off timers treat
+        out-of-characterization operating points conservatively.
+        """
+        si, sf = self._locate(self.slew_axis, slew)
+        li, lf = self._locate(self.load_axis, load)
+        v00 = self.values[si, li]
+        v01 = self.values[si, li + 1]
+        v10 = self.values[si + 1, li]
+        v11 = self.values[si + 1, li + 1]
+        v0 = v00 + (v01 - v00) * lf
+        v1 = v10 + (v11 - v10) * lf
+        return float(v0 + (v1 - v0) * sf)
+
+    @staticmethod
+    def _locate(axis: np.ndarray, value: float) -> tuple:
+        """Return (lower index, fraction) with clamping at both ends."""
+        if value <= axis[0]:
+            return 0, 0.0
+        if value >= axis[-1]:
+            return len(axis) - 2, 1.0
+        idx = int(np.searchsorted(axis, value) - 1)
+        span = axis[idx + 1] - axis[idx]
+        return idx, float((value - axis[idx]) / span)
+
+    def __repr__(self) -> str:
+        return (f"TimingTable({len(self.slew_axis)}x{len(self.load_axis)}, "
+                f"slew {self.slew_axis[0]:.2e}..{self.slew_axis[-1]:.2e}s, "
+                f"load {self.load_axis[0]:.2e}..{self.load_axis[-1]:.2e}F)")

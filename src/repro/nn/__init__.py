@@ -1,0 +1,25 @@
+"""Pure-numpy deep-learning framework used by the GNNTrans reproduction.
+
+The paper trains its models with PyTorch on V100 GPUs; this subpackage
+re-implements the required subset (reverse-mode autograd, linear algebra ops,
+layers, optimizers, losses, metrics and a trainer) on CPU numpy so that the
+whole reproduction runs offline with no ML-framework dependency.
+"""
+
+from .tensor import Tensor, concat, matmul_const, stack
+from .layers import Dropout, LayerNorm, Linear, MLP, Module, Parameter, Sequential
+from .init import kaiming_uniform, xavier_uniform, zeros
+from .optim import Adam, AdamW, CosineSchedule, Optimizer, SGD
+from .loss import huber_loss, mae_loss, mse_loss
+from .metrics import max_abs_error, mean_abs_error, r2_score, rmse
+from .trainer import EpochStats, Trainer, TrainingHistory
+
+__all__ = [
+    "Tensor", "concat", "stack", "matmul_const",
+    "Module", "Parameter", "Linear", "MLP", "LayerNorm", "Dropout", "Sequential",
+    "kaiming_uniform", "xavier_uniform", "zeros",
+    "Optimizer", "SGD", "Adam", "AdamW", "CosineSchedule",
+    "mse_loss", "mae_loss", "huber_loss",
+    "r2_score", "max_abs_error", "mean_abs_error", "rmse",
+    "Trainer", "TrainingHistory", "EpochStats",
+]

@@ -1,0 +1,33 @@
+"""Loss functions.
+
+The paper trains by minimizing the mean-squared error between estimated and
+golden slew/delay (Section IV); MAE and Huber are provided for ablations.
+"""
+
+from __future__ import annotations
+
+from .tensor import Tensor
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error — the paper's training objective."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    return (prediction - target).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails.
+
+    Implemented with the smooth identity
+    ``huber(r) = delta^2 * (sqrt(1 + (r/delta)^2) - 1)`` (pseudo-Huber), which
+    keeps the autograd graph free of piecewise branching.
+    """
+    if delta <= 0.0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    r = (prediction - target) * (1.0 / delta)
+    return ((((r * r) + 1.0) ** 0.5 - 1.0) * delta * delta).mean()

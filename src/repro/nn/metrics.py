@@ -1,0 +1,61 @@
+"""Evaluation metrics used throughout the paper's result tables.
+
+Tables III/IV report the coefficient of determination (R^2) of wire
+slew/delay; Table V reports R^2 and the maximum absolute error (MAE in the
+paper's nomenclature — note it is the *max*, not the mean) of path arrival
+times in picoseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    ``1 - SS_res / SS_tot``; a perfect predictor scores 1.0, predicting the
+    mean scores 0.0, and worse-than-mean predictors score negative.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("r2_score of empty arrays is undefined")
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def max_abs_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Maximum absolute error — Table V's "MAE(ps)" column."""
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        return 0.0
+    return float(np.max(np.abs(y_true - y_pred)))
+
+
+def mean_abs_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error (conventional MAE)."""
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))

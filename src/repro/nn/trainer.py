@@ -1,0 +1,162 @@
+"""Generic minibatch trainer with early stopping.
+
+Wire-timing datasets are collections of variable-size RC-net graphs, so the
+unit of batching is a *net* rather than a fixed-shape tensor: the trainer
+iterates samples, accumulates gradients over a minibatch of nets, then takes
+one optimizer step — equivalent to the paper's per-net training with batched
+updates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .layers import Module
+from .optim import Optimizer
+from .tensor import Tensor
+
+LossFn = Callable[[Module, object], Tensor]
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch training diagnostics."""
+
+    epoch: int
+    train_loss: float
+    val_loss: Optional[float]
+    lr: float
+    seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    """Full training trace returned by :meth:`Trainer.fit`."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def best_val_loss(self) -> Optional[float]:
+        vals = [e.val_loss for e in self.epochs if e.val_loss is not None]
+        return min(vals) if vals else None
+
+    @property
+    def final_train_loss(self) -> Optional[float]:
+        return self.epochs[-1].train_loss if self.epochs else None
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+
+class Trainer:
+    """Gradient-accumulation trainer over arbitrary sample objects.
+
+    Parameters
+    ----------
+    model:
+        Module whose parameters are updated.
+    optimizer:
+        Optimizer constructed over ``model.parameters()``.
+    loss_fn:
+        Callable ``(model, sample) -> scalar Tensor``.  Each sample is
+        typically one RC net (graph + per-path labels).
+    grad_clip:
+        Optional global-norm gradient clip, recommended for the deep
+        GNN+Transformer stacks.
+    rng:
+        Generator used to shuffle samples each epoch.
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer, loss_fn: LossFn,
+                 grad_clip: Optional[float] = 5.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.grad_clip = grad_clip
+        self.rng = rng or np.random.default_rng(0)
+
+    def fit(self, train_samples: Sequence, epochs: int, batch_size: int = 8,
+            val_samples: Optional[Sequence] = None, patience: Optional[int] = None,
+            verbose: bool = False,
+            schedule: Optional[object] = None) -> TrainingHistory:
+        """Train for up to ``epochs`` epochs.
+
+        ``patience`` enables early stopping on the validation loss; the best
+        parameters seen are restored before returning.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        history = TrainingHistory()
+        best_val = float("inf")
+        best_state = None
+        stale = 0
+
+        indices = np.arange(len(train_samples))
+        for epoch in range(1, epochs + 1):
+            start = time.perf_counter()
+            self.model.train()
+            self.rng.shuffle(indices)
+            losses: List[float] = []
+            for batch_start in range(0, len(indices), batch_size):
+                batch = indices[batch_start:batch_start + batch_size]
+                self.optimizer.zero_grad()
+                batch_loss = 0.0
+                for idx in batch:
+                    loss = self.loss_fn(self.model, train_samples[int(idx)])
+                    # Average gradients across the batch by scaling each
+                    # per-sample loss before its backward pass.
+                    (loss * (1.0 / len(batch))).backward()
+                    batch_loss += loss.item()
+                if self.grad_clip is not None:
+                    self.optimizer.clip_grad_norm(self.grad_clip)
+                self.optimizer.step()
+                losses.append(batch_loss / len(batch))
+            if schedule is not None:
+                schedule.step()
+
+            val_loss = None
+            if val_samples is not None:
+                val_loss = self.evaluate(val_samples)
+                if val_loss < best_val - 1e-12:
+                    best_val = val_loss
+                    best_state = self.model.state_dict()
+                    stale = 0
+                else:
+                    stale += 1
+
+            stats = EpochStats(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)) if losses else float("nan"),
+                val_loss=val_loss,
+                lr=self.optimizer.lr,
+                seconds=time.perf_counter() - start,
+            )
+            history.epochs.append(stats)
+            if verbose:
+                val_str = f" val={val_loss:.6f}" if val_loss is not None else ""
+                print(f"epoch {epoch:4d} loss={stats.train_loss:.6f}{val_str} "
+                      f"lr={stats.lr:.2e} ({stats.seconds:.2f}s)")
+
+            if patience is not None and val_samples is not None and stale >= patience:
+                break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return history
+
+    def evaluate(self, samples: Sequence) -> float:
+        """Mean loss over ``samples`` in eval mode (no gradient tracking)."""
+        self.model.eval()
+        total = 0.0
+        for sample in samples:
+            total += self.loss_fn(self.model, sample).item()
+        self.model.train()
+        return total / max(1, len(samples))

@@ -1,0 +1,31 @@
+"""RC-network substrate: graph structures, generators, SPEF I/O and paths.
+
+This package models the parasitic RC networks whose timing the estimator
+predicts, exactly as formalized in Section II-B of the paper: nodes are
+capacitances, edges are resistances, and each source-to-sink route is a wire
+path.
+"""
+
+from .graph import (FF, KOHM, NS, OHM, PF, PS, CouplingCap, RCEdge, RCNet,
+                    RCNetError, RCNode)
+from .builder import RCNetBuilder
+from .paths import (WirePath, branch_nodes, count_wire_paths,
+                    extract_wire_paths, shortest_path_tree)
+from .topology import (ParasiticRanges, chain_net, random_net,
+                       random_nontree_net, random_tree_net, star_net)
+from .spef import (SPEFDesign, SPEFError, load_spef, parse_spef, save_spef,
+                   write_spef)
+from .reduce import reduce_net, reduction_stats
+
+__all__ = [
+    "RCNet", "RCNode", "RCEdge", "CouplingCap", "RCNetError",
+    "OHM", "KOHM", "FF", "PF", "PS", "NS",
+    "RCNetBuilder",
+    "WirePath", "extract_wire_paths", "shortest_path_tree", "branch_nodes",
+    "count_wire_paths",
+    "ParasiticRanges", "chain_net", "star_net", "random_tree_net",
+    "random_nontree_net", "random_net",
+    "SPEFDesign", "SPEFError", "parse_spef", "load_spef", "write_spef",
+    "save_spef",
+    "reduce_net", "reduction_stats",
+]

@@ -1,0 +1,311 @@
+"""SPEF (IEEE 1481) reader / writer for the subset the estimator consumes.
+
+The paper's parasitics come from StarRC as SPEF.  This module implements the
+slice of the standard that carries RC-net information:
+
+* header (``*SPEF``, ``*DESIGN``, ``*DIVIDER``, ``*DELIMITER``, unit
+  declarations ``*T_UNIT`` / ``*C_UNIT`` / ``*R_UNIT``);
+* ``*D_NET`` blocks with ``*CONN``, ``*CAP`` (grounded and coupling) and
+  ``*RES`` sections.
+
+Name maps (``*NAME_MAP``) are supported on read.  Writing always emits
+expanded names.  Values are scaled to SI units on read and from SI units on
+write, so :class:`~repro.rcnet.graph.RCNet` objects always carry ohms and
+farads regardless of the file's declared units.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+from .builder import RCNetBuilder
+from .graph import RCNet, RCNetError
+
+_UNIT_SCALE = {
+    "S": 1.0, "MS": 1e-3, "US": 1e-6, "NS": 1e-9, "PS": 1e-12, "FS": 1e-15,
+    "F": 1.0, "PF": 1e-12, "FF": 1e-15,
+    "OHM": 1.0, "KOHM": 1e3, "MOHM": 1e6,
+}
+
+
+class SPEFError(ValueError):
+    """Raised on malformed SPEF input."""
+
+
+@dataclass
+class SPEFDesign:
+    """Parsed contents of one SPEF file."""
+
+    design: str
+    nets: List[RCNet] = field(default_factory=list)
+    divider: str = "/"
+    delimiter: str = ":"
+
+    def net_by_name(self, name: str) -> RCNet:
+        for net in self.nets:
+            if net.name == name:
+                return net
+        raise KeyError(f"no net named {name!r} in design {self.design!r}")
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+def write_spef(nets: Sequence[RCNet], design: str = "repro_design") -> str:
+    """Serialize ``nets`` to SPEF text.
+
+    Units are fixed at 1 PS / 1 FF / 1 OHM so values in the file are the
+    natural magnitudes for on-chip wires.
+    """
+    lines: List[str] = [
+        '*SPEF "IEEE 1481-1998"',
+        f'*DESIGN "{design}"',
+        '*DATE "generated"',
+        '*VENDOR "repro"',
+        '*PROGRAM "repro.rcnet.spef"',
+        '*VERSION "1.0"',
+        '*DESIGN_FLOW "SYNTHETIC"',
+        "*DIVIDER /",
+        "*DELIMITER :",
+        "*BUS_DELIMITER [ ]",
+        "*T_UNIT 1 PS",
+        "*C_UNIT 1 FF",
+        "*R_UNIT 1 OHM",
+        "*L_UNIT 1 HENRY",
+        "",
+    ]
+    for net in nets:
+        lines.extend(_write_net(net))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _write_net(net: RCNet) -> List[str]:
+    total_cap_ff = (net.total_cap + net.total_coupling_cap) / 1e-15
+    lines = [f"*D_NET {net.name} {total_cap_ff:.6g}"]
+    lines.append("*CONN")
+    lines.append(f"*I {net.nodes[net.source].name} O")
+    for sink in net.sinks:
+        lines.append(f"*I {net.nodes[sink].name} I")
+    cap_id = 1
+    lines.append("*CAP")
+    for node in net.nodes:
+        if node.cap > 0.0:
+            lines.append(f"{cap_id} {node.name} {node.cap / 1e-15:.6g}")
+            cap_id += 1
+    for coupling in net.couplings:
+        victim = net.nodes[coupling.victim].name
+        lines.append(
+            f"{cap_id} {victim} {coupling.aggressor_name} "
+            f"{coupling.cap / 1e-15:.6g}")
+        cap_id += 1
+    lines.append("*RES")
+    for res_id, edge in enumerate(net.edges, start=1):
+        lines.append(
+            f"{res_id} {net.nodes[edge.u].name} {net.nodes[edge.v].name} "
+            f"{edge.resistance:.6g}")
+    lines.append("*END")
+    return lines
+
+
+def save_spef(path: str, nets: Sequence[RCNet], design: str = "repro_design") -> None:
+    """Write ``nets`` to ``path`` as a SPEF file."""
+    with open(path, "w") as handle:
+        handle.write(write_spef(nets, design))
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def parse_spef(text: str) -> SPEFDesign:
+    """Parse SPEF text into a :class:`SPEFDesign`.
+
+    Raises :class:`SPEFError` on structural problems (missing sections,
+    values before units, malformed records).
+    """
+    parser = _SPEFParser()
+    return parser.parse(text)
+
+
+def load_spef(path: str) -> SPEFDesign:
+    """Parse the SPEF file at ``path``."""
+    with open(path) as handle:
+        return parse_spef(handle.read())
+
+
+class _SPEFParser:
+    """Line-oriented recursive-descent parser for the supported subset."""
+
+    def __init__(self) -> None:
+        self.design = "unknown"
+        self.divider = "/"
+        self.delimiter = ":"
+        self.cap_scale: Optional[float] = None
+        self.res_scale: Optional[float] = None
+        self.name_map: Dict[str, str] = {}
+        self.nets: List[RCNet] = []
+
+    def parse(self, text: str) -> SPEFDesign:
+        lines = [self._strip_comment(raw) for raw in text.splitlines()]
+        lines = [line for line in lines if line]
+        i = 0
+        saw_header = False
+        while i < len(lines):
+            line = lines[i]
+            if line.startswith("*SPEF"):
+                saw_header = True
+                i += 1
+            elif line.startswith("*DESIGN "):
+                self.design = self._quoted(line)
+                i += 1
+            elif line.startswith("*DIVIDER"):
+                self.divider = line.split()[1]
+                i += 1
+            elif line.startswith("*DELIMITER"):
+                self.delimiter = line.split()[1]
+                i += 1
+            elif line.startswith("*C_UNIT"):
+                self.cap_scale = self._unit(line)
+                i += 1
+            elif line.startswith("*R_UNIT"):
+                self.res_scale = self._unit(line)
+                i += 1
+            elif line.startswith("*NAME_MAP"):
+                i = self._parse_name_map(lines, i + 1)
+            elif line.startswith("*D_NET"):
+                i = self._parse_net(lines, i)
+            else:
+                i += 1  # Other headers / *PORTS etc. are ignored.
+        if not saw_header:
+            raise SPEFError("missing *SPEF header")
+        return SPEFDesign(self.design, self.nets, self.divider, self.delimiter)
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        pos = line.find("//")
+        if pos >= 0:
+            line = line[:pos]
+        return line.strip()
+
+    @staticmethod
+    def _quoted(line: str) -> str:
+        match = re.search(r'"([^"]*)"', line)
+        if not match:
+            raise SPEFError(f"expected quoted string in {line!r}")
+        return match.group(1)
+
+    @staticmethod
+    def _unit(line: str) -> float:
+        parts = line.split()
+        if len(parts) != 3:
+            raise SPEFError(f"malformed unit line {line!r}")
+        factor = float(parts[1])
+        unit = parts[2].upper()
+        if unit not in _UNIT_SCALE:
+            raise SPEFError(f"unknown unit {unit!r} in {line!r}")
+        return factor * _UNIT_SCALE[unit]
+
+    def _expand(self, token: str) -> str:
+        """Apply the *NAME_MAP to a possibly-indexed token like ``*12:3``."""
+        if not token.startswith("*"):
+            return token
+        head, sep, tail = token.partition(self.delimiter)
+        mapped = self.name_map.get(head[1:])
+        if mapped is None:
+            raise SPEFError(f"unmapped name index {token!r}")
+        return mapped + sep + tail
+
+    def _parse_name_map(self, lines: List[str], i: int) -> int:
+        while i < len(lines) and not lines[i].startswith("*") or (
+                i < len(lines) and lines[i].startswith("*") and
+                re.match(r"^\*\d+\s", lines[i])):
+            match = re.match(r"^\*(\d+)\s+(\S+)$", lines[i])
+            if not match:
+                break
+            self.name_map[match.group(1)] = match.group(2)
+            i += 1
+        return i
+
+    def _parse_net(self, lines: List[str], i: int) -> int:
+        if self.cap_scale is None or self.res_scale is None:
+            raise SPEFError("*D_NET encountered before *C_UNIT/*R_UNIT")
+        header = lines[i].split()
+        if len(header) < 2:
+            raise SPEFError(f"malformed *D_NET header {lines[i]!r}")
+        net_name = self._expand(header[1])
+        builder = RCNetBuilder(net_name)
+        section = None
+        source_set = False
+        i += 1
+        while i < len(lines):
+            line = lines[i]
+            if line.startswith("*END"):
+                i += 1
+                break
+            if line.startswith("*CONN"):
+                section = "conn"
+            elif line.startswith("*CAP"):
+                section = "cap"
+            elif line.startswith("*RES"):
+                section = "res"
+            elif line.startswith("*INDUC"):
+                section = "ignore"
+            elif section == "conn" and (line.startswith("*I") or line.startswith("*P")):
+                parts = line.split()
+                if len(parts) < 3:
+                    raise SPEFError(f"malformed connection {line!r}")
+                pin = self._expand(parts[1])
+                direction = parts[2].upper()
+                if direction == "O":
+                    builder.set_source(pin)
+                    source_set = True
+                elif direction == "I":
+                    builder.add_sink(pin)
+            elif section == "cap":
+                self._parse_cap_record(builder, net_name, line)
+            elif section == "res":
+                parts = line.split()
+                if len(parts) < 4:
+                    raise SPEFError(f"malformed resistance record {line!r}")
+                builder.add_edge(self._expand(parts[1]), self._expand(parts[2]),
+                                 float(parts[3]) * self.res_scale)
+            i += 1
+        else:
+            raise SPEFError(f"net {net_name!r} not terminated by *END")
+        if not source_set:
+            raise SPEFError(f"net {net_name!r} has no driver (direction O) pin")
+        try:
+            self.nets.append(builder.build())
+        except RCNetError as exc:
+            raise SPEFError(f"invalid net {net_name!r}: {exc}") from exc
+        return i
+
+    def _parse_cap_record(self, builder: RCNetBuilder, net_name: str,
+                          line: str) -> None:
+        parts = line.split()
+        if len(parts) == 3:
+            # Grounded: id node value
+            builder.add_cap(self._expand(parts[1]), float(parts[2]) * self.cap_scale)
+        elif len(parts) == 4:
+            # Coupling: id nodeA nodeB value.  The node belonging to this
+            # net is the victim; the other is the aggressor reference.
+            node_a = self._expand(parts[1])
+            node_b = self._expand(parts[2])
+            value = float(parts[3]) * self.cap_scale
+            prefix = net_name + self.delimiter
+            if node_a.startswith(prefix) or node_a in builder:
+                builder.add_coupling(node_a, node_b, value)
+            elif node_b.startswith(prefix) or node_b in builder:
+                builder.add_coupling(node_b, node_a, value)
+            else:
+                # Neither endpoint names this net explicitly; attach to the
+                # first endpoint, which SPEF convention places on the owner.
+                builder.add_coupling(node_a, node_b, value)
+        else:
+            raise SPEFError(f"malformed capacitance record {line!r}")

@@ -1,0 +1,128 @@
+"""Elmore analysis: closed forms, tree identities, non-tree generalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (downstream_caps, elmore_delay_to_sink,
+                            elmore_delays, path_elmore_delay, stage_delays)
+from repro.rcnet import (chain_net, extract_wire_paths, random_nontree_net,
+                         random_tree_net, star_net)
+
+
+class TestChainClosedForm:
+    def test_uniform_ladder(self):
+        n, r, c = 8, 50.0, 1e-15
+        net = chain_net(n, resistance=r, cap=c)
+        delays = elmore_delays(net)
+        expected = [r * c * sum(n - j for j in range(1, k + 1))
+                    for k in range(n)]
+        np.testing.assert_allclose(delays, expected, rtol=1e-12)
+
+    def test_source_has_zero_delay(self, small_chain):
+        assert elmore_delays(small_chain)[small_chain.source] == 0.0
+
+    def test_sink_helper(self, small_chain):
+        assert elmore_delay_to_sink(small_chain, 9) == pytest.approx(
+            elmore_delays(small_chain)[9])
+
+
+class TestStarClosedForm:
+    def test_star_delays(self):
+        r, c = 100.0, 1e-15
+        net = star_net(3, resistance=r, cap=c)
+        delays = elmore_delays(net)
+        # hub: R * (hub + 3 sinks caps) = 100 * 4c
+        assert delays[1] == pytest.approx(r * 4 * c)
+        # each sink: hub delay + R * c
+        for sink in net.sinks:
+            assert delays[sink] == pytest.approx(r * 4 * c + r * c)
+
+
+class TestTreeProperties:
+    @given(st.integers(min_value=3, max_value=40),
+           st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_along_paths(self, n_nodes, seed):
+        """On a tree, Elmore delay increases from source to sink."""
+        net = random_tree_net(np.random.default_rng(seed), n_nodes)
+        delays = elmore_delays(net)
+        for path in extract_wire_paths(net):
+            seq = delays[list(path.nodes)]
+            assert np.all(np.diff(seq) > 0.0)
+
+    def test_stage_delays_sum_to_path_elmore_on_chain(self, small_chain):
+        """On a chain, the path covers the whole net, so stage delays sum
+        exactly to the sink's Elmore delay."""
+        path = extract_wire_paths(small_chain)[0]
+        stages = stage_delays(small_chain, path)
+        assert stages.sum() == pytest.approx(
+            elmore_delays(small_chain)[9], rel=1e-12)
+        assert path_elmore_delay(small_chain, path) == pytest.approx(
+            stages.sum())
+
+    def test_stage_delays_match_tree_elmore(self, tree_net):
+        """On any tree, summed stage delays equal exact Elmore at the sink."""
+        delays = elmore_delays(tree_net)
+        for path in extract_wire_paths(tree_net):
+            assert path_elmore_delay(tree_net, path) == pytest.approx(
+                delays[path.sink], rel=1e-9)
+
+    def test_downstream_caps_root_is_total(self, tree_net):
+        downstream = downstream_caps(tree_net)
+        assert downstream[tree_net.source] == pytest.approx(
+            tree_net.total_cap + tree_net.total_coupling_cap)
+
+    def test_downstream_caps_leaves_own_cap(self, tree_net):
+        downstream = downstream_caps(tree_net)
+        caps = tree_net.cap_vector() + tree_net.coupling_cap_vector()
+        for node in tree_net.nodes:
+            if tree_net.degree(node.index) == 1 and node.index != tree_net.source:
+                assert downstream[node.index] == pytest.approx(caps[node.index])
+
+    def test_sink_loads_increase_delay(self, tree_net):
+        base = elmore_delays(tree_net)
+        loaded = elmore_delays(
+            tree_net, sink_loads=np.full(tree_net.num_sinks, 5e-15))
+        for sink in tree_net.sinks:
+            assert loaded[sink] > base[sink]
+
+
+class TestNonTreeGeneralization:
+    @given(st.integers(min_value=5, max_value=40),
+           st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_positive_delays(self, n_nodes, seed):
+        net = random_nontree_net(np.random.default_rng(seed), n_nodes,
+                                 n_loops=3)
+        delays = elmore_delays(net)
+        mask = np.ones(net.num_nodes, dtype=bool)
+        mask[net.source] = False
+        assert np.all(delays[mask] > 0.0)
+
+    def test_loop_reduces_delay(self):
+        """Adding a parallel route must strictly reduce Elmore delay."""
+        from repro.rcnet import RCNetBuilder
+
+        def build(with_loop):
+            b = RCNetBuilder("loop")
+            for i in range(5):
+                b.add_node(f"n{i}", cap=1e-15)
+            for i in range(4):
+                b.add_edge(f"n{i}", f"n{i+1}", 100.0)
+            if with_loop:
+                b.add_edge("n0", "n4", 150.0)
+            b.set_source("n0")
+            b.add_sink("n4")
+            return b.build()
+
+        without = elmore_delay_to_sink(build(False), 4)
+        with_loop = elmore_delay_to_sink(build(True), 4)
+        assert with_loop < without
+
+    def test_downstream_caps_well_defined_on_nontree(self, nontree_net):
+        downstream = downstream_caps(nontree_net)
+        total = nontree_net.total_cap + nontree_net.total_coupling_cap
+        assert downstream[nontree_net.source] == pytest.approx(total)
+        assert np.all(downstream > 0.0)

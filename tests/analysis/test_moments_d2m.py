@@ -1,0 +1,80 @@
+"""Moments and the D2M metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import d2m_delays, elmore_delays, moments
+from repro.rcnet import chain_net, random_net
+
+
+class TestMoments:
+    def test_first_moment_is_negative_elmore(self, nontree_net):
+        m = moments(nontree_net, order=1)
+        np.testing.assert_allclose(-m[0], elmore_delays(nontree_net),
+                                   rtol=1e-10)
+
+    def test_second_moment_positive(self, nontree_net):
+        m = moments(nontree_net, order=2)
+        mask = np.ones(nontree_net.num_nodes, dtype=bool)
+        mask[nontree_net.source] = False
+        assert np.all(m[1][mask] > 0.0)
+
+    def test_single_pole_closed_form(self):
+        """Two-node RC: H(s) = 1/(1+sRC) has m_k = (-RC)^k."""
+        from repro.rcnet import RCEdge, RCNet, RCNode
+
+        r, c = 1000.0, 1e-15
+        net = RCNet("rc", [RCNode(0, "a", 0.0), RCNode(1, "b", c)],
+                    [RCEdge(0, 1, r)], 0, [1])
+        m = moments(net, order=3)
+        tau = r * c
+        assert m[0, 1] == pytest.approx(-tau)
+        assert m[1, 1] == pytest.approx(tau ** 2)
+        assert m[2, 1] == pytest.approx(-tau ** 3)
+
+    def test_invalid_order(self, small_chain):
+        with pytest.raises(ValueError):
+            moments(small_chain, order=0)
+
+    def test_source_rows_zero(self, small_chain):
+        m = moments(small_chain, order=2)
+        np.testing.assert_allclose(m[:, small_chain.source], 0.0)
+
+
+class TestD2M:
+    def test_single_pole_exact(self):
+        """For a single pole, D2M = ln2 * tau — the exact 50% delay."""
+        from repro.rcnet import RCEdge, RCNet, RCNode
+
+        r, c = 1000.0, 1e-15
+        net = RCNet("rc", [RCNode(0, "a", 0.0), RCNode(1, "b", c)],
+                    [RCEdge(0, 1, r)], 0, [1])
+        assert d2m_delays(net)[1] == pytest.approx(np.log(2) * r * c)
+
+    def test_d2m_below_elmore_on_chains(self, small_chain):
+        """Elmore is provably pessimistic for 50% delay; D2M is tighter."""
+        d2m = d2m_delays(small_chain)
+        elmore = elmore_delays(small_chain)
+        assert d2m[9] < elmore[9]
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_d2m_positive_and_below_elmore(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_net(rng, name="d2m")
+        d2m = d2m_delays(net)
+        elmore = elmore_delays(net)
+        mask = np.ones(net.num_nodes, dtype=bool)
+        mask[net.source] = False
+        assert np.all(d2m[mask] > 0.0)
+        # D2M <= Elmore everywhere (ln2 * m1^2/sqrt(m2) <= m1 since
+        # m2 >= (ln2 * m1)^2 / m1^2 ... holds for RC moment structure).
+        assert np.all(d2m[mask] <= elmore[mask] * 1.0000001)
+
+    def test_sink_helper(self, small_chain):
+        from repro.analysis import d2m_delay_to_sink
+
+        assert d2m_delay_to_sink(small_chain, 9) == pytest.approx(
+            d2m_delays(small_chain)[9])

@@ -1,0 +1,80 @@
+"""Physical scaling laws of the timing engines (property-based).
+
+Linear RC networks obey exact similarity laws: scaling every capacitance
+by k scales all delays by k; scaling every resistance (including the
+driver) by k does the same; scaling both scales delays by k^2.  These are
+strong whole-pipeline invariants — any bug in MNA assembly, moment
+recursion or the transient solver breaks them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import GoldenTimer, d2m_delays, elmore_delays
+from repro.rcnet import RCEdge, RCNet, RCNode, random_net
+
+
+def scaled_net(net, cap_factor=1.0, res_factor=1.0):
+    nodes = [RCNode(n.index, n.name, n.cap * cap_factor) for n in net.nodes]
+    edges = [RCEdge(e.u, e.v, e.resistance * res_factor) for e in net.edges]
+    return RCNet(net.name, nodes, edges, net.source, net.sinks)
+
+
+@st.composite
+def nets(draw):
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    rng = np.random.default_rng(seed)
+    return random_net(rng, name=f"scale{seed}", coupling_prob=0.0)
+
+
+class TestElmoreScaling:
+    @given(nets(), st.floats(min_value=0.2, max_value=5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_cap_scaling(self, net, k):
+        base = elmore_delays(net)
+        scaled = elmore_delays(scaled_net(net, cap_factor=k))
+        np.testing.assert_allclose(scaled, base * k, rtol=1e-9)
+
+    @given(nets(), st.floats(min_value=0.2, max_value=5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_res_scaling(self, net, k):
+        base = elmore_delays(net)
+        scaled = elmore_delays(scaled_net(net, res_factor=k))
+        np.testing.assert_allclose(scaled, base * k, rtol=1e-9)
+
+
+class TestD2MScaling:
+    @given(nets(), st.floats(min_value=0.2, max_value=5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_joint_scaling(self, net, k):
+        base = d2m_delays(net)
+        scaled = d2m_delays(scaled_net(net, cap_factor=k, res_factor=k))
+        np.testing.assert_allclose(scaled, base * k * k, rtol=1e-8)
+
+
+class TestGoldenTimerScaling:
+    @given(nets(), st.sampled_from([0.5, 2.0, 4.0]))
+    @settings(max_examples=10, deadline=None)
+    def test_time_scaling(self, net, k):
+        """Scaling R, C, drive resistance AND input slew by consistent
+        factors scales measured delays and slews exactly."""
+        timer = GoldenTimer(drive_resistance=100.0, si_mode=False)
+        timer_scaled = GoldenTimer(drive_resistance=100.0 * k, si_mode=False)
+        base = timer.analyze(net, input_slew=20e-12)
+        scaled = timer_scaled.analyze(scaled_net(net, res_factor=k),
+                                      input_slew=20e-12 * k)
+        # Crossings are bisected to 1e-18 s absolute; delays are
+        # differences of two crossings, so allow that absolute slack.
+        np.testing.assert_allclose(scaled.delays(), base.delays() * k,
+                                   rtol=1e-5, atol=5e-18)
+        np.testing.assert_allclose(scaled.slews(), base.slews() * k,
+                                   rtol=1e-5, atol=5e-18)
+
+    def test_voltage_invariance(self, tree_net):
+        """Thresholds are relative, so vdd must not affect delay/slew."""
+        lo = GoldenTimer(vdd=0.6, si_mode=False).analyze(tree_net, 20e-12)
+        hi = GoldenTimer(vdd=1.2, si_mode=False).analyze(tree_net, 20e-12)
+        np.testing.assert_allclose(lo.delays(), hi.delays(), rtol=1e-9)
+        np.testing.assert_allclose(lo.slews(), hi.slews(), rtol=1e-9)

@@ -1,0 +1,168 @@
+"""Golden transient simulator: physics invariants and closed-form checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import GoldenTimer, elmore_delays
+from repro.rcnet import (RCEdge, RCNet, RCNetBuilder, RCNode, chain_net,
+                         random_net, random_nontree_net)
+
+
+def single_pole_net(r=1000.0, c=2e-15):
+    return RCNet("rc", [RCNode(0, "a", 1e-18), RCNode(1, "b", c)],
+                 [RCEdge(0, 1, r)], 0, [1])
+
+
+class TestSinglePole:
+    def test_step_delay_matches_theory(self):
+        """With a fast ramp and tiny drive R, sink delay -> ln2 * RC."""
+        net = single_pole_net()
+        timer = GoldenTimer(drive_resistance=1e-3, si_mode=False)
+        result = timer.analyze(net, input_slew=1e-15)
+        tau = 1000.0 * 2e-15
+        assert result.delays()[0] == pytest.approx(np.log(2) * tau, rel=1e-2)
+
+    def test_step_slew_matches_theory(self):
+        """10-90 slew of a single pole is ln9 * tau."""
+        net = single_pole_net()
+        timer = GoldenTimer(drive_resistance=1e-3, si_mode=False)
+        result = timer.analyze(net, input_slew=1e-15)
+        tau = 1000.0 * 2e-15
+        assert result.slews()[0] == pytest.approx(np.log(9) * tau, rel=1e-2)
+
+
+class TestPhysicalInvariants:
+    def test_voltages_bounded_and_monotone_settling(self, small_chain):
+        timer = GoldenTimer(si_mode=False)
+        solution = timer.solve(small_chain, input_slew=20e-12)
+        horizon = 300e-12
+        for t in np.linspace(1e-15, horizon, 50):
+            v = solution.voltage_at(float(t))
+            assert np.all(v >= -1e-9)
+            assert np.all(v <= timer.vdd + 1e-9)
+        final = solution.voltage_at(100 * horizon)
+        np.testing.assert_allclose(final, timer.vdd, rtol=1e-6)
+
+    def test_delay_ordering_along_chain(self, small_chain):
+        """Nodes farther down the chain cross 50% later."""
+        timer = GoldenTimer(si_mode=False)
+        solution = timer.solve(small_chain, input_slew=20e-12)
+        level = 0.5 * timer.vdd
+        crossings = [solution.crossing_time(i, level, 1e-9)
+                     for i in range(small_chain.num_nodes)]
+        assert all(a < b for a, b in zip(crossings, crossings[1:]))
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_delays_positive_and_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_net(rng, name="sim")
+        result = GoldenTimer().analyze(net, input_slew=25e-12)
+        assert np.all(result.delays() > 0.0)
+        assert np.all(np.isfinite(result.delays()))
+        assert np.all(result.slews() > 0.0)
+
+    def test_delay_close_to_elmore_scale(self, tree_net):
+        """Golden 50% delay lies between D2M-ish and Elmore bounds loosely:
+        positive and below ~1.2x Elmore (Elmore upper-bounds 50% delay on
+        RC trees with monotone responses)."""
+        timer = GoldenTimer(si_mode=False)
+        result = timer.analyze(tree_net, input_slew=20e-12)
+        elmore = elmore_delays(tree_net)
+        for timing in result.sink_timings:
+            assert 0.0 < timing.delay < 1.2 * elmore[timing.sink] + 1e-13
+
+    def test_slower_input_gives_larger_sink_slew(self, tree_net):
+        timer = GoldenTimer(si_mode=False)
+        fast = timer.analyze(tree_net, input_slew=10e-12)
+        slow = timer.analyze(tree_net, input_slew=80e-12)
+        assert np.all(slow.slews() > fast.slews())
+
+    def test_larger_drive_resistance_slows_source(self, tree_net):
+        weak = GoldenTimer(drive_resistance=2000.0, si_mode=False)
+        strong = GoldenTimer(drive_resistance=50.0, si_mode=False)
+        slew_weak = weak.analyze(tree_net, input_slew=20e-12).source_slew
+        slew_strong = strong.analyze(tree_net, input_slew=20e-12).source_slew
+        assert slew_weak > slew_strong
+
+    def test_sink_loads_slow_sinks(self, tree_net):
+        timer = GoldenTimer(si_mode=False)
+        base = timer.analyze(tree_net, input_slew=20e-12)
+        loaded = timer.analyze(tree_net, input_slew=20e-12,
+                               sink_loads=np.full(tree_net.num_sinks, 10e-15))
+        assert np.all(loaded.delays() > base.delays())
+
+
+class TestSIMode:
+    def _coupled_net(self):
+        b = RCNetBuilder("si")
+        for i in range(6):
+            b.add_node(f"n{i}", cap=1e-15)
+        for i in range(5):
+            b.add_edge(f"n{i}", f"n{i+1}", 100.0)
+        b.set_source("n0")
+        b.add_sink("n5")
+        b.add_coupling("n4", "aggr", 3e-15, activity=0.9)
+        return b.build()
+
+    def test_si_pushes_out_delay(self):
+        net = self._coupled_net()
+        quiet = GoldenTimer(si_mode=False).analyze(net, input_slew=20e-12)
+        noisy = GoldenTimer(si_mode=True).analyze(net, input_slew=20e-12)
+        assert noisy.delays()[0] > quiet.delays()[0]
+
+    def test_si_strength_scales_pushout(self):
+        net = self._coupled_net()
+        quiet = GoldenTimer(si_mode=False).analyze(net, 20e-12).delays()[0]
+        mild = GoldenTimer(si_strength=0.5).analyze(net, 20e-12).delays()[0]
+        strong = GoldenTimer(si_strength=2.0).analyze(net, 20e-12).delays()[0]
+        assert quiet < mild < strong
+
+    def test_si_no_couplings_equals_quiet(self, small_chain):
+        quiet = GoldenTimer(si_mode=False).analyze(small_chain, 20e-12)
+        noisy = GoldenTimer(si_mode=True).analyze(small_chain, 20e-12)
+        np.testing.assert_allclose(quiet.delays(), noisy.delays(), rtol=1e-9)
+
+    def test_pushout_depends_on_coupling_location(self):
+        """The same coupling cap near the sink hurts more than near the
+        source — the location-dependence only graph structure can encode."""
+        def build(victim):
+            b = RCNetBuilder("loc")
+            for i in range(8):
+                b.add_node(f"n{i}", cap=1e-15)
+            for i in range(7):
+                b.add_edge(f"n{i}", f"n{i+1}", 100.0)
+            b.set_source("n0")
+            b.add_sink("n7")
+            b.add_coupling(victim, "aggr", 3e-15, activity=0.9)
+            return b.build()
+
+        near_source = GoldenTimer().analyze(build("n1"), 20e-12).delays()[0]
+        near_sink = GoldenTimer().analyze(build("n6"), 20e-12).delays()[0]
+        assert near_sink > near_source
+
+
+class TestResultContainer:
+    def test_timing_for_lookup(self, tree_net):
+        result = GoldenTimer(si_mode=False).analyze(tree_net, 20e-12)
+        sink = tree_net.sinks[0]
+        assert result.timing_for(sink).sink == sink
+        with pytest.raises(KeyError):
+            result.timing_for(9999)
+
+    def test_invalid_inputs(self, tree_net):
+        timer = GoldenTimer()
+        with pytest.raises(ValueError):
+            timer.analyze(tree_net, input_slew=0.0)
+        with pytest.raises(ValueError):
+            timer.analyze(tree_net, 20e-12, transition="wobble")
+        with pytest.raises(ValueError):
+            GoldenTimer(delay_threshold=0.95)
+        with pytest.raises(ValueError):
+            GoldenTimer(si_strength=-1.0)
+
+    def test_analyze_paths_keyed_by_sink(self, tree_net):
+        timings = GoldenTimer(si_mode=False).analyze_paths(tree_net, 20e-12)
+        assert set(timings) == set(tree_net.sinks)

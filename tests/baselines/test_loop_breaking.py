@@ -1,0 +1,94 @@
+"""Loop breaking and broken-tree analysis (DAC20 failure mode)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (break_loops, tree_downstream_caps,
+                             tree_elmore_delays, tree_path_to_source)
+from repro.rcnet import chain_net, random_nontree_net, random_tree_net
+
+
+def adjacency_of(net):
+    return net.weighted_adjacency()
+
+
+class TestBreakLoops:
+    def test_tree_unchanged(self, tree_net):
+        broken = break_loops(adjacency_of(tree_net), tree_net.source)
+        assert broken.removed_edges == 0
+        assert broken.removed_resistance == pytest.approx(0.0, abs=1e-9)
+        assert int(np.sum(broken.parent >= 0)) == tree_net.num_nodes - 1
+
+    def test_nontree_loses_loops(self, nontree_net):
+        broken = break_loops(adjacency_of(nontree_net), nontree_net.source)
+        expected_removed = nontree_net.num_edges - (nontree_net.num_nodes - 1)
+        # Parallel edges collapse in the adjacency, so allow <=.
+        assert 0 < broken.removed_edges <= expected_removed
+        assert broken.removed_resistance > 0.0
+
+    def test_spanning_tree_property(self, nontree_net):
+        broken = break_loops(adjacency_of(nontree_net), nontree_net.source)
+        roots = np.sum(broken.parent < 0)
+        assert roots == 1
+        assert broken.parent[nontree_net.source] == -1
+
+    def test_bfs_tree_minimizes_hops(self):
+        """The chosen tree path has minimal hop count even if a lower-
+        resistance multi-hop route exists (the electrically blind choice
+        that creates DAC20's induced error)."""
+        adjacency = np.zeros((4, 4))
+        # Direct heavy edge 0-3, light 2-hop route 0-1, 1-3.
+        adjacency[0, 3] = adjacency[3, 0] = 1000.0
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        adjacency[1, 3] = adjacency[3, 1] = 1.0
+        adjacency[1, 2] = adjacency[2, 1] = 1.0
+        broken = break_loops(adjacency, 0)
+        assert broken.parent[3] == 0  # picked the 1-hop route despite 1000 ohm
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            break_loops(np.zeros((2, 3)), 0)
+
+
+class TestBrokenTreeAnalysis:
+    def test_downstream_caps_chain_matches_exact(self, small_chain):
+        broken = break_loops(adjacency_of(small_chain), small_chain.source)
+        caps = small_chain.cap_vector()
+        downstream = tree_downstream_caps(broken, caps)
+        from repro.analysis import downstream_caps as exact
+
+        np.testing.assert_allclose(downstream, exact(small_chain))
+
+    def test_elmore_chain_matches_exact(self, small_chain):
+        broken = break_loops(adjacency_of(small_chain), small_chain.source)
+        elmore = tree_elmore_delays(broken, small_chain.cap_vector())
+        from repro.analysis import elmore_delays as exact
+
+        np.testing.assert_allclose(elmore, exact(small_chain), rtol=1e-9)
+
+    def test_broken_elmore_differs_on_nontree(self, rng):
+        """The induced error the paper attributes to loop breaking: broken-
+        tree Elmore deviates from the exact non-tree Elmore."""
+        from repro.analysis import elmore_delays as exact
+
+        deviations = []
+        for seed in range(10):
+            local = np.random.default_rng(seed)
+            net = random_nontree_net(local, 25, n_loops=4, name="nt")
+            broken = break_loops(net.weighted_adjacency(), net.source)
+            approx = tree_elmore_delays(broken, net.cap_vector())
+            truth = exact(net)
+            mask = truth > 0
+            deviations.append(
+                np.max(np.abs(approx[mask] - truth[mask]) / truth[mask]))
+        assert max(deviations) > 0.10  # at least 10% off somewhere
+
+    def test_path_to_source(self, small_chain):
+        broken = break_loops(adjacency_of(small_chain), small_chain.source)
+        path = tree_path_to_source(broken, 9)
+        assert path == list(range(9, -1, -1))
+
+    def test_caps_length_validated(self, small_chain):
+        broken = break_loops(adjacency_of(small_chain), small_chain.source)
+        with pytest.raises(ValueError):
+            tree_downstream_caps(broken, np.zeros(3))

@@ -1,0 +1,132 @@
+"""Regression trees and gradient boosting (the DAC20 booster)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GradientBoostedTrees, RegressionTree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRegressionTree:
+    def test_perfect_split(self):
+        """A single threshold separates two constant groups exactly."""
+        x = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array([1.0, 1.0, 1.0, 5.0, 5.0, 5.0])
+        tree = RegressionTree(max_depth=1, min_samples_leaf=1,
+                              min_samples_split=2)
+        pred = tree.fit(x, y).predict(x)
+        np.testing.assert_allclose(pred, y)
+
+    def test_depth_zero_predicts_mean(self, rng):
+        x = rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        tree = RegressionTree(max_depth=0).fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), y.mean())
+        assert tree.depth == 0
+
+    def test_depth_respected(self, rng):
+        x = rng.normal(size=(200, 4))
+        y = rng.normal(size=200)
+        tree = RegressionTree(max_depth=3, min_samples_leaf=1,
+                              min_samples_split=2).fit(x, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf(self, rng):
+        x = rng.normal(size=(10, 1))
+        y = rng.normal(size=10)
+        tree = RegressionTree(max_depth=10, min_samples_leaf=5).fit(x, y)
+        # With 10 points and min leaf 5 only one split is possible.
+        assert tree.depth <= 1
+
+    def test_constant_target_single_leaf(self):
+        x = np.arange(20.0).reshape(-1, 1)
+        y = np.full(20, 3.0)
+        tree = RegressionTree().fit(x, y)
+        assert tree.depth == 0
+        np.testing.assert_allclose(tree.predict(x), 3.0)
+
+    def test_reduces_training_error(self, rng):
+        x = rng.normal(size=(300, 2))
+        y = np.sin(x[:, 0]) + 0.5 * x[:, 1]
+        tree = RegressionTree(max_depth=6, min_samples_leaf=2).fit(x, y)
+        sse = np.mean((tree.predict(x) - y) ** 2)
+        assert sse < np.var(y) * 0.3
+
+    def test_tied_feature_values_no_bad_split(self):
+        """Splits must not fall inside runs of identical feature values."""
+        x = np.array([[1.0]] * 5 + [[2.0]] * 5)
+        y = np.array([0, 1, 0, 1, 0, 5, 6, 5, 6, 5], dtype=float)
+        tree = RegressionTree(max_depth=2, min_samples_leaf=2).fit(x, y)
+        pred_lo = tree.predict(np.array([[1.0]]))[0]
+        pred_hi = tree.predict(np.array([[2.0]]))[0]
+        assert pred_lo == pytest.approx(0.4)
+        assert pred_hi == pytest.approx(5.4)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 1)))
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((3,)), np.zeros(3))
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((3, 1)), np.zeros(4))
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=-1)
+
+
+class TestGBDT:
+    def test_fits_nonlinear_function(self, rng):
+        x = rng.uniform(-3, 3, size=(500, 2))
+        y = np.sin(x[:, 0]) * x[:, 1]
+        model = GradientBoostedTrees(n_estimators=80, learning_rate=0.2,
+                                     max_depth=3).fit(x, y)
+        mse = np.mean((model.predict(x) - y) ** 2)
+        assert mse < np.var(y) * 0.1
+
+    def test_generalizes(self, rng):
+        x = rng.uniform(-3, 3, size=(800, 1))
+        y = x[:, 0] ** 2
+        model = GradientBoostedTrees(n_estimators=100, learning_rate=0.15,
+                                     max_depth=3).fit(x[:600], y[:600])
+        mse = np.mean((model.predict(x[600:]) - y[600:]) ** 2)
+        assert mse < np.var(y[600:]) * 0.1
+
+    def test_staged_predictions_improve(self, rng):
+        x = rng.normal(size=(300, 2))
+        y = x[:, 0] * 2 + x[:, 1]
+        model = GradientBoostedTrees(n_estimators=40).fit(x, y)
+        stages = model.staged_predict(x)
+        first_mse = np.mean((stages[0] - y) ** 2)
+        last_mse = np.mean((stages[-1] - y) ** 2)
+        assert last_mse < first_mse
+
+    def test_subsample_runs(self, rng):
+        x = rng.normal(size=(200, 2))
+        y = x.sum(axis=1)
+        model = GradientBoostedTrees(n_estimators=30, subsample=0.5,
+                                     seed=4).fit(x, y)
+        assert np.isfinite(model.predict(x)).all()
+
+    def test_deterministic(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = x.sum(axis=1)
+        a = GradientBoostedTrees(n_estimators=20, seed=1).fit(x, y).predict(x)
+        b = GradientBoostedTrees(n_estimators=20, seed=1).fit(x, y).predict(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=0.0)
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict(np.zeros((1, 1)))

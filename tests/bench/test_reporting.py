@@ -1,0 +1,106 @@
+"""Bench reporting and harness utilities."""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.harness import AccuracyTable
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["A", "Blong"], [["x", 1.5], ["yy", 2.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("A ")
+        assert "Blong" in lines[0]
+        assert "-+-" in lines[1]
+        assert "1.500" in out
+        assert "2.250" in out
+
+    def test_title(self):
+        out = format_table(["A"], [["x"]], title="Table Z")
+        assert out.splitlines()[0] == "Table Z"
+        assert set(out.splitlines()[1]) == {"="}
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_non_float_cells_passthrough(self):
+        out = format_table(["A"], [[42], [None]])
+        assert "42" in out and "None" in out
+
+
+class TestAccuracyTable:
+    def test_average_and_rows(self):
+        table = AccuracyTable(subset="all", designs=["D1", "D2"])
+        table.scores["GNNTrans"] = {"D1": (0.9, 0.8), "D2": (0.7, 0.6)}
+        slew, delay = table.average("GNNTrans")
+        assert slew == pytest.approx(0.8)
+        assert delay == pytest.approx(0.7)
+        rows = table.rows()
+        assert rows[0][0] == "D1"
+        assert rows[-1] == ["Average", "0.800/0.700"]
+        assert table.headers() == ["Benchmark", "GNNTrans"]
+
+    def test_model_order_preserved(self):
+        table = AccuracyTable(subset="all", designs=["D"])
+        table.scores["GNNTrans"] = {"D": (1.0, 1.0)}
+        table.scores["DAC20"] = {"D": (0.5, 0.5)}
+        # Paper column order: DAC20 before GNNTrans.
+        assert table.headers() == ["Benchmark", "DAC20", "GNNTrans"]
+
+
+class TestBootstrapCI:
+    def test_perfect_prediction_tight_interval(self):
+        import numpy as np
+
+        from repro.bench import bootstrap_ci
+
+        y = np.linspace(0, 10, 100)
+        point, lo, hi = bootstrap_ci(y, y, n_boot=200)
+        assert point == pytest.approx(1.0)
+        assert lo == pytest.approx(1.0)
+        assert hi == pytest.approx(1.0)
+
+    def test_interval_brackets_point(self):
+        import numpy as np
+
+        from repro.bench import bootstrap_ci
+
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=300)
+        pred = y + 0.3 * rng.normal(size=300)
+        point, lo, hi = bootstrap_ci(y, pred, n_boot=300, seed=1)
+        assert lo <= point <= hi
+        assert 0.5 < point < 1.0
+        assert hi - lo < 0.2  # reasonably tight at n=300
+
+    def test_noisier_prediction_wider_interval(self):
+        import numpy as np
+
+        from repro.bench import bootstrap_ci
+
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=80)
+        mild = y + 0.2 * rng.normal(size=80)
+        wild = y + 1.0 * rng.normal(size=80)
+        _, lo_m, hi_m = bootstrap_ci(y, mild, n_boot=300, seed=2)
+        _, lo_w, hi_w = bootstrap_ci(y, wild, n_boot=300, seed=2)
+        assert (hi_w - lo_w) > (hi_m - lo_m)
+
+    def test_validation(self):
+        import numpy as np
+
+        from repro.bench import bootstrap_ci
+
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.zeros(1), np.zeros(1))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.zeros(5), np.zeros(5), alpha=2.0)
+
+    def test_format_ci(self):
+        from repro.bench import format_ci
+
+        assert format_ci(0.9, 0.85, 0.95) == "0.900 [0.850, 0.950]"

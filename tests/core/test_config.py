@@ -1,0 +1,48 @@
+"""GNNTrans configurations (PlanA/B/C of Table V)."""
+
+import pytest
+
+from repro.core import (DEFAULT_CONFIG, GNNTransConfig, PLAN_A, PLAN_B,
+                        PLAN_C, PLANS, paper_plan)
+
+
+class TestPlans:
+    def test_scaled_depth_ratios(self):
+        """CPU-scaled plans keep the paper's 30-layer budget ratio 5:1."""
+        assert (PLAN_A.l1, PLAN_A.l2) == (5, 1)
+        assert (PLAN_B.l1, PLAN_B.l2) == (4, 2)
+        assert (PLAN_C.l1, PLAN_C.l2) == (3, 3)
+        assert PLAN_A.total_layers == PLAN_B.total_layers == PLAN_C.total_layers
+
+    def test_default_is_plan_b(self):
+        assert DEFAULT_CONFIG is PLAN_B
+
+    def test_paper_plans_full_depth(self):
+        assert (paper_plan("PlanA").l1, paper_plan("PlanA").l2) == (25, 5)
+        assert (paper_plan("PlanB").l1, paper_plan("PlanB").l2) == (20, 10)
+        assert (paper_plan("PlanC").l1, paper_plan("PlanC").l2) == (15, 15)
+
+    def test_paper_plan_unknown(self):
+        with pytest.raises(KeyError):
+            paper_plan("PlanD")
+
+    def test_plans_registry(self):
+        assert set(PLANS) == {"PlanA", "PlanB", "PlanC"}
+
+
+class TestValidation:
+    def test_l1_positive(self):
+        with pytest.raises(ValueError):
+            GNNTransConfig(l1=0)
+
+    def test_l2_nonnegative(self):
+        with pytest.raises(ValueError):
+            GNNTransConfig(l2=-1)
+
+    def test_hidden_divisible_by_heads(self):
+        with pytest.raises(ValueError):
+            GNNTransConfig(hidden=30, num_heads=4)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PLAN_B.l1 = 99

@@ -1,0 +1,138 @@
+"""Dataset pipeline: generation, splits, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data import (by_design, collect_labels, design_net_samples,
+                        generate_dataset, load_dataset, nontree_only,
+                        save_dataset, train_val_split, tree_only)
+from repro.design import DesignSpec, generate_design
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(train_names=["PCI_BRIDGE"], test_names=["WB_DMA"],
+                            scale=1500, nets_per_design=25)
+
+
+class TestGeneration:
+    def test_split_populated(self, dataset):
+        assert len(dataset.train) > 0
+        assert len(dataset.test) > 0
+        assert dataset.scaler is not None and dataset.scaler.fitted
+
+    def test_designs_tagged(self, dataset):
+        assert {s.design for s in dataset.train} == {"PCI_BRIDGE"}
+        assert {s.design for s in dataset.test} == {"WB_DMA"}
+
+    def test_labels_present_and_positive(self, dataset):
+        slews, delays = collect_labels(dataset.test)
+        assert np.all(slews > 0.0)
+        assert np.all(delays > 0.0)
+
+    def test_features_standardized_on_train(self, dataset):
+        nodes = np.vstack([s.node_features for s in dataset.train])
+        np.testing.assert_allclose(nodes.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_nets_per_design_cap(self, library):
+        nl = generate_design(DesignSpec("d", n_combinational=80, n_ffs=8,
+                                        n_paths=5, seed=0), library)
+        samples = design_net_samples(nl, max_nets=10)
+        assert len(samples) == 10
+
+    def test_si_mode_changes_labels(self, library):
+        nl = generate_design(DesignSpec("d", n_combinational=30, n_ffs=6,
+                                        n_paths=5, seed=0,
+                                        nontree_frac=0.5), library)
+        with_si = design_net_samples(nl, si_mode=True)
+        without = design_net_samples(nl, si_mode=False)
+        d_si = np.concatenate([s.labels()[1] for s in with_si])
+        d_no = np.concatenate([s.labels()[1] for s in without])
+        assert d_si.mean() > d_no.mean()
+
+    def test_deterministic(self):
+        a = generate_dataset(train_names=["DMA"], test_names=["WB_DMA"],
+                             scale=2000, nets_per_design=10, seed=3)
+        b = generate_dataset(train_names=["DMA"], test_names=["WB_DMA"],
+                             scale=2000, nets_per_design=10, seed=3)
+        np.testing.assert_allclose(a.train[0].node_features,
+                                   b.train[0].node_features)
+        assert a.train[0].paths[0].label_delay == \
+            b.train[0].paths[0].label_delay
+
+
+class TestSplits:
+    def test_tree_nontree_partition(self, dataset):
+        trees = tree_only(dataset.test)
+        loops = nontree_only(dataset.test)
+        assert len(trees) + len(loops) == len(dataset.test)
+        assert all(s.is_tree for s in trees)
+        assert all(not s.is_tree for s in loops)
+
+    def test_by_design(self, dataset):
+        grouped = by_design(dataset.train + dataset.test)
+        assert set(grouped) == {"PCI_BRIDGE", "WB_DMA"}
+
+    def test_train_val_split_disjoint(self, dataset):
+        train, val = train_val_split(dataset.train, 0.2, seed=1)
+        assert len(train) + len(val) == len(dataset.train)
+        names = {s.name for s in train} & {s.name for s in val}
+        assert not names
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            train_val_split(dataset.train, 0.0)
+
+
+class TestSerialization:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        save_dataset(path, dataset)
+        loaded = load_dataset(path)
+        assert len(loaded.train) == len(dataset.train)
+        assert len(loaded.test) == len(dataset.test)
+        a, b = dataset.test[3], loaded.test[3]
+        assert a.name == b.name and a.design == b.design
+        assert a.is_tree == b.is_tree
+        np.testing.assert_allclose(a.node_features, b.node_features)
+        np.testing.assert_allclose(a.adjacency, b.adjacency)
+        for pa, pb in zip(a.paths, b.paths):
+            assert pa.node_indices == pb.node_indices
+            assert pa.sink == pb.sink
+            np.testing.assert_allclose(pa.features, pb.features)
+            assert pa.label_delay == pytest.approx(pb.label_delay)
+
+    def test_scaler_restored(self, dataset, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        save_dataset(path, dataset)
+        loaded = load_dataset(path)
+        np.testing.assert_allclose(loaded.scaler.node_mean,
+                                   dataset.scaler.node_mean)
+
+    def test_grouping_helpers(self, dataset):
+        grouped = dataset.test_by_design()
+        assert set(grouped) == {"WB_DMA"}
+        assert dataset.num_train_paths == sum(
+            s.num_paths for s in dataset.train)
+
+
+class TestParallelGeneration:
+    def test_n_jobs_matches_serial(self):
+        """Worker-process generation is bit-identical to in-process."""
+        kwargs = dict(train_names=["PCI_BRIDGE"], test_names=["WB_DMA"],
+                      scale=2000, nets_per_design=8, seed=5)
+        serial = generate_dataset(n_jobs=1, **kwargs)
+        parallel = generate_dataset(n_jobs=2, **kwargs)
+        assert len(serial.train) == len(parallel.train)
+        for a, b in zip(serial.train + serial.test,
+                        parallel.train + parallel.test):
+            assert a.name == b.name
+            np.testing.assert_allclose(a.node_features, b.node_features)
+            for pa, pb in zip(a.paths, b.paths):
+                assert pa.label_delay == pb.label_delay
+
+    def test_custom_library_rejects_parallel(self, library):
+        with pytest.raises(ValueError, match="custom library"):
+            generate_dataset(train_names=["PCI_BRIDGE"],
+                             test_names=["WB_DMA"], scale=2000,
+                             nets_per_design=5, library=library, n_jobs=2)

@@ -1,0 +1,133 @@
+"""Design generator and the Table II benchmark suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import (DesignSpec, PAPER_BENCHMARKS, TEST_BENCHMARKS,
+                          TRAIN_BENCHMARKS, benchmark_spec, generate_benchmark,
+                          generate_design, make_net_with_sinks)
+
+
+class TestMakeNetWithSinks:
+    @given(st.integers(min_value=1, max_value=12),
+           st.booleans(),
+           st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_sink_count(self, n_sinks, non_tree, seed):
+        rng = np.random.default_rng(seed)
+        net = make_net_with_sinks(rng, f"n{seed}", n_sinks, non_tree)
+        assert net.num_sinks == n_sinks
+
+    def test_large_fanout_padded(self, rng):
+        net = make_net_with_sinks(rng, "big", 20, non_tree=False,
+                                  nodes_range=(6, 10))
+        assert net.num_sinks == 20
+        assert net.num_nodes >= 21
+
+
+class TestGenerateDesign:
+    def test_structure(self, library):
+        spec = DesignSpec("d", n_combinational=60, n_ffs=8, n_paths=15, seed=3)
+        nl = generate_design(spec, library)
+        # FF count may exceed the request: every zero-fanout gate that
+        # cannot be rewired gets a dedicated capture FF (single-driver
+        # semantics), but the overshoot stays bounded.
+        assert 8 <= nl.num_ffs <= 8 + 15
+        assert nl.num_cells == 60 + nl.num_ffs
+        assert len(nl.paths) == 15
+        # Every gate with fanout drives exactly one net.
+        assert nl.num_nets <= nl.num_cells
+
+    def test_single_driver_per_pin(self, library):
+        """No (gate, pin) pair is loaded by two nets — the invariant that
+        makes the design expressible in structural Verilog."""
+        spec = DesignSpec("d", n_combinational=80, n_ffs=10, n_paths=5,
+                          seed=12)
+        nl = generate_design(spec, library)
+        seen = set()
+        for net in nl.nets.values():
+            for load in net.loads:
+                key = (load.gate, load.pin)
+                assert key not in seen, f"{key} driven twice"
+                seen.add(key)
+
+    def test_paths_end_at_capture_ff(self, library):
+        spec = DesignSpec("d", n_combinational=60, n_ffs=8, n_paths=10, seed=3)
+        nl = generate_design(spec, library)
+        for path in nl.paths:
+            last = path.stages[-1]
+            end_gate = nl.nets[last.net].loads[last.sink_index].gate
+            assert nl.gates[end_gate].is_sequential
+
+    def test_paths_start_at_launch_ff(self, library):
+        spec = DesignSpec("d", n_combinational=60, n_ffs=8, n_paths=10, seed=3)
+        nl = generate_design(spec, library)
+        for path in nl.paths:
+            assert nl.gates[path.stages[0].gate].is_sequential
+
+    def test_deterministic(self, library):
+        spec = DesignSpec("d", n_combinational=40, n_ffs=6, n_paths=5, seed=9)
+        a = generate_design(spec, library)
+        b = generate_design(spec, library)
+        assert a.statistics() == b.statistics()
+        assert list(a.nets) == list(b.nets)
+
+    def test_nontree_fraction_controlled(self, library):
+        lo = generate_design(DesignSpec("lo", n_combinational=150, n_ffs=8,
+                                        n_paths=5, nontree_frac=0.05, seed=1),
+                             library)
+        hi = generate_design(DesignSpec("hi", n_combinational=150, n_ffs=8,
+                                        n_paths=5, nontree_frac=0.8, seed=1),
+                             library)
+        frac_lo = lo.num_nontree_nets / lo.num_nets
+        frac_hi = hi.num_nontree_nets / hi.num_nets
+        assert frac_lo < 0.25 < frac_hi
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DesignSpec("x", n_combinational=2, levels=5)
+        with pytest.raises(ValueError):
+            DesignSpec("x", n_ffs=2)
+        with pytest.raises(ValueError):
+            DesignSpec("x", nontree_frac=1.5)
+
+
+class TestBenchmarkSuite:
+    def test_table2_split(self):
+        assert len(TRAIN_BENCHMARKS) == 11
+        assert len(TEST_BENCHMARKS) == 7
+        assert "WB_DMA" in TEST_BENCHMARKS
+        assert "LEON3MP" in TRAIN_BENCHMARKS
+
+    def test_paper_stats_recorded(self):
+        stats = PAPER_BENCHMARKS["WB_DMA"]
+        assert stats.cells == 40962
+        assert stats.nontree_nets == 9493
+        assert stats.split == "test"
+
+    def test_spec_scaling(self):
+        spec = benchmark_spec("JPEG", scale=1000)
+        assert spec.n_combinational + spec.n_ffs == pytest.approx(
+            219064 // 1000, abs=5)
+        assert spec.nontree_frac == pytest.approx(73915 / 231934)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            benchmark_spec("NOT_A_DESIGN")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            benchmark_spec("DMA", scale=0)
+
+    def test_generated_benchmark_matches_fraction(self, library):
+        nl = generate_benchmark("AES-128", library, scale=500)
+        target = PAPER_BENCHMARKS["AES-128"].nontree_frac
+        actual = nl.num_nontree_nets / nl.num_nets
+        assert abs(actual - target) < 0.15
+
+    def test_benchmarks_are_distinct(self, library):
+        a = generate_benchmark("WB_DMA", library, scale=1500)
+        b = generate_benchmark("LDPC", library, scale=1500)
+        assert a.statistics() != b.statistics() or list(a.nets) != list(b.nets)

@@ -1,0 +1,105 @@
+"""Incremental STA: cache correctness and invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.design import (DesignSpec, ElmoreWireModel, Gate,
+                          GoldenWireModel, IncrementalSTAEngine, STAEngine,
+                          generate_design)
+
+
+@pytest.fixture
+def design(library):
+    return generate_design(
+        DesignSpec("inc", n_combinational=40, n_ffs=6, n_paths=10, seed=17),
+        library)
+
+
+@pytest.fixture(scope="module")
+def library():
+    from repro.liberty import make_default_library
+
+    return make_default_library()
+
+
+class TestCacheCorrectness:
+    def test_matches_cold_engine(self, design):
+        """Incremental results equal the plain engine's on a cold cache."""
+        plain = STAEngine(design, ElmoreWireModel()).analyze_design()
+        incremental = IncrementalSTAEngine(design, ElmoreWireModel())
+        results = incremental.analyze_paths()
+        # Slew-quantized cache keys allow reuse within one quantum, so
+        # agreement is to quantization precision, not bit-exact.
+        np.testing.assert_allclose(
+            [p.arrival for p in results],
+            plain.arrivals(), rtol=1e-4)
+
+    def test_second_pass_hits_cache(self, design):
+        engine = IncrementalSTAEngine(design, ElmoreWireModel())
+        engine.analyze_paths()
+        misses_first = engine.misses
+        engine.analyze_paths()
+        assert engine.misses == misses_first  # everything reused
+        assert engine.hit_rate > 0.4
+
+    def test_repeat_pass_identical(self, design):
+        engine = IncrementalSTAEngine(design, ElmoreWireModel())
+        a = [p.arrival for p in engine.analyze_paths()]
+        b = [p.arrival for p in engine.analyze_paths()]
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_quantum(self, design):
+        with pytest.raises(ValueError):
+            IncrementalSTAEngine(design, ElmoreWireModel(), slew_quantum=0.0)
+
+
+class TestInvalidation:
+    def _upsize(self, design, library, gate_name):
+        gate = design.gates[gate_name]
+        stronger = f"{gate.cell.function}_X{gate.cell.drive_strength * 2}"
+        design.gates[gate_name] = Gate(gate_name, library.cell(stronger))
+
+    def test_gate_swap_reflected_after_invalidation(self, design, library):
+        engine = IncrementalSTAEngine(design, ElmoreWireModel())
+        before = [p.arrival for p in engine.analyze_paths()]
+
+        # Upsize any upsizable combinational gate on a recorded path.
+        victim = next(
+            s.gate for path in design.paths for s in path.stages
+            if not design.gates[s.gate].is_sequential
+            and design.gates[s.gate].cell.drive_strength < 8)
+        self._upsize(design, library, victim)
+        dropped = engine.invalidate_gate(victim)
+        assert dropped >= 1
+
+        after = engine.analyze_paths()
+        fresh = IncrementalSTAEngine(design, ElmoreWireModel()).analyze_paths()
+        np.testing.assert_allclose([p.arrival for p in after],
+                                   [p.arrival for p in fresh], rtol=1e-4)
+
+    def test_invalidate_covers_loaded_nets(self, design):
+        """Invalidation drops entries for nets the gate loads, not just the
+        one it drives (its pin capacitance affects upstream timing)."""
+        engine = IncrementalSTAEngine(design, ElmoreWireModel())
+        engine.analyze_paths()
+        some_load = None
+        for net in design.nets.values():
+            for load in net.loads:
+                if not design.gates[load.gate].is_sequential:
+                    some_load = load.gate
+                    break
+            if some_load:
+                break
+        dropped = engine.invalidate_gate(some_load)
+        assert dropped >= 0  # no stale entries may remain
+        # After invalidation a re-analysis still matches a cold engine.
+        after = engine.analyze_paths()
+        fresh = IncrementalSTAEngine(design, ElmoreWireModel()).analyze_paths()
+        np.testing.assert_allclose([p.arrival for p in after],
+                                   [p.arrival for p in fresh], rtol=1e-4)
+
+    def test_clear(self, design):
+        engine = IncrementalSTAEngine(design, ElmoreWireModel())
+        engine.analyze_paths()
+        engine.clear()
+        assert engine._cache == {}

@@ -1,0 +1,143 @@
+"""Verilog writer/parser and the Verilog+SPEF+Liberty design interchange."""
+
+import numpy as np
+import pytest
+
+from repro.design import (DesignSpec, InterchangeError, VerilogError,
+                          connectivity_from_module, export_design,
+                          generate_benchmark, generate_design, import_design,
+                          parse_verilog, write_verilog)
+
+
+@pytest.fixture(scope="module")
+def design(library):
+    return generate_design(
+        DesignSpec("vtest", n_combinational=50, n_ffs=8, n_paths=10, seed=21),
+        library)
+
+
+@pytest.fixture(scope="module")
+def library():
+    from repro.liberty import make_default_library
+
+    return make_default_library()
+
+
+class TestVerilogWriter:
+    def test_module_header(self, design):
+        text = write_verilog(design)
+        assert text.startswith("// structural netlist")
+        assert "module vtest (clk);" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_every_net_declared(self, design):
+        text = write_verilog(design)
+        for net_name in design.nets:
+            assert net_name in text
+
+    def test_every_gate_instantiated(self, design):
+        text = write_verilog(design)
+        for gate_name, gate in design.gates.items():
+            assert gate_name in text
+            assert gate.cell.name in text
+
+    def test_escaped_identifiers(self, design):
+        """Hierarchical names must use the backslash escape."""
+        text = write_verilog(design)
+        assert "\\vtest/" in text
+
+
+class TestVerilogParser:
+    def test_roundtrip_connectivity(self, design, library):
+        module = parse_verilog(write_verilog(design))
+        assert module.name == design.name
+        assert len(module.instances) == design.num_cells
+        gates, nets = connectivity_from_module(module, library)
+        assert set(gates) == set(design.gates)
+        assert set(nets) == set(design.nets)
+        for name, net in design.nets.items():
+            driver, loads = nets[name]
+            assert driver == net.driver
+            assert sorted((l.gate, l.pin) for l in loads) == \
+                sorted((l.gate, l.pin) for l in net.loads)
+
+    def test_no_module_rejected(self):
+        with pytest.raises(VerilogError, match="module"):
+            parse_verilog("wire x;")
+
+    def test_no_instances_rejected(self):
+        with pytest.raises(VerilogError, match="instances"):
+            parse_verilog("module m (clk);\n  wire a;\nendmodule\n")
+
+    def test_unknown_cell_rejected(self, design, library):
+        text = write_verilog(design).replace("INV_X", "MYSTERY_X")
+        module = parse_verilog(text)
+        with pytest.raises(VerilogError, match="unknown cell"):
+            connectivity_from_module(module, library)
+
+    def test_multiple_drivers_rejected(self, library):
+        text = """
+module m (clk);
+  wire n1;
+  INV_X1 g1 ( .A(1'b0), .Z(n1) );
+  INV_X1 g2 ( .A(1'b0), .Z(n1) );
+endmodule
+"""
+        module = parse_verilog(text)
+        with pytest.raises(VerilogError, match="multiple drivers"):
+            connectivity_from_module(module, library)
+
+
+class TestDesignInterchange:
+    def test_full_roundtrip_structure(self, design, library):
+        verilog, spef = export_design(design)
+        rebuilt = import_design(verilog, spef, library)
+        assert rebuilt.num_cells == design.num_cells
+        assert rebuilt.num_nets == design.num_nets
+        assert rebuilt.num_ffs == design.num_ffs
+        assert rebuilt.num_nontree_nets == design.num_nontree_nets
+
+    def test_roundtrip_preserves_golden_timing(self, design, library):
+        """The rebuilt design times identically (quiet mode): connectivity,
+        parasitics and load caps all survive the file formats."""
+        from repro.analysis import GoldenTimer
+
+        verilog, spef = export_design(design)
+        rebuilt = import_design(verilog, spef, library)
+        timer = GoldenTimer(si_mode=False)
+        for name, net in design.nets.items():
+            original = timer.analyze(net.rcnet, 20e-12,
+                                     design.sink_loads(net)).delays()
+            clone_net = rebuilt.nets[name]
+            clone = timer.analyze(clone_net.rcnet, 20e-12,
+                                  rebuilt.sink_loads(clone_net)).delays()
+            np.testing.assert_allclose(np.sort(clone), np.sort(original),
+                                       rtol=1e-4)
+
+    def test_sink_load_mapping_preserved(self, design, library):
+        """Each RC sink maps back to the same receiving cell."""
+        verilog, spef = export_design(design)
+        rebuilt = import_design(verilog, spef, library)
+        for name, net in design.nets.items():
+            clone = rebuilt.nets[name]
+            original_pairs = {(l.gate, l.pin) for l in net.loads}
+            clone_pairs = {(l.gate, l.pin) for l in clone.loads}
+            assert original_pairs == clone_pairs
+
+    def test_missing_spef_net_rejected(self, design, library):
+        verilog, spef = export_design(design)
+        some_net = next(iter(design.nets))
+        broken = spef.replace(f"*D_NET {some_net} ", "*D_NET renamed_away ")
+        with pytest.raises(InterchangeError):
+            import_design(verilog, broken, library)
+
+    def test_spef_connection_points_named_by_pin(self, design):
+        _, spef = export_design(design)
+        assert ":Z" in spef   # driver connection points
+        assert ":D" in spef or ":A" in spef  # receiver connection points
+
+    def test_benchmark_roundtrip(self, library):
+        netlist = generate_benchmark("LDPC", library, scale=1500)
+        verilog, spef = export_design(netlist)
+        rebuilt = import_design(verilog, spef, library)
+        assert rebuilt.num_nets == netlist.num_nets

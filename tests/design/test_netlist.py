@@ -1,0 +1,76 @@
+"""Netlist structure and validation."""
+
+import numpy as np
+import pytest
+
+from repro.design import (DesignNet, Gate, LoadPin, Netlist, PathStage,
+                          TimingPath, make_net_with_sinks)
+
+
+@pytest.fixture
+def simple_netlist(library, rng):
+    nl = Netlist("d")
+    nl.add_gate(Gate("g0", library.cell("INV_X1")))
+    nl.add_gate(Gate("g1", library.cell("BUF_X2")))
+    nl.add_gate(Gate("ff", library.cell("DFF_X1")))
+    rc0 = make_net_with_sinks(rng, "n0", 1, non_tree=False)
+    nl.add_net(DesignNet("n0", "g0", [LoadPin("g1", "A")], rc0))
+    rc1 = make_net_with_sinks(rng, "n1", 1, non_tree=True)
+    nl.add_net(DesignNet("n1", "g1", [LoadPin("ff", "D")], rc1))
+    return nl
+
+
+class TestNetlist:
+    def test_counts(self, simple_netlist):
+        assert simple_netlist.num_cells == 3
+        assert simple_netlist.num_nets == 2
+        assert simple_netlist.num_ffs == 1
+
+    def test_net_driven_by(self, simple_netlist):
+        assert simple_netlist.net_driven_by("g0").name == "n0"
+        assert simple_netlist.net_driven_by("ff") is None
+
+    def test_sink_loads_match_cells(self, simple_netlist, library):
+        net = simple_netlist.nets["n0"]
+        loads = simple_netlist.sink_loads(net)
+        assert loads[0] == pytest.approx(library.cell("BUF_X2").input_cap)
+
+    def test_duplicate_gate_rejected(self, simple_netlist, library):
+        with pytest.raises(ValueError):
+            simple_netlist.add_gate(Gate("g0", library.cell("INV_X1")))
+
+    def test_duplicate_net_rejected(self, simple_netlist, rng):
+        rc = make_net_with_sinks(rng, "n0", 1, non_tree=False)
+        with pytest.raises(ValueError):
+            simple_netlist.add_net(DesignNet("n0", "ff", [LoadPin("g0", "A")], rc))
+
+    def test_one_net_per_driver(self, simple_netlist, rng):
+        rc = make_net_with_sinks(rng, "nX", 1, non_tree=False)
+        with pytest.raises(ValueError, match="already drives"):
+            simple_netlist.add_net(DesignNet("nX", "g0", [LoadPin("ff", "D")], rc))
+
+    def test_unknown_driver_rejected(self, simple_netlist, rng):
+        rc = make_net_with_sinks(rng, "nY", 1, non_tree=False)
+        with pytest.raises(ValueError, match="unknown driver"):
+            simple_netlist.add_net(DesignNet("nY", "ghost", [LoadPin("g0", "A")], rc))
+
+    def test_load_sink_count_mismatch(self, rng):
+        rc = make_net_with_sinks(rng, "nZ", 2, non_tree=False)
+        with pytest.raises(ValueError, match="loads"):
+            DesignNet("nZ", "g0", [LoadPin("g1", "A")], rc)
+
+    def test_path_validation(self, simple_netlist):
+        good = TimingPath("p", [PathStage("g0", "A", "n0", 0)])
+        simple_netlist.add_path(good)
+        with pytest.raises(ValueError, match="unknown gate"):
+            simple_netlist.add_path(
+                TimingPath("p2", [PathStage("nope", "A", "n0", 0)]))
+        with pytest.raises(ValueError, match="sink index"):
+            simple_netlist.add_path(
+                TimingPath("p3", [PathStage("g0", "A", "n0", 5)]))
+
+    def test_statistics(self, simple_netlist):
+        stats = simple_netlist.statistics()
+        assert stats["cells"] == 3
+        assert stats["nets"] == 2
+        assert stats["nontree_nets"] == 1

@@ -1,0 +1,94 @@
+"""Path counting (the Fig. 2 statistics)."""
+
+import pytest
+
+from repro.design import (DesignNet, DesignSpec, Gate, LoadPin, Netlist,
+                          count_netlist_paths, generate_design,
+                          make_net_with_sinks, max_wire_paths,
+                          wire_path_histogram)
+
+
+def chain_of_gates(library, rng, n_gates):
+    """FF -> g0 -> g1 -> ... -> FF, single path."""
+    nl = Netlist("chain")
+    nl.add_gate(Gate("lff", library.cell("DFF_X1")))
+    nl.add_gate(Gate("cff", library.cell("DFF_X1")))
+    names = ["lff"] + [f"g{i}" for i in range(n_gates)]
+    for name in names[1:]:
+        nl.add_gate(Gate(name, library.cell("BUF_X1")))
+    targets = names[1:] + ["cff"]
+    for i, (driver, load) in enumerate(zip(names, targets)):
+        rc = make_net_with_sinks(rng, f"n{i}", 1, non_tree=False)
+        nl.add_net(DesignNet(f"n{i}", driver, [LoadPin(load, "A" if load != "cff" else "D")], rc))
+    return nl
+
+
+class TestNetlistPathCounting:
+    def test_single_chain_is_one_path(self, library, rng):
+        nl = chain_of_gates(library, rng, 5)
+        assert count_netlist_paths(nl) == 1
+
+    def test_fanout_multiplies_paths(self, library, rng):
+        """FF drives two parallel branches that reconverge: 2 paths."""
+        nl = Netlist("fan")
+        nl.add_gate(Gate("lff", library.cell("DFF_X1")))
+        nl.add_gate(Gate("cff", library.cell("DFF_X1")))
+        for g in ("a", "b", "m"):
+            nl.add_gate(Gate(g, library.cell("BUF_X1")))
+        nl.add_net(DesignNet("n0", "lff",
+                             [LoadPin("a", "A"), LoadPin("b", "A")],
+                             make_net_with_sinks(rng, "n0", 2, False)))
+        nl.add_net(DesignNet("n1", "a", [LoadPin("m", "A")],
+                             make_net_with_sinks(rng, "n1", 1, False)))
+        nl.add_net(DesignNet("n2", "b", [LoadPin("m", "A")],
+                             make_net_with_sinks(rng, "n2", 1, False)))
+        nl.add_net(DesignNet("n3", "m", [LoadPin("cff", "D")],
+                             make_net_with_sinks(rng, "n3", 1, False)))
+        assert count_netlist_paths(nl) == 2
+
+    def test_exponential_growth_with_layers(self, library, rng):
+        """k layers of 2-way fanout-reconvergence: 2^k paths."""
+        nl = Netlist("exp")
+        nl.add_gate(Gate("lff", library.cell("DFF_X1")))
+        nl.add_gate(Gate("cff", library.cell("DFF_X1")))
+        k = 6
+        prev = "lff"
+        net_id = 0
+        for layer in range(k):
+            a, b, m = f"a{layer}", f"b{layer}", f"m{layer}"
+            for g in (a, b, m):
+                nl.add_gate(Gate(g, library.cell("BUF_X1")))
+            nl.add_net(DesignNet(f"n{net_id}", prev,
+                                 [LoadPin(a, "A"), LoadPin(b, "A")],
+                                 make_net_with_sinks(rng, f"n{net_id}", 2, False)))
+            net_id += 1
+            for g in (a, b):
+                nl.add_net(DesignNet(f"n{net_id}", g, [LoadPin(m, "A")],
+                                     make_net_with_sinks(rng, f"n{net_id}", 1, False)))
+                net_id += 1
+            prev = m
+        nl.add_net(DesignNet(f"n{net_id}", prev, [LoadPin("cff", "D")],
+                             make_net_with_sinks(rng, f"n{net_id}", 1, False)))
+        assert count_netlist_paths(nl) == 2 ** k
+
+    def test_generated_design_has_many_more_netlist_than_wire_paths(
+            self, library):
+        """The paper's Fig. 2 asymmetry: netlist paths >> wire paths/net."""
+        nl = generate_design(DesignSpec("d", n_combinational=120, n_ffs=10,
+                                        n_paths=5, seed=2), library)
+        assert count_netlist_paths(nl) > max_wire_paths(nl)
+
+
+class TestWirePathHistogram:
+    def test_histogram_counts_nets(self, library):
+        nl = generate_design(DesignSpec("d", n_combinational=80, n_ffs=8,
+                                        n_paths=5, seed=4), library)
+        histogram = wire_path_histogram(nl)
+        assert sum(histogram.values()) == nl.num_nets
+        assert max_wire_paths(nl) == max(histogram)
+
+    def test_wire_paths_bounded(self, library):
+        """Fig. 2(b): per-net wire path count stays small (tens, not 1e6)."""
+        nl = generate_design(DesignSpec("d", n_combinational=200, n_ffs=12,
+                                        n_paths=5, seed=5), library)
+        assert max_wire_paths(nl) < 64

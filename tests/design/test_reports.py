@@ -1,0 +1,78 @@
+"""Timing report formatting."""
+
+import pytest
+
+from repro.design import (DesignSpec, ElmoreWireModel, STAEngine,
+                          format_design_report, format_path_report,
+                          generate_design)
+
+
+@pytest.fixture(scope="module")
+def report(library):
+    design = generate_design(
+        DesignSpec("rpt", n_combinational=40, n_ffs=6, n_paths=8, seed=8),
+        library)
+    engine = STAEngine(design, ElmoreWireModel())
+    return design, engine.analyze_design()
+
+
+@pytest.fixture(scope="module")
+def library():
+    from repro.liberty import make_default_library
+
+    return make_default_library()
+
+
+class TestPathReport:
+    def test_contains_stages_and_total(self, report):
+        design, sta = report
+        timing = sta.paths[0]
+        text = format_path_report(timing, design)
+        assert "data arrival time" in text
+        assert f"{timing.arrival / 1e-12:.2f}" in text
+        for stage in timing.stages:
+            assert stage.net.split("/")[-1] in text
+
+    def test_cell_names_shown(self, report):
+        design, sta = report
+        text = format_path_report(sta.paths[0], design)
+        first_gate = sta.paths[0].stages[0].gate
+        assert design.gates[first_gate].cell.name in text
+
+    def test_slack_met(self, report):
+        design, sta = report
+        text = format_path_report(sta.paths[0], design, clock_period=1.5e-9)
+        assert "slack (MET)" in text
+
+    def test_slack_violated(self, report):
+        design, sta = report
+        text = format_path_report(sta.paths[0], design, clock_period=1e-15)
+        assert "slack (VIOLATED)" in text
+
+
+class TestDesignReport:
+    def test_critical_path_first(self, report):
+        _, sta = report
+        text = format_design_report(sta, top=5)
+        worst = max(sta.paths, key=lambda p: p.arrival)
+        lines = text.splitlines()
+        data_lines = [l for l in lines if l.startswith(("rpt", "..."))]
+        assert worst.path_name.split("/")[-1] in data_lines[0]
+
+    def test_runtime_split_reported(self, report):
+        _, sta = report
+        text = format_design_report(sta)
+        assert "runtime gate" in text
+        assert f"paths analyzed: {len(sta.paths)}" in text
+
+    def test_top_limits_rows(self, report):
+        _, sta = report
+        text = format_design_report(sta, top=2)
+        data_lines = [l for l in text.splitlines()
+                      if l.startswith(("rpt", "..."))]
+        assert len(data_lines) == 2
+
+    def test_worst_slack_line(self, report):
+        _, sta = report
+        text = format_design_report(sta, clock_period=1.5e-9)
+        assert "worst slack" in text

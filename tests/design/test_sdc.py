@@ -1,0 +1,75 @@
+"""SDC-lite constraint parsing."""
+
+import pytest
+
+from repro.design import SDCError, TimingConstraints, parse_sdc, write_sdc
+
+EXAMPLE = """
+# constraints for the repro flow
+create_clock -name core_clk -period 1.5 [get_ports clk]
+set_input_transition 0.02 [all_inputs]
+set_load 0.005 [get_ports out_a]
+set_load 0.003 [get_ports out_b]
+set_max_delay 1.2 -from [all_inputs] -to [all_outputs]
+set_false_path -from [get_ports test_en]
+"""
+
+
+class TestParse:
+    def test_clock(self):
+        c = parse_sdc(EXAMPLE)
+        assert c.clock_name == "core_clk"
+        assert c.clock_period == pytest.approx(1.5e-9)
+
+    def test_input_transition(self):
+        c = parse_sdc(EXAMPLE)
+        assert c.input_transition == pytest.approx(20e-12)
+
+    def test_port_loads(self):
+        c = parse_sdc(EXAMPLE)
+        assert c.port_loads["out_a"] == pytest.approx(5e-15)
+        assert c.port_loads["out_b"] == pytest.approx(3e-15)
+
+    def test_max_delay(self):
+        c = parse_sdc(EXAMPLE)
+        assert c.max_delay == pytest.approx(1.2e-9)
+
+    def test_unknown_commands_collected(self):
+        c = parse_sdc(EXAMPLE)
+        assert any("set_false_path" in cmd for cmd in c.unknown_commands)
+
+    def test_comments_and_blanks_ignored(self):
+        c = parse_sdc("# nothing\n\n")
+        assert c.clock_period == pytest.approx(1.5e-9)  # defaults
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(SDCError, match="-period"):
+            parse_sdc("create_clock -name x [get_ports clk]")
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(SDCError, match="positive"):
+            parse_sdc("create_clock -period -2 [get_ports clk]")
+
+    def test_no_numeric_value(self):
+        with pytest.raises(SDCError, match="numeric"):
+            parse_sdc("set_input_transition [all_inputs]")
+
+
+class TestRoundTripAndSlack:
+    def test_roundtrip(self):
+        original = parse_sdc(EXAMPLE)
+        again = parse_sdc(write_sdc(original))
+        assert again.clock_period == pytest.approx(original.clock_period)
+        assert again.clock_name == original.clock_name
+        assert again.input_transition == pytest.approx(
+            original.input_transition)
+        assert again.port_loads == pytest.approx(original.port_loads)
+        assert again.max_delay == pytest.approx(original.max_delay)
+
+    def test_slack_uses_max_delay_when_set(self):
+        c = TimingConstraints(clock_period=1.5e-9, max_delay=1.0e-9)
+        assert c.slack(0.4e-9) == pytest.approx(0.6e-9)
+
+    def test_slack_uses_period_by_default(self):
+        c = TimingConstraints(clock_period=1.5e-9)
+        assert c.slack(2.0e-9) == pytest.approx(-0.5e-9)

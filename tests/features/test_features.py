@@ -1,0 +1,172 @@
+"""Table I feature extraction: node features, path features, scaler."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import GoldenTimer
+from repro.features import (ADJACENCY_RESISTANCE_SCALE, FeatureScaler,
+                            NODE_FEATURE_NAMES, NUM_NODE_FEATURES,
+                            NUM_PATH_FEATURES, PATH_FEATURE_NAMES, NetContext,
+                            build_adjacency, build_net_sample,
+                            extract_node_features, extract_path_features)
+from repro.rcnet import chain_net, extract_wire_paths
+
+
+@pytest.fixture
+def context(library):
+    drive = library.cell("INV_X4")
+    return drive
+
+
+def make_context(library, net):
+    drive = library.cell("INV_X4")
+    loads = [library.cell("BUF_X1")] * net.num_sinks
+    return NetContext(input_slew=25e-12, drive_cell=drive, load_cells=loads)
+
+
+class TestNodeFeatures:
+    def test_shape_and_names(self, tree_net):
+        x = extract_node_features(tree_net)
+        assert x.shape == (tree_net.num_nodes, NUM_NODE_FEATURES)
+        assert len(NODE_FEATURE_NAMES) == NUM_NODE_FEATURES
+
+    def test_chain_middle_node(self):
+        net = chain_net(5, resistance=100.0, cap=2e-15)
+        x = extract_node_features(net)
+        mid = x[2]
+        assert mid[0] == pytest.approx(2.0)        # cap in fF
+        assert mid[1] == 1.0                        # one input neighbor
+        assert mid[2] == 1.0                        # one output neighbor
+        assert mid[3] == pytest.approx(2.0)        # input neighbor cap (fF)
+        assert mid[5] == 2.0                        # two incident resistances
+        assert mid[6] == pytest.approx(0.1)        # 100 ohm in kOhm
+        assert mid[7] == pytest.approx(0.1)
+
+    def test_source_has_no_inputs(self, tree_net):
+        x = extract_node_features(tree_net)
+        assert x[tree_net.source, 1] == 0.0
+        assert x[tree_net.source, 6] == 0.0
+
+    def test_degree_column_matches_graph(self, nontree_net):
+        x = extract_node_features(nontree_net)
+        for i in range(nontree_net.num_nodes):
+            assert x[i, 5] == nontree_net.degree(i)
+
+    def test_input_output_partition(self, nontree_net):
+        x = extract_node_features(nontree_net)
+        for i in range(nontree_net.num_nodes):
+            assert x[i, 1] + x[i, 2] == x[i, 5]
+
+
+class TestPathFeatures:
+    def test_shape(self, tree_net, library):
+        paths = extract_wire_paths(tree_net)
+        h = extract_path_features(tree_net, paths, make_context(library, tree_net))
+        assert h.shape == (len(paths), NUM_PATH_FEATURES)
+        assert len(PATH_FEATURE_NAMES) == NUM_PATH_FEATURES
+
+    def test_cell_features_encoded(self, tree_net, library):
+        paths = extract_wire_paths(tree_net)
+        ctx = make_context(library, tree_net)
+        h = extract_path_features(tree_net, paths, ctx)
+        assert np.all(h[:, 2] == pytest.approx(25.0))       # slew in ps
+        assert np.all(h[:, 3] == 4)                         # INV_X4 strength
+        assert np.all(h[:, 4] == ctx.drive_cell.function_id)
+        assert np.all(h[:, 5] == 1)                         # BUF_X1 strength
+
+    def test_elmore_and_d2m_columns(self, small_chain, library):
+        paths = extract_wire_paths(small_chain)
+        ctx = make_context(library, small_chain)
+        h = extract_path_features(small_chain, paths, ctx)
+        # Elmore (col 8) includes the receiver pin load; must exceed the
+        # bare-wire closed form of 9 ps and stay on that scale.
+        assert h[0, 8] > 9.0
+        assert h[0, 9] < h[0, 8]       # D2M below Elmore
+        assert h[0, 9] > 0.0
+
+    def test_mismatched_load_cells(self, tree_net, library):
+        ctx = NetContext(20e-12, library.cell("INV_X1"),
+                         [library.cell("BUF_X1")])  # too few
+        with pytest.raises(ValueError):
+            extract_path_features(tree_net, extract_wire_paths(tree_net), ctx)
+
+
+class TestBuildNetSample:
+    def test_labeled_sample(self, tree_net, library):
+        sample = build_net_sample(tree_net, make_context(library, tree_net),
+                                  design="D")
+        assert sample.design == "D"
+        assert sample.num_paths == tree_net.num_sinks
+        slews, delays = sample.labels()
+        assert np.all(slews > 0.0)
+        assert np.all(delays > 0.0)
+        assert sample.is_tree
+
+    def test_unlabeled_sample_skips_golden(self, tree_net, library):
+        sample = build_net_sample(tree_net, make_context(library, tree_net),
+                                  labeled=False)
+        slews, delays = sample.labels()
+        assert np.all(np.isnan(slews))
+        assert np.all(np.isnan(delays))
+
+    def test_adjacency_scaled(self, tree_net, library):
+        sample = build_net_sample(tree_net, make_context(library, tree_net))
+        raw = tree_net.weighted_adjacency()
+        np.testing.assert_allclose(
+            sample.adjacency, raw / ADJACENCY_RESISTANCE_SCALE)
+
+    def test_custom_timer_used(self, tree_net, library):
+        quiet = build_net_sample(tree_net, make_context(library, tree_net),
+                                 timer=GoldenTimer(si_mode=False))
+        noisy = build_net_sample(tree_net, make_context(library, tree_net),
+                                 timer=GoldenTimer(si_mode=True))
+        if tree_net.couplings:
+            assert noisy.paths[0].label_delay >= quiet.paths[0].label_delay
+
+
+class TestFeatureScaler:
+    def _samples(self, library, rng, n=10):
+        from repro.rcnet import random_net
+
+        out = []
+        for i in range(n):
+            net = random_net(rng, name=f"s{i}")
+            out.append(build_net_sample(net, make_context(library, net)))
+        return out
+
+    def test_standardizes_train_stats(self, library, rng):
+        samples = self._samples(library, rng)
+        scaler = FeatureScaler()
+        transformed = scaler.fit_transform(samples)
+        nodes = np.vstack([s.node_features for s in transformed])
+        np.testing.assert_allclose(nodes.mean(axis=0), 0.0, atol=1e-9)
+        stds = nodes.std(axis=0)
+        np.testing.assert_allclose(stds[stds > 1e-6], 1.0, atol=1e-6)
+
+    def test_originals_untouched(self, library, rng):
+        samples = self._samples(library, rng, n=4)
+        before = samples[0].node_features.copy()
+        FeatureScaler().fit_transform(samples)
+        np.testing.assert_allclose(samples[0].node_features, before)
+
+    def test_labels_not_scaled(self, library, rng):
+        samples = self._samples(library, rng, n=4)
+        scaled = FeatureScaler().fit_transform(samples)
+        assert scaled[0].paths[0].label_delay == pytest.approx(
+            samples[0].paths[0].label_delay)
+
+    def test_transform_before_fit_raises(self, library, rng):
+        with pytest.raises(RuntimeError):
+            FeatureScaler().transform(self._samples(library, rng, n=2))
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            FeatureScaler().fit([])
+
+    def test_state_roundtrip(self, library, rng):
+        samples = self._samples(library, rng, n=5)
+        scaler = FeatureScaler().fit(samples)
+        clone = FeatureScaler.from_state(scaler.state())
+        a = scaler.transform(samples[:1])[0]
+        b = clone.transform(samples[:1])[0]
+        np.testing.assert_allclose(a.node_features, b.node_features)

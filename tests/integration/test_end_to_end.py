@@ -1,0 +1,121 @@
+"""Cross-module integration: the full paper pipeline at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (MODEL_ORDER, accuracy_table, format_table,
+                         train_model)
+from repro.core import GNNTransConfig, WireTimingEstimator
+from repro.data import generate_dataset, nontree_only
+
+FAST = GNNTransConfig(l1=3, l2=1, hidden=32, num_heads=4,
+                      head_hidden=(64, 32), epochs=50)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(train_names=["PCI_BRIDGE", "DMA", "B19"],
+                            test_names=["WB_DMA"], scale=800,
+                            nets_per_design=50)
+
+
+class TestSpefToTiming:
+    def test_spef_roundtrip_preserves_golden_timing(self, library, rng):
+        """Write a net to SPEF, parse it back, and verify the golden timer
+        produces identical results — the full parasitic ingestion path.
+
+        SI mode is off because aggressor *activity* is not part of SPEF
+        (switching information lives outside the parasitic file), so only
+        quiet-aggressor timing is expected to survive a round trip exactly.
+        """
+        from repro.analysis import GoldenTimer
+        from repro.rcnet import parse_spef, random_net, write_spef
+
+        net = random_net(rng, name="flow")
+        parsed = parse_spef(write_spef([net])).nets[0]
+        timer = GoldenTimer(si_mode=False)
+        original = timer.analyze(net, 25e-12)
+        recovered = timer.analyze(parsed, 25e-12)
+        np.testing.assert_allclose(sorted(original.delays()),
+                                   sorted(recovered.delays()), rtol=1e-6)
+
+
+class TestTrainedModelOrdering:
+    def test_gnntrans_beats_analytical_features_alone(self, dataset):
+        """GNNTrans must beat the DAC20 feature baseline on wire delay —
+        the paper's central claim, at miniature scale.  (The per-subset
+        non-tree comparison needs the full benchmark sizes and lives in
+        benchmarks/bench_table3_nontree_accuracy.py; with the handful of
+        non-tree paths this fixture produces, subset R^2 is noise.)"""
+        gnn = train_model("GNNTrans", dataset, FAST, epochs=50)
+        dac = train_model("DAC20", dataset, FAST)
+        m_gnn = gnn.evaluate(dataset.test)
+        m_dac = dac.evaluate(dataset.test)
+        assert m_gnn.r2_delay > m_dac.r2_delay
+
+    def test_accuracy_table_shape(self, dataset):
+        models = {"GNNTrans": train_model("GNNTrans", dataset, FAST, epochs=20),
+                  "DAC20": train_model("DAC20", dataset, FAST)}
+        table = accuracy_table(dataset, models, subset="all")
+        assert table.designs == ["WB_DMA"]
+        rows = table.rows()
+        assert rows[-1][0] == "Average"
+        rendered = format_table(table.headers(), rows, title="Table IV")
+        assert "WB_DMA" in rendered
+        assert "GNNTrans" in rendered
+
+    def test_nontree_subset_table(self, dataset):
+        models = {"DAC20": train_model("DAC20", dataset, FAST)}
+        table = accuracy_table(dataset, models, subset="nontree")
+        slew, delay = table.average("DAC20")
+        assert np.isfinite(slew) and np.isfinite(delay)
+
+    def test_unknown_model_name(self, dataset):
+        with pytest.raises(ValueError):
+            train_model("ResNet50", dataset, FAST)
+
+    def test_unknown_subset(self, dataset):
+        with pytest.raises(ValueError):
+            accuracy_table(dataset, {}, subset="everything")
+
+
+class TestInductiveGeneralization:
+    def test_unseen_design_accuracy(self, dataset):
+        """Section IV: 'the inductive model can be shared across different
+        designs ... even if they are unseen.'  Training never saw WB_DMA."""
+        estimator = WireTimingEstimator(FAST)
+        estimator.fit(dataset.train, epochs=30)
+        metrics = estimator.evaluate(dataset.test)
+        assert metrics.r2_slew > 0.8
+        assert metrics.r2_delay > 0.6
+
+
+class TestRuntimeClaim:
+    def test_inference_much_faster_than_golden(self, dataset, library):
+        """Section IV-C: learned wire timing beats the sign-off engine by a
+        wide margin."""
+        import time
+
+        from repro.analysis import GoldenTimer
+
+        estimator = WireTimingEstimator(FAST)
+        estimator.fit(dataset.train[:20], epochs=5)
+        samples = dataset.test[:20]
+
+        start = time.perf_counter()
+        for s in samples:
+            estimator.predict_sample(s)
+        model_time = time.perf_counter() - start
+
+        # Reconstruct nets for golden timing comparison.
+        from repro.design import generate_benchmark
+
+        netlist = generate_benchmark("WB_DMA", library, scale=1200)
+        nets = [n.rcnet for n in list(netlist.nets.values())[:20]]
+        timer = GoldenTimer()
+        start = time.perf_counter()
+        for net in nets:
+            timer.analyze(net, 20e-12)
+        golden_time = time.perf_counter() - start
+
+        assert model_time < golden_time

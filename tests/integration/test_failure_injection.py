@@ -1,0 +1,119 @@
+"""Failure injection: corrupted files and misuse fail loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.core import GNNTransConfig, WireTimingEstimator
+from repro.data import generate_dataset, load_dataset, save_dataset
+
+TINY = GNNTransConfig(l1=1, l2=0, hidden=16, num_heads=2, head_hidden=(16,),
+                      epochs=2)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(train_names=["PCI_BRIDGE"], test_names=["WB_DMA"],
+                            scale=2000, nets_per_design=8)
+
+
+class TestCorruptedDatasetFiles:
+    def test_truncated_file(self, tmp_path, dataset):
+        path = str(tmp_path / "ds.npz")
+        save_dataset(path, dataset)
+        with open(path, "r+b") as handle:
+            handle.truncate(100)
+        with pytest.raises(Exception):
+            load_dataset(path)
+
+    def test_missing_keys(self, tmp_path):
+        path = str(tmp_path / "bogus.npz")
+        np.savez(path, unrelated=np.zeros(3))
+        with pytest.raises(KeyError):
+            load_dataset(path)
+
+    def test_not_a_zip(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        with open(path, "w") as handle:
+            handle.write("this is not an npz file")
+        with pytest.raises(Exception):
+            load_dataset(path)
+
+
+class TestCorruptedModelFiles:
+    def test_wrong_feature_widths(self, tmp_path, dataset):
+        estimator = WireTimingEstimator(TINY)
+        estimator.fit(dataset.train, epochs=2, patience=None)
+        path = str(tmp_path / "model.npz")
+        estimator.save(path)
+        clone = WireTimingEstimator(TINY)
+        with pytest.raises((ValueError, KeyError)):
+            clone.load(path, num_node_features=3, num_path_features=2)
+
+    def test_missing_parameters(self, tmp_path):
+        path = str(tmp_path / "empty_model.npz")
+        np.savez(path, **{"label.slew_mean": np.array(0.0),
+                          "label.slew_std": np.array(1.0),
+                          "label.delay_mean": np.array(0.0),
+                          "label.delay_std": np.array(1.0)})
+        clone = WireTimingEstimator(TINY)
+        with pytest.raises(KeyError):
+            clone.load(path, num_node_features=8, num_path_features=10)
+
+    def test_mismatched_config_shape(self, tmp_path, dataset):
+        """Loading weights into a different architecture must fail, not
+        silently mis-predict."""
+        estimator = WireTimingEstimator(TINY)
+        estimator.fit(dataset.train, epochs=2, patience=None)
+        path = str(tmp_path / "model.npz")
+        estimator.save(path)
+        other = WireTimingEstimator(
+            GNNTransConfig(l1=2, l2=1, hidden=32, num_heads=4))
+        with pytest.raises((ValueError, KeyError)):
+            other.load(path, num_node_features=8, num_path_features=10)
+
+
+class TestMalformedInputsAcrossParsers:
+    def test_spef_garbage(self):
+        from repro.rcnet import SPEFError, parse_spef
+
+        with pytest.raises(SPEFError):
+            parse_spef("complete nonsense without header")
+
+    def test_liberty_garbage(self):
+        from repro.liberty import LibertyError, parse_liberty
+
+        with pytest.raises(LibertyError):
+            parse_liberty("{{{{")
+
+    def test_verilog_garbage(self):
+        from repro.design import VerilogError, parse_verilog
+
+        with pytest.raises(VerilogError):
+            parse_verilog("int main() { return 0; }")
+
+    def test_sdc_garbage_tokenization(self):
+        from repro.design import SDCError, parse_sdc
+
+        with pytest.raises(SDCError):
+            parse_sdc('create_clock -period "unterminated')
+
+
+class TestNanPropagationGuards:
+    def test_unlabeled_samples_rejected_by_fit(self, library):
+        """Fitting on NaN-labeled (inference-only) samples must fail fast
+        in the label scaler, not poison training silently."""
+        from repro.features import NetContext, build_net_sample
+        from repro.rcnet import chain_net
+
+        net = chain_net(6)
+        ctx = NetContext(20e-12, library.cell("INV_X1"),
+                         [library.cell("BUF_X1")])
+        sample = build_net_sample(net, ctx, labeled=False)
+        estimator = WireTimingEstimator(TINY)
+        history = None
+        with pytest.raises(Exception):
+            history = estimator.fit([sample], epochs=1)
+            # If fit didn't raise, predictions must not be silently finite.
+            slews, delays = estimator.predict_sample(sample)
+            if np.all(np.isfinite(slews)) and np.all(np.isfinite(delays)):
+                raise AssertionError("NaN labels silently accepted")

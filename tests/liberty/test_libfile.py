@@ -1,0 +1,116 @@
+"""Liberty (.lib) file round trips and error handling."""
+
+import numpy as np
+import pytest
+
+from repro.liberty import (LibertyError, load_liberty, make_default_library,
+                           parse_liberty, save_liberty, write_liberty)
+
+
+@pytest.fixture(scope="module")
+def liberty_text(library):
+    return write_liberty(library)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return make_default_library()
+
+
+@pytest.fixture(scope="module")
+def parsed(liberty_text):
+    return parse_liberty(liberty_text)
+
+
+class TestRoundTrip:
+    def test_cell_inventory_preserved(self, library, parsed):
+        assert len(parsed) == len(library)
+        assert {c.name for c in parsed} == {c.name for c in library}
+
+    def test_library_name(self, parsed):
+        assert parsed.name == "repro16"
+
+    def test_electrical_attributes(self, library, parsed):
+        for cell in library:
+            clone = parsed.cell(cell.name)
+            assert clone.function == cell.function
+            assert clone.drive_strength == cell.drive_strength
+            assert clone.num_inputs == cell.num_inputs
+            assert clone.input_cap == pytest.approx(cell.input_cap, rel=1e-5)
+            assert clone.drive_resistance == pytest.approx(
+                cell.drive_resistance, rel=1e-5)
+
+    def test_sequential_flag(self, parsed):
+        assert parsed.cell("DFF_X1").is_sequential
+        assert not parsed.cell("INV_X1").is_sequential
+
+    def test_table_lookups_agree(self, library, parsed):
+        """Interpolated delay/slew identical across the file boundary."""
+        points = [(8e-12, 3e-15), (25e-12, 10e-15), (150e-12, 50e-15)]
+        for name in ("INV_X1", "NAND2_X4", "AOI21_X2", "DFF_X2"):
+            original = library.cell(name)
+            clone = parsed.cell(name)
+            for pin in original.arcs:
+                for slew, load in points:
+                    d0, s0 = original.delay_and_slew(slew, load, pin)
+                    d1, s1 = clone.delay_and_slew(slew, load, pin)
+                    assert d1 == pytest.approx(d0, rel=1e-4)
+                    assert s1 == pytest.approx(s0, rel=1e-4)
+
+    def test_file_roundtrip(self, library, tmp_path):
+        path = str(tmp_path / "cells.lib")
+        save_liberty(path, library)
+        loaded = load_liberty(path)
+        assert len(loaded) == len(library)
+
+    def test_arcs_per_pin(self, library, parsed):
+        aoi = parsed.cell("AOI21_X1")
+        assert set(aoi.arcs) == {"A", "B", "C"}
+
+
+class TestSyntax:
+    def test_output_contains_standard_constructs(self, liberty_text):
+        assert 'time_unit : "1ns";' in liberty_text
+        assert "lu_table_template (" in liberty_text
+        assert "cell (INV_X1)" in liberty_text
+        assert 'related_pin : "A";' in liberty_text
+        assert "cell_rise (" in liberty_text
+        assert "rise_transition (" in liberty_text
+
+    def test_whitespace_insensitive(self, liberty_text):
+        squeezed = "\n".join(line.strip() for line in liberty_text.splitlines())
+        parsed = parse_liberty(squeezed)
+        assert len(parsed) == 38
+
+    def test_comments_stripped(self, liberty_text):
+        assert parse_liberty("/* header */\n" + liberty_text)
+
+
+class TestErrors:
+    def test_not_a_library(self):
+        with pytest.raises(LibertyError):
+            parse_liberty("cell (X) { }")
+
+    def test_unterminated_group(self):
+        with pytest.raises(LibertyError, match="unterminated"):
+            parse_liberty("library (l) { cell (c) { ")
+
+    def test_empty_library(self):
+        with pytest.raises(LibertyError, match="no cells"):
+            parse_liberty("library (l) { }")
+
+    def test_unknown_template(self, liberty_text):
+        broken = liberty_text.replace("lu_table_template (tmpl_7x7)",
+                                      "lu_table_template (other)")
+        with pytest.raises(LibertyError, match="unknown table template"):
+            parse_liberty(broken)
+
+    def test_unknown_function_name(self, liberty_text):
+        broken = liberty_text.replace("cell (INV_X1)", "cell (MYSTERY_X1)")
+        with pytest.raises(LibertyError, match="infer"):
+            parse_liberty(broken)
+
+    def test_missing_attribute(self):
+        with pytest.raises(LibertyError, match="missing"):
+            parse_liberty(
+                "library (l) { cell (INV_X1) { drive_strength : 1; } }")

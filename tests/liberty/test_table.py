@@ -1,0 +1,97 @@
+"""NLDM lookup tables: interpolation exactness and clamping."""
+
+import numpy as np
+import pytest
+
+from repro.liberty import TimingTable
+
+
+@pytest.fixture
+def table():
+    slew = [10e-12, 20e-12, 40e-12]
+    load = [1e-15, 2e-15, 4e-15]
+    values = np.array([[1.0, 2.0, 4.0],
+                       [2.0, 3.0, 5.0],
+                       [4.0, 5.0, 7.0]]) * 1e-12
+    return TimingTable(slew, load, values)
+
+
+class TestLookup:
+    def test_exact_grid_points(self, table):
+        assert table.lookup(10e-12, 1e-15) == pytest.approx(1e-12)
+        assert table.lookup(40e-12, 4e-15) == pytest.approx(7e-12)
+
+    def test_midpoint_bilinear(self, table):
+        # Halfway in both axes within the first cell.
+        value = table.lookup(15e-12, 1.5e-15)
+        assert value == pytest.approx((1 + 2 + 2 + 3) / 4 * 1e-12)
+
+    def test_linear_along_one_axis(self, table):
+        value = table.lookup(10e-12, 3e-15)
+        assert value == pytest.approx(3e-12)  # halfway between 2 and 4
+
+    def test_clamps_below(self, table):
+        assert table.lookup(1e-12, 0.1e-15) == pytest.approx(1e-12)
+
+    def test_clamps_above(self, table):
+        assert table.lookup(1e-9, 1e-12) == pytest.approx(7e-12)
+
+    def test_monotone_inputs_monotone_outputs(self, table):
+        """For this monotone table, lookup must preserve monotonicity."""
+        values = [table.lookup(s, 2e-15)
+                  for s in np.linspace(5e-12, 50e-12, 20)]
+        assert all(a <= b + 1e-18 for a, b in zip(values, values[1:]))
+
+
+class TestValidation:
+    def test_non_increasing_axis_rejected(self):
+        with pytest.raises(ValueError):
+            TimingTable([2e-12, 1e-12], [1e-15, 2e-15], np.zeros((2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimingTable([1e-12, 2e-12], [1e-15, 2e-15], np.zeros((3, 2)))
+
+    def test_2d_axis_rejected(self):
+        with pytest.raises(ValueError):
+            TimingTable(np.zeros((2, 2)), [1e-15, 2e-15], np.zeros((2, 2)))
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+class TestInterpolationProperties:
+    @given(st.floats(min_value=1e-12, max_value=1e-9),
+           st.floats(min_value=0.5e-15, max_value=100e-15))
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_within_table_range(self, slew, load):
+        """Bilinear interpolation with clamping never extrapolates beyond
+        the table's value range."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        slew_axis = np.sort(rng.uniform(1e-12, 1e-10, size=5))
+        load_axis = np.sort(rng.uniform(1e-15, 50e-15, size=5))
+        values = rng.uniform(1e-12, 9e-12, size=(5, 5))
+        table = TimingTable(slew_axis, load_axis, values)
+        out = table.lookup(slew, load)
+        assert values.min() - 1e-18 <= out <= values.max() + 1e-18
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_at_grid_points(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        slew_axis = np.sort(rng.uniform(1e-12, 1e-10, size=4))
+        load_axis = np.sort(rng.uniform(1e-15, 50e-15, size=4))
+        # Ensure strictly increasing (resample duplicates away).
+        slew_axis += np.arange(4) * 1e-15
+        load_axis += np.arange(4) * 1e-18
+        values = rng.uniform(1e-12, 9e-12, size=(4, 4))
+        table = TimingTable(slew_axis, load_axis, values)
+        for i in range(4):
+            for j in range(4):
+                out = table.lookup(float(slew_axis[i]), float(load_axis[j]))
+                assert out == pytest.approx(values[i, j], rel=1e-12)

@@ -1,0 +1,74 @@
+"""Metric correctness: R^2, max-abs-error, mean-abs-error, RMSE."""
+
+import numpy as np
+import pytest
+
+from repro.nn import max_abs_error, mean_abs_error, r2_score, rmse
+
+
+class TestR2Score:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, 2.0)
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.array([3.0, 2.0, 1.0])
+        assert r2_score(y, pred) < 0.0
+
+    def test_constant_target_perfect(self):
+        y = np.full(4, 5.0)
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_constant_target_imperfect(self):
+        y = np.full(4, 5.0)
+        assert r2_score(y, y + 1.0) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        y = np.array([0.0, 1.0, 2.0, 3.0])
+        pred = y + np.array([0.5, -0.5, 0.5, -0.5])
+        ss_res = 4 * 0.25
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        assert r2_score(y, pred) == pytest.approx(1 - ss_res / ss_tot)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            r2_score(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            r2_score(np.zeros(0), np.zeros(0))
+
+    def test_accepts_2d_inputs(self):
+        y = np.arange(4.0).reshape(2, 2)
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+
+class TestErrorMetrics:
+    def test_max_abs_error(self):
+        y = np.array([0.0, 0.0, 0.0])
+        pred = np.array([0.5, -2.0, 1.0])
+        assert max_abs_error(y, pred) == pytest.approx(2.0)
+
+    def test_mean_abs_error(self):
+        y = np.zeros(4)
+        pred = np.array([1.0, -1.0, 2.0, 0.0])
+        assert mean_abs_error(y, pred) == pytest.approx(1.0)
+
+    def test_rmse(self):
+        y = np.zeros(2)
+        pred = np.array([3.0, 4.0])
+        assert rmse(y, pred) == pytest.approx(np.sqrt(12.5))
+
+    def test_empty_is_zero(self):
+        assert max_abs_error(np.zeros(0), np.zeros(0)) == 0.0
+        assert mean_abs_error(np.zeros(0), np.zeros(0)) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(2), np.zeros(3))

@@ -1,0 +1,151 @@
+"""Optimizers, schedules and losses: convergence on analytic problems."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, AdamW, CosineSchedule, Linear, SGD, Tensor,
+                      huber_loss, mae_loss, mse_loss)
+from repro.nn.layers import Parameter
+
+
+def quadratic_descent(optimizer_cls, **kwargs):
+    """Minimize ||x - target||^2; returns the final parameter value."""
+    p = Parameter(np.array([5.0, -3.0]))
+    target = np.array([1.0, 2.0])
+    opt = optimizer_cls([p], **kwargs)
+    for _ in range(300):
+        opt.zero_grad()
+        loss = ((p - Tensor(target)) ** 2).sum()
+        loss.backward()
+        opt.step()
+    return p.data
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        final = quadratic_descent(SGD, lr=0.1)
+        np.testing.assert_allclose(final, [1.0, 2.0], atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        final = quadratic_descent(SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(final, [1.0, 2.0], atol=1e-3)
+
+    def test_adam_converges(self):
+        final = quadratic_descent(Adam, lr=0.1)
+        np.testing.assert_allclose(final, [1.0, 2.0], atol=1e-3)
+
+    def test_adamw_converges(self):
+        final = quadratic_descent(AdamW, lr=0.1, weight_decay=1e-4)
+        np.testing.assert_allclose(final, [1.0, 2.0], atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero data gradient
+        opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_skips_none_grads(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([2.0]))
+        opt = Adam([p1, p2], lr=0.1)
+        (p1 * 2.0).sum().backward()
+        opt.step()  # p2 has no grad; must not crash
+        np.testing.assert_allclose(p2.data, [2.0])
+
+
+class TestGradClipping:
+    def test_clip_reduces_norm(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.full(4, 10.0)
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([0.3, 0.4])
+        opt.clip_grad_norm(10.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+
+class TestCosineSchedule:
+    def test_warmup_then_decay(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0)
+        sched = CosineSchedule(opt, total_steps=10, warmup_steps=2)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] == pytest.approx(0.5)
+        assert lrs[1] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-9)
+        assert all(a >= b for a, b in zip(lrs[1:], lrs[2:]))
+
+    def test_invalid_total_steps(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            CosineSchedule(Adam([p], lr=1.0), total_steps=0)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        target = Tensor(np.array([0.0, 4.0]))
+        assert mse_loss(pred, target).item() == pytest.approx(2.5)
+
+    def test_mae_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        target = Tensor(np.array([0.0, 4.0]))
+        assert mae_loss(pred, target).item() == pytest.approx(1.5)
+
+    def test_huber_between_mse_and_mae_in_tails(self):
+        pred = Tensor(np.array([100.0]))
+        target = Tensor(np.array([0.0]))
+        h = huber_loss(pred, target, delta=1.0).item()
+        assert h < mse_loss(pred, target).item()
+        assert h == pytest.approx(99.0, rel=0.02)
+
+    def test_huber_quadratic_near_zero(self):
+        pred = Tensor(np.array([0.01]))
+        target = Tensor(np.array([0.0]))
+        h = huber_loss(pred, target, delta=1.0).item()
+        assert h == pytest.approx(0.5 * 0.01 ** 2, rel=1e-3)
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            huber_loss(Tensor(np.zeros(1)), Tensor(np.zeros(1)), delta=0.0)
+
+    def test_losses_backprop(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        target = Tensor(np.array([0.0, 0.0]))
+        for loss_fn in (mse_loss, mae_loss, huber_loss):
+            pred.zero_grad()
+            loss_fn(pred, target).backward()
+            assert pred.grad is not None
+
+
+class TestLinearRegressionEndToEnd:
+    def test_fits_line(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        true_w = np.array([[2.0], [-1.0], [0.5]])
+        y = x @ true_w + 0.3
+        layer = Linear(3, 1, rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            loss = mse_loss(layer(Tensor(x)), Tensor(y))
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=1e-2)
+        np.testing.assert_allclose(layer.bias.data, [0.3], atol=1e-2)

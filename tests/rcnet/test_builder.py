@@ -1,0 +1,75 @@
+"""RCNetBuilder: incremental construction semantics."""
+
+import pytest
+
+from repro.rcnet import RCNetBuilder, RCNetError
+
+
+class TestBuilder:
+    def test_basic_build(self):
+        b = RCNetBuilder("n")
+        b.add_node("a", cap=1e-15)
+        b.add_node("b", cap=2e-15)
+        b.add_edge("a", "b", 50.0)
+        b.set_source("a")
+        b.add_sink("b")
+        net = b.build()
+        assert net.name == "n"
+        assert net.num_nodes == 2
+        assert net.nodes[1].cap == pytest.approx(2e-15)
+
+    def test_duplicate_node_rejected(self):
+        b = RCNetBuilder("n")
+        b.add_node("a")
+        with pytest.raises(RCNetError):
+            b.add_node("a")
+
+    def test_get_or_add_accumulates_cap(self):
+        """SPEF semantics: repeated *CAP entries add up on one node."""
+        b = RCNetBuilder("n")
+        b.add_cap("a", 1e-15)
+        b.add_cap("a", 2e-15)
+        b.add_node("b")
+        b.add_edge("a", "b", 1.0)
+        b.set_source("a")
+        b.add_sink("b")
+        assert b.build().nodes[0].cap == pytest.approx(3e-15)
+
+    def test_edge_creates_nodes_on_demand(self):
+        b = RCNetBuilder("n")
+        b.add_edge("x", "y", 10.0)
+        assert "x" in b and "y" in b
+        assert len(b) == 2
+
+    def test_build_without_source_raises(self):
+        b = RCNetBuilder("n")
+        b.add_edge("a", "b", 1.0)
+        b.add_sink("b")
+        with pytest.raises(RCNetError, match="no source"):
+            b.build()
+
+    def test_node_index_unknown_raises(self):
+        b = RCNetBuilder("n")
+        with pytest.raises(RCNetError):
+            b.node_index("missing")
+
+    def test_coupling_attached(self):
+        b = RCNetBuilder("n")
+        b.add_edge("a", "b", 1.0)
+        b.set_source("a")
+        b.add_sink("b")
+        b.add_coupling("b", "other_net:3", 0.5e-15, activity=0.7)
+        net = b.build()
+        assert len(net.couplings) == 1
+        assert net.couplings[0].aggressor_name == "other_net:3"
+        assert net.couplings[0].activity == pytest.approx(0.7)
+
+    def test_invalid_topology_caught_at_build(self):
+        b = RCNetBuilder("n")
+        b.add_node("a", cap=1e-15)
+        b.add_node("c", cap=1e-15)  # disconnected
+        b.add_edge("a", "b", 1.0)
+        b.set_source("a")
+        b.add_sink("b")
+        with pytest.raises(RCNetError, match="unreachable"):
+            b.build()

@@ -1,0 +1,121 @@
+"""RCNet structure validation and accessors."""
+
+import numpy as np
+import pytest
+
+from repro.rcnet import (CouplingCap, RCEdge, RCNet, RCNetError, RCNode,
+                         chain_net)
+
+
+def make_nodes(caps):
+    return [RCNode(i, f"n{i}", c) for i, c in enumerate(caps)]
+
+
+class TestValidation:
+    def test_minimal_valid_net(self):
+        net = RCNet("n", make_nodes([1e-15, 1e-15]), [RCEdge(0, 1, 10.0)], 0, [1])
+        assert net.num_nodes == 2
+        assert net.is_tree()
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(RCNetError):
+            RCNode(0, "bad", -1e-15)
+
+    def test_nonpositive_resistance_rejected(self):
+        with pytest.raises(RCNetError):
+            RCEdge(0, 1, 0.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(RCNetError):
+            RCEdge(2, 2, 10.0)
+
+    def test_no_sinks_rejected(self):
+        with pytest.raises(RCNetError):
+            RCNet("n", make_nodes([1e-15, 1e-15]), [RCEdge(0, 1, 1.0)], 0, [])
+
+    def test_sink_equals_source_rejected(self):
+        with pytest.raises(RCNetError):
+            RCNet("n", make_nodes([1e-15, 1e-15]), [RCEdge(0, 1, 1.0)], 0, [0])
+
+    def test_duplicate_sinks_rejected(self):
+        with pytest.raises(RCNetError):
+            RCNet("n", make_nodes([0, 0, 0]),
+                  [RCEdge(0, 1, 1.0), RCEdge(1, 2, 1.0)], 0, [1, 1])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(RCNetError, match="unreachable"):
+            RCNet("n", make_nodes([0, 0, 0]), [RCEdge(0, 1, 1.0)], 0, [1])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(RCNetError):
+            RCNet("n", make_nodes([0, 0]), [RCEdge(0, 5, 1.0)], 0, [1])
+
+    def test_misordered_node_indices_rejected(self):
+        nodes = [RCNode(1, "a", 0.0), RCNode(0, "b", 0.0)]
+        with pytest.raises(RCNetError):
+            RCNet("n", nodes, [RCEdge(0, 1, 1.0)], 0, [1])
+
+    def test_coupling_victim_out_of_range(self):
+        with pytest.raises(RCNetError):
+            RCNet("n", make_nodes([0, 0]), [RCEdge(0, 1, 1.0)], 0, [1],
+                  couplings=[CouplingCap(9, "x", 1e-15)])
+
+    def test_coupling_activity_bounds(self):
+        with pytest.raises(RCNetError):
+            CouplingCap(0, "x", 1e-15, activity=1.5)
+
+
+class TestAccessors:
+    def test_chain_properties(self, small_chain):
+        assert small_chain.num_nodes == 10
+        assert small_chain.num_edges == 9
+        assert small_chain.is_tree()
+        assert small_chain.num_sinks == 1
+        assert small_chain.total_cap == pytest.approx(10 * 2e-15)
+        assert small_chain.total_resistance == pytest.approx(900.0)
+
+    def test_degree_and_neighbors(self, small_chain):
+        assert small_chain.degree(0) == 1
+        assert small_chain.degree(5) == 2
+        assert sorted(small_chain.neighbors(5)) == [4, 6]
+
+    def test_weighted_adjacency_symmetric(self, nontree_net):
+        a = nontree_net.weighted_adjacency()
+        np.testing.assert_allclose(a, a.T)
+        assert np.all(np.diag(a) == 0.0)
+
+    def test_weighted_adjacency_parallel_edges_combined(self):
+        nodes = make_nodes([0.0, 0.0])
+        edges = [RCEdge(0, 1, 100.0), RCEdge(0, 1, 100.0)]
+        net = RCNet("p", nodes, edges, 0, [1])
+        assert net.weighted_adjacency()[0, 1] == pytest.approx(50.0)
+
+    def test_nontree_detected(self, nontree_net):
+        assert not nontree_net.is_tree()
+        assert nontree_net.num_edges > nontree_net.num_nodes - 1
+
+    def test_cap_vector(self, small_chain):
+        np.testing.assert_allclose(small_chain.cap_vector(), 2e-15)
+
+    def test_coupling_cap_vector(self, nontree_net):
+        vec = nontree_net.coupling_cap_vector()
+        assert vec.shape == (nontree_net.num_nodes,)
+        assert vec.sum() == pytest.approx(nontree_net.total_coupling_cap)
+
+    def test_to_networkx(self, tree_net):
+        g = tree_net.to_networkx()
+        assert g.number_of_nodes() == tree_net.num_nodes
+        assert g.number_of_edges() == tree_net.num_edges
+        import networkx as nx
+        assert nx.is_connected(g)
+
+    def test_edge_other(self):
+        edge = RCEdge(2, 5, 1.0)
+        assert edge.other(2) == 5
+        assert edge.other(5) == 2
+        with pytest.raises(ValueError):
+            edge.other(3)
+
+    def test_repr_mentions_kind(self, small_chain, nontree_net):
+        assert "tree" in repr(small_chain)
+        assert "non-tree" in repr(nontree_net)

@@ -1,0 +1,103 @@
+"""TICER-style RC reduction: exactness and conservation properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import GoldenTimer, elmore_delays
+from repro.rcnet import (chain_net, random_net, random_nontree_net,
+                         random_tree_net, reduce_net, reduction_stats,
+                         star_net)
+
+
+class TestStructure:
+    def test_chain_collapses_to_endpoints(self, small_chain):
+        reduced = reduce_net(small_chain)
+        assert reduced.num_nodes == 2  # source + sink survive
+        assert reduced.num_edges == 1
+        assert reduced.total_resistance == pytest.approx(
+            small_chain.total_resistance)
+
+    def test_protected_nodes_survive(self, small_chain):
+        reduced = reduce_net(small_chain, keep={5})
+        assert reduced.num_nodes == 3
+        names = {n.name for n in reduced.nodes}
+        assert "chain:5" in names
+
+    def test_star_keeps_sinks(self):
+        net = star_net(4)
+        reduced = reduce_net(net)
+        assert reduced.num_sinks == 4
+        # Hub may be eliminated (degree 5 > max_degree default keeps it).
+        assert reduced.num_nodes >= 1 + 4
+
+    def test_couplings_preserved(self, nontree_net):
+        reduced = reduce_net(nontree_net)
+        assert len(reduced.couplings) == len(nontree_net.couplings)
+        assert reduced.total_coupling_cap == pytest.approx(
+            nontree_net.total_coupling_cap)
+
+
+class TestConservation:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_total_cap_conserved(self, seed):
+        net = random_net(np.random.default_rng(seed), name="red")
+        reduced = reduce_net(net)
+        stats = reduction_stats(net, reduced)
+        assert stats["cap_error"] < 1e-12
+        assert stats["nodes_after"] <= stats["nodes_before"]
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_elmore_exact_at_surviving_nodes(self, seed):
+        """Kron reduction of G is exact and the TICER split preserves the
+        first moment, so surviving-node Elmore delays match exactly."""
+        rng = np.random.default_rng(seed)
+        net = random_net(rng, name="red", coupling_prob=0.0)
+        reduced = reduce_net(net)
+        original = elmore_delays(net)
+        after = elmore_delays(reduced)
+        name_to_new = {n.name: n.index for n in reduced.nodes}
+        for node in reduced.nodes:
+            old_index = next(n.index for n in net.nodes if n.name == node.name)
+            np.testing.assert_allclose(after[node.index], original[old_index],
+                                       rtol=1e-9, atol=1e-20)
+
+    def test_sink_order_preserved(self, nontree_net):
+        reduced = reduce_net(nontree_net)
+        original_names = [nontree_net.nodes[s].name for s in nontree_net.sinks]
+        reduced_names = [reduced.nodes[s].name for s in reduced.sinks]
+        assert original_names == reduced_names
+
+
+class TestTimingAccuracy:
+    def test_golden_delay_close_after_reduction(self):
+        """Reduction is exact to first order; golden (all-moment) delay
+        shifts only a few percent on a heavily reduced chain."""
+        net = chain_net(20, resistance=50.0, cap=1e-15)
+        reduced = reduce_net(net)
+        timer = GoldenTimer(si_mode=False)
+        full = timer.analyze(net, 20e-12).delays()[0]
+        red = timer.analyze(reduced, 20e-12).delays()[0]
+        assert red == pytest.approx(full, rel=0.10)
+
+    def test_reduction_speeds_up_golden_analysis(self):
+        import time
+
+        rng = np.random.default_rng(1)
+        nets = [random_tree_net(rng, 40, n_sinks=2, name=f"big{i}")
+                for i in range(10)]
+        reduced = [reduce_net(n) for n in nets]
+        timer = GoldenTimer(si_mode=False)
+
+        start = time.perf_counter()
+        for n in nets:
+            timer.analyze(n, 20e-12)
+        t_full = time.perf_counter() - start
+        start = time.perf_counter()
+        for n in reduced:
+            timer.analyze(n, 20e-12)
+        t_red = time.perf_counter() - start
+        assert t_red < t_full

@@ -1,0 +1,167 @@
+"""SPEF reader/writer: round trips, units, name maps, error handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rcnet import (SPEFError, chain_net, load_spef, parse_spef,
+                         random_net, save_spef, write_spef)
+
+
+def nets_equal(a, b):
+    """Structural + value equality of two RCNets, keyed by node *name*.
+
+    SPEF does not preserve node declaration order (*CONN entries appear
+    before *CAP entries), so indices may permute across a round trip; the
+    electrical identity is name-based.
+    """
+    if (a.num_nodes, a.num_edges) != (b.num_nodes, b.num_edges):
+        return False
+    caps_a = {n.name: n.cap for n in a.nodes}
+    caps_b = {n.name: n.cap for n in b.nodes}
+    if set(caps_a) != set(caps_b):
+        return False
+    if not all(np.isclose(caps_a[k], caps_b[k], rtol=1e-5) for k in caps_a):
+        return False
+    if a.nodes[a.source].name != b.nodes[b.source].name:
+        return False
+    if {a.nodes[s].name for s in a.sinks} != {b.nodes[s].name for s in b.sinks}:
+        return False
+    ea = sorted((tuple(sorted((a.nodes[e.u].name, a.nodes[e.v].name))),
+                 e.resistance) for e in a.edges)
+    eb = sorted((tuple(sorted((b.nodes[e.u].name, b.nodes[e.v].name))),
+                 e.resistance) for e in b.edges)
+    return all(na == nb and np.isclose(ra, rb, rtol=1e-5)
+               for (na, ra), (nb, rb) in zip(ea, eb))
+
+
+class TestRoundTrip:
+    def test_chain_roundtrip(self, small_chain):
+        design = parse_spef(write_spef([small_chain]))
+        assert len(design) == 1
+        assert nets_equal(design.nets[0], small_chain)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_net_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_net(rng, name=f"net{seed}")
+        parsed = parse_spef(write_spef([net])).nets[0]
+        assert nets_equal(parsed, net)
+        # Coupling caps survive with values.
+        assert len(parsed.couplings) == len(net.couplings)
+        assert parsed.total_coupling_cap == pytest.approx(
+            net.total_coupling_cap, rel=1e-5)
+
+    def test_multiple_nets(self, rng):
+        nets = [random_net(rng, name=f"n{i}") for i in range(5)]
+        design = parse_spef(write_spef(nets, design="multi"))
+        assert design.design == "multi"
+        assert len(design) == 5
+        assert nets_equal(design.net_by_name("n3"), nets[3])
+
+    def test_file_roundtrip(self, tmp_path, small_chain):
+        path = str(tmp_path / "test.spef")
+        save_spef(path, [small_chain], design="filetest")
+        design = load_spef(path)
+        assert design.design == "filetest"
+        assert nets_equal(design.nets[0], small_chain)
+
+
+class TestUnits:
+    SPEF_KOHM_PF = """*SPEF "IEEE 1481-1998"
+*DESIGN "units"
+*DIVIDER /
+*DELIMITER :
+*T_UNIT 1 NS
+*C_UNIT 1 PF
+*R_UNIT 1 KOHM
+
+*D_NET n1 0.002
+*CONN
+*I n1:0 O
+*I n1:1 I
+*CAP
+1 n1:0 0.001
+2 n1:1 0.001
+*RES
+1 n1:0 n1:1 0.05
+*END
+"""
+
+    def test_unit_scaling(self):
+        net = parse_spef(self.SPEF_KOHM_PF).nets[0]
+        assert net.nodes[0].cap == pytest.approx(1e-15)   # 0.001 pF = 1 fF
+        assert net.edges[0].resistance == pytest.approx(50.0)  # 0.05 kOhm
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(SPEFError, match="unknown unit"):
+            parse_spef(self.SPEF_KOHM_PF.replace("1 PF", "1 QF"))
+
+
+class TestNameMap:
+    SPEF_MAPPED = """*SPEF "IEEE 1481-1998"
+*DESIGN "mapped"
+*DELIMITER :
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*NAME_MAP
+*1 top/alu/net7
+*D_NET *1 3.0
+*CONN
+*I *1:0 O
+*I *1:1 I
+*CAP
+1 *1:0 1.5
+2 *1:1 1.5
+*RES
+1 *1:0 *1:1 42.0
+*END
+"""
+
+    def test_name_map_expanded(self):
+        net = parse_spef(self.SPEF_MAPPED).nets[0]
+        assert net.name == "top/alu/net7"
+        assert net.nodes[0].name == "top/alu/net7:0"
+        assert net.edges[0].resistance == pytest.approx(42.0)
+
+    def test_unmapped_index_rejected(self):
+        bad = self.SPEF_MAPPED.replace("*NAME_MAP\n*1 top/alu/net7\n", "")
+        with pytest.raises(SPEFError, match="unmapped"):
+            parse_spef(bad)
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(SPEFError, match=r"\*SPEF header"):
+            parse_spef("*DESIGN \"x\"\n")
+
+    def test_net_before_units(self):
+        text = '*SPEF "x"\n*D_NET n 1.0\n*CONN\n*END\n'
+        with pytest.raises(SPEFError, match="before"):
+            parse_spef(text)
+
+    def test_unterminated_net(self, small_chain):
+        text = write_spef([small_chain]).replace("*END", "")
+        with pytest.raises(SPEFError, match="not terminated"):
+            parse_spef(text)
+
+    def test_net_without_driver(self, small_chain):
+        text = write_spef([small_chain]).replace("chain:0 O", "chain:0 I")
+        with pytest.raises(SPEFError, match="no driver"):
+            parse_spef(text)
+
+    def test_comments_ignored(self, small_chain):
+        text = write_spef([small_chain])
+        commented = "\n".join(
+            line + " // trailing comment" if line.startswith("1 ") else line
+            for line in text.splitlines())
+        assert nets_equal(parse_spef(commented).nets[0], small_chain)
+
+    def test_malformed_resistance(self):
+        text = ('*SPEF "x"\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n'
+                '*D_NET n 1.0\n*CONN\n*I n:0 O\n*I n:1 I\n'
+                '*CAP\n1 n:0 1.0\n2 n:1 1.0\n*RES\n1 n:0\n*END\n')
+        with pytest.raises(SPEFError, match="malformed resistance"):
+            parse_spef(text)

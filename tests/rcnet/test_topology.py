@@ -1,0 +1,115 @@
+"""Topology generators: structural and statistical properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rcnet import (ParasiticRanges, chain_net, random_net,
+                         random_nontree_net, random_tree_net, star_net)
+
+
+class TestChainAndStar:
+    def test_chain_structure(self):
+        net = chain_net(5)
+        assert net.num_nodes == 5
+        assert net.num_edges == 4
+        assert net.sinks == (4,)
+        assert net.is_tree()
+
+    def test_chain_too_short(self):
+        with pytest.raises(ValueError):
+            chain_net(1)
+
+    def test_star_structure(self):
+        net = star_net(6)
+        assert net.num_sinks == 6
+        assert net.num_nodes == 8  # src + hub + 6 sinks
+        assert net.is_tree()
+
+    def test_star_needs_sink(self):
+        with pytest.raises(ValueError):
+            star_net(0)
+
+
+class TestRandomTree:
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_always_a_valid_tree(self, n_nodes, seed):
+        rng = np.random.default_rng(seed)
+        net = random_tree_net(rng, n_nodes)
+        assert net.num_nodes == n_nodes
+        assert net.num_edges == n_nodes - 1
+        assert net.is_tree()
+        assert net.num_sinks >= 1
+
+    def test_sink_count_respected(self, rng):
+        net = random_tree_net(rng, 30, n_sinks=3)
+        assert net.num_sinks == 3
+
+    def test_sinks_are_leaves(self, rng):
+        net = random_tree_net(rng, 30)
+        for sink in net.sinks:
+            assert net.degree(sink) == 1
+
+    def test_deterministic_given_seed(self):
+        a = random_tree_net(np.random.default_rng(5), 20)
+        b = random_tree_net(np.random.default_rng(5), 20)
+        assert [e.resistance for e in a.edges] == [e.resistance for e in b.edges]
+
+    def test_parasitics_within_ranges(self, rng):
+        ranges = ParasiticRanges()
+        net = random_tree_net(rng, 40, ranges=ranges)
+        for node in net.nodes:
+            assert ranges.cap_min <= node.cap <= ranges.cap_max
+        for edge in net.edges:
+            assert ranges.res_min <= edge.resistance <= ranges.res_max
+
+    def test_coupling_probability(self, rng):
+        net = random_tree_net(rng, 50, coupling_prob=1.0)
+        assert len(net.couplings) == 50
+
+    def test_too_small_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_tree_net(rng, 1)
+
+
+class TestRandomNonTree:
+    @given(st.integers(min_value=4, max_value=50),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_loops_added(self, n_nodes, n_loops, seed):
+        rng = np.random.default_rng(seed)
+        net = random_nontree_net(rng, n_nodes, n_loops=n_loops)
+        assert net.num_edges >= net.num_nodes - 1
+        assert net.num_edges <= net.num_nodes - 1 + n_loops
+        # Requested loops should almost always be placeable on >3 nodes.
+        if n_nodes > 6:
+            assert not net.is_tree()
+
+    def test_coupling_attached(self, rng):
+        net = random_nontree_net(rng, 30, coupling_prob=1.0)
+        assert len(net.couplings) == 30
+
+
+class TestRandomNetMix:
+    def test_population_mix(self):
+        rng = np.random.default_rng(0)
+        nets = [random_net(rng, name=f"n{i}", non_tree_prob=0.4)
+                for i in range(100)]
+        nontree = sum(1 for n in nets if not n.is_tree())
+        assert 20 <= nontree <= 60  # around 40%
+
+    def test_size_bounds(self):
+        rng = np.random.default_rng(1)
+        for i in range(30):
+            net = random_net(rng, name=f"n{i}", n_nodes_range=(6, 12))
+            assert 6 <= net.num_nodes <= 12
+
+    def test_sink_bounds(self):
+        rng = np.random.default_rng(2)
+        for i in range(30):
+            net = random_net(rng, name=f"n{i}", n_sinks_range=(1, 4))
+            assert 1 <= net.num_sinks <= 4
