@@ -15,20 +15,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import math
+
 import numpy as np
 
 from ..rcnet.graph import RCNet
+from ..robustness.errors import InputError, NumericalError
+from ..robustness.guards import MAX_CONDITION, check_conditioning
 
 
 def conductance_matrix(net: RCNet) -> np.ndarray:
     """Full ``n x n`` Laplacian of edge conductances.
 
     Symmetric positive semi-definite with zero row sums; singular until a
-    reference (the driven source) is eliminated.
+    reference (the driven source) is eliminated.  Raises
+    :class:`~repro.robustness.errors.InputError` on corrupt (non-finite or
+    non-positive) resistance values, which would otherwise poison every
+    downstream engine silently.
     """
     n = net.num_nodes
     g = np.zeros((n, n), dtype=np.float64)
     for edge in net.edges:
+        if not (math.isfinite(edge.resistance) and edge.resistance > 0.0):
+            raise InputError(
+                f"edge ({edge.u}, {edge.v}) has invalid resistance "
+                f"{edge.resistance!r}", net=net.name, stage="mna-assembly")
         conductance = 1.0 / edge.resistance
         g[edge.u, edge.u] += conductance
         g[edge.v, edge.v] += conductance
@@ -68,6 +79,9 @@ def capacitance_vector(net: RCNet, miller_factor: Optional[float] = None,
                 f"sink_loads must have shape ({net.num_sinks},), got {sink_loads.shape}")
         for sink, load in zip(net.sinks, sink_loads):
             caps[sink] += load
+    if not np.all(np.isfinite(caps)):
+        raise InputError("net has non-finite capacitance", net=net.name,
+                         stage="mna-assembly")
     return caps
 
 
@@ -117,7 +131,8 @@ def reduce_source(net: RCNet, miller_factor: Optional[float] = None,
     """
     n = net.num_nodes
     if n < 2:
-        raise ValueError("cannot reduce a single-node net")
+        raise InputError("cannot reduce a single-node net", net=net.name,
+                         stage="mna-reduce")
     full_g = conductance_matrix(net)
     caps = capacitance_vector(net, miller_factor, sink_loads)
     keep = np.array([i for i in range(n) if i != net.source], dtype=np.intp)
@@ -134,11 +149,25 @@ def reduce_source(net: RCNet, miller_factor: Optional[float] = None,
     )
 
 
-def transfer_resistance_matrix(system: ReducedSystem) -> np.ndarray:
+def transfer_resistance_matrix(system: ReducedSystem,
+                               max_condition: float = MAX_CONDITION
+                               ) -> np.ndarray:
     """Dense inverse of the reduced conductance matrix.
 
     Entry ``(i, j)`` is the voltage at node ``i`` per unit current injected
     at node ``j`` with the source grounded — the *transfer resistance* that
     generalizes "shared path resistance" to non-tree nets.
+
+    The reduced matrix is symmetric positive definite on healthy nets; a
+    condition number beyond ``max_condition`` means the inverse carries no
+    usable precision and raises a typed
+    :class:`~repro.robustness.errors.NumericalError` instead of returning
+    garbage.
     """
-    return np.linalg.inv(system.g)
+    check_conditioning(system.g, what="reduced conductance matrix",
+                       stage="mna-solve", limit=max_condition)
+    try:
+        return np.linalg.inv(system.g)
+    except np.linalg.LinAlgError as exc:
+        raise NumericalError(f"reduced conductance matrix is singular: {exc}",
+                             stage="mna-solve", cause=exc) from exc

@@ -22,6 +22,7 @@ integration error.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,10 +30,19 @@ import numpy as np
 
 from ..rcnet.graph import OHM, RCNet
 from ..rcnet.paths import extract_wire_paths
+from ..robustness.errors import InputError, NumericalError
+from ..robustness.guards import require_finite, symmetric_condition
 from .elmore import elmore_delays
 from .mna import capacitance_vector, conductance_matrix
 
 _MIN_CAP = 1e-20  # Farads; regularizes pure-junction (zero-cap) nodes.
+# Numerical-health policy of the symmetrized operator: when its condition
+# number exceeds _MAX_CONDITION, the minimum-cap floor is escalated by
+# _CAP_ESCALATION (stiffening the fastest modes) up to _MAX_CAP_RETRIES
+# times before the net is declared numerically hopeless.
+_MAX_CONDITION = 1e12
+_CAP_ESCALATION = 1e3
+_MAX_CAP_RETRIES = 3
 
 
 @dataclass(frozen=True)
@@ -85,10 +95,12 @@ class TransientSolution:
     def __init__(self, net: RCNet, drive_resistance: float, vdd: float,
                  ramp_time: float, caps: np.ndarray,
                  injection: Optional[np.ndarray] = None) -> None:
-        if drive_resistance <= 0.0:
-            raise ValueError("drive_resistance must be positive")
-        if ramp_time <= 0.0:
-            raise ValueError("ramp_time must be positive")
+        if not (math.isfinite(drive_resistance) and drive_resistance > 0.0):
+            raise InputError("drive_resistance must be positive and finite",
+                             net=net.name, stage="simulate")
+        if not (math.isfinite(ramp_time) and ramp_time > 0.0):
+            raise InputError("ramp_time must be positive and finite",
+                             net=net.name, stage="simulate")
         self.net = net
         self.vdd = vdd
         self.ramp_time = ramp_time
@@ -99,11 +111,7 @@ class TransientSolution:
         b = np.zeros(net.num_nodes)
         b[net.source] = g_drv
 
-        caps = np.maximum(caps, _MIN_CAP)
-        inv_sqrt_c = 1.0 / np.sqrt(caps)
-        m = (inv_sqrt_c[:, None] * g) * inv_sqrt_c[None, :]
-        m = 0.5 * (m + m.T)  # enforce exact symmetry before eigh
-        eigenvalues, q = np.linalg.eigh(m)
+        caps, inv_sqrt_c, eigenvalues, q = self._decompose(net, g, caps)
         # G + g_drv e e^T is PD, so all eigenvalues are strictly positive;
         # clamp against roundoff.
         self._lam = np.maximum(eigenvalues, 1e-6 / ramp_time * 1e-6)
@@ -122,6 +130,40 @@ class TransientSolution:
             self._gamma = q.T @ (inv_sqrt_c * injection)
         # Modal state at the end of the ramp (start state is zero).
         self._z_ramp_end = self._z_during_ramp(ramp_time)
+
+    @staticmethod
+    def _decompose(net: RCNet, g: np.ndarray, caps: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Eigendecompose the symmetrized operator, with regularized retry.
+
+        Starting from the ``_MIN_CAP`` floor, the cap floor is escalated
+        whenever the operator is too ill-conditioned for the closed-form
+        solution to carry precision; a net that stays hopeless after
+        ``_MAX_CAP_RETRIES`` escalations raises a typed
+        :class:`~repro.robustness.errors.NumericalError` carrying its name.
+        """
+        require_finite(caps, "capacitance vector", net=net.name,
+                       stage="simulate")
+        min_cap = _MIN_CAP
+        condition = float("inf")
+        for _ in range(_MAX_CAP_RETRIES + 1):
+            floored = np.maximum(caps, min_cap)
+            inv_sqrt_c = 1.0 / np.sqrt(floored)
+            m = (inv_sqrt_c[:, None] * g) * inv_sqrt_c[None, :]
+            m = 0.5 * (m + m.T)  # enforce exact symmetry before eigh
+            try:
+                eigenvalues, q = np.linalg.eigh(m)
+            except np.linalg.LinAlgError:
+                min_cap *= _CAP_ESCALATION
+                continue
+            condition = symmetric_condition(eigenvalues)
+            if condition <= _MAX_CONDITION:
+                return floored, inv_sqrt_c, eigenvalues, q
+            min_cap *= _CAP_ESCALATION
+        raise NumericalError(
+            f"symmetrized MNA operator stays ill-conditioned "
+            f"(cond={condition:.3e}) after {_MAX_CAP_RETRIES} cap-floor "
+            f"escalations", net=net.name, stage="simulate")
 
     # -- input waveform -------------------------------------------------
     def input_at(self, t: float) -> float:
@@ -173,8 +215,9 @@ class TransientSolution:
         """First time the node voltage crosses ``level`` volts.
 
         A coarse forward scan brackets the (monotone-in-practice) crossing,
-        then bisection refines it to ``tol`` seconds.  Raises ``RuntimeError``
-        if the voltage never reaches ``level`` within ``horizon``.
+        then bisection refines it to ``tol`` seconds.  Raises a typed
+        :class:`~repro.robustness.errors.NumericalError` if the voltage
+        never reaches ``level`` within ``horizon``.
         """
         samples = 256
         ts = np.linspace(0.0, horizon, samples + 1)
@@ -188,8 +231,9 @@ class TransientSolution:
                 break
             lo, v_prev = float(t), v
         if hi is None:
-            raise RuntimeError(
-                f"node {node} never reached {level:.3f} V within {horizon:.3e} s")
+            raise NumericalError(
+                f"node never reached {level:.3f} V within {horizon:.3e} s",
+                net=self.net.name, sink=node, stage="simulate")
         while hi - lo > tol:
             mid = 0.5 * (lo + hi)
             if self.node_voltage_at(node, mid) >= level:
@@ -251,8 +295,9 @@ class GoldenTimer:
     def solve(self, net: RCNet, input_slew: float,
               sink_loads: Optional[Sequence[float]] = None) -> TransientSolution:
         """Build the closed-form transient solution for one net."""
-        if input_slew <= 0.0:
-            raise ValueError("input_slew must be positive")
+        if not (math.isfinite(input_slew) and input_slew > 0.0):
+            raise InputError("input_slew must be positive and finite",
+                             net=net.name, stage="simulate")
         loads = None if sink_loads is None else np.asarray(sink_loads, dtype=np.float64)
         caps = capacitance_vector(net, miller_factor=None, sink_loads=loads)
         # The input slew is a 10/90 measurement; the underlying linear ramp
@@ -300,6 +345,10 @@ class GoldenTimer:
             t_hi = solution.crossing_time(sink, v_hi, horizon)
             result.sink_timings.append(SinkTiming(
                 sink=sink, delay=t_mid - t_src_mid, slew=t_hi - t_lo))
+        require_finite(result.delays(), "golden delays", net=net.name,
+                       stage="simulate")
+        require_finite(result.slews(), "golden slews", net=net.name,
+                       stage="simulate")
         return result
 
     def _horizon(self, net: RCNet, solution: TransientSolution,

@@ -88,6 +88,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="driver Thevenin resistance in ohms")
     p.add_argument("--no-si", action="store_true",
                    help="ignore coupling (quiet aggressors)")
+    p.add_argument("--lenient", action="store_true",
+                   help="skip malformed *D_NET blocks instead of aborting")
     p.set_defaults(handler=_cmd_spef_timing)
 
     p = sub.add_parser("export-design",
@@ -102,7 +104,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verilog", required=True)
     p.add_argument("--spef", required=True)
     p.add_argument("--lib", required=True)
-    p.add_argument("--engine", choices=["golden", "elmore", "d2m", "awe"],
+    p.add_argument("--engine",
+                   choices=["golden", "elmore", "d2m", "awe", "fallback"],
                    default="golden")
     p.add_argument("--paths", type=int, default=20,
                    help="number of timing paths to sample")
@@ -129,6 +132,10 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     print(f"wrote {args.output}: {len(dataset.train)} train nets "
           f"({dataset.num_train_paths} paths), {len(dataset.test)} test nets "
           f"({dataset.num_test_paths} paths)")
+    if dataset.skipped:
+        print(f"skipped {len(dataset.skipped)} pathological net(s):")
+        for record in dataset.skipped:
+            print(f"  {record.design}/{record.net}: {record.reason}")
     return 0
 
 
@@ -181,7 +188,7 @@ def _cmd_spef_timing(args: argparse.Namespace) -> int:
     from .rcnet import SPEFError, load_spef
 
     try:
-        design = load_spef(args.spef)
+        design = load_spef(args.spef, strict=not args.lenient)
     except (OSError, SPEFError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -189,6 +196,9 @@ def _cmd_spef_timing(args: argparse.Namespace) -> int:
                         si_mode=not args.no_si)
     print(f"design {design.design!r}: {len(design)} nets "
           f"(input slew {args.input_slew} ps, Rdrv {args.drive_res} ohm)")
+    for skip in design.skipped:
+        print(f"skipped net {skip.name!r} (line {skip.line}): {skip.reason}",
+              file=sys.stderr)
     for net in design.nets:
         result = timer.analyze(net, args.input_slew * 1e-12)
         for timing in result.sink_timings:
@@ -234,8 +244,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .liberty import LibertyError, load_liberty
     from .rcnet import SPEFError
 
+    from .robustness import default_fallback_chain
+
     engines = {"golden": GoldenWireModel, "elmore": ElmoreWireModel,
-               "d2m": D2MWireModel, "awe": AWEWireModel}
+               "d2m": D2MWireModel, "awe": AWEWireModel,
+               "fallback": default_fallback_chain}
     try:
         library = load_liberty(args.lib)
         with open(args.verilog) as handle:
@@ -267,9 +280,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not netlist.paths:
         print("error: no launch-to-capture paths found", file=sys.stderr)
         return 1
-    report = STAEngine(netlist, engines[args.engine](),
+    wire_model = engines[args.engine]()
+    report = STAEngine(netlist, wire_model,
                        launch_slew=launch_slew).analyze_design()
     print(format_design_report(report, top=10, clock_period=clock_period))
+    if hasattr(wire_model, "degradation_report"):
+        print()
+        print(wire_model.degradation_report())
     return 0
 
 

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..design.sta import WireTimingModel
+from ..robustness.errors import InputError, ModelError
 from ..features.path_features import NetContext
 from ..features.pipeline import FeatureScaler, NetSample, build_net_sample
 from ..nn.layers import Module
@@ -30,8 +31,26 @@ from .config import DEFAULT_CONFIG, GNNTransConfig
 from .gnntrans import GNNTrans
 
 _PS = 1e-12
+# Bound on the in-memory prediction provenance log (old entries are dropped
+# first; the per-tier counters are never trimmed).
+_MAX_PROVENANCE_RECORDS = 4096
 
 ModelFactory = Callable[[int, int, GNNTransConfig, np.random.Generator], Module]
+
+
+@dataclass
+class PredictionRecord:
+    """Provenance of one per-net prediction: which tier produced it.
+
+    ``tier`` is ``"model"`` for a healthy learned prediction or
+    ``"label-prior"`` when non-finite model output (e.g. corrupted weights)
+    was replaced by the training-label prior mean.
+    """
+
+    net: str
+    design: str
+    tier: str
+    reason: Optional[str] = None
 
 
 @dataclass
@@ -133,6 +152,17 @@ class WireTimingEstimator:
         self.model: Optional[Module] = None
         self.label_scaler = LabelScaler()
         self.history: Optional[TrainingHistory] = None
+        # Degradation observability: predictions replaced by the label-prior
+        # fallback are counted and logged here, never returned silently.
+        self.degradation_counts: Dict[str, int] = {"model": 0,
+                                                   "label-prior": 0}
+        self.provenance_log: List[PredictionRecord] = []
+        self.last_record: Optional[PredictionRecord] = None
+
+    @property
+    def last_tier(self) -> Optional[str]:
+        """Tier that served the most recent :meth:`predict_sample` call."""
+        return self.last_record.tier if self.last_record is not None else None
 
     # ------------------------------------------------------------------
     def fit(self, train_samples: Sequence[NetSample],
@@ -199,17 +229,63 @@ class WireTimingEstimator:
         return np.sqrt(input_slews ** 2 + np.maximum(predicted, 0.0) ** 2)
 
     def predict_sample(self, sample: NetSample) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-path ``(slew_ps, delay_ps)`` predictions for one net."""
+        """Per-path ``(slew_ps, delay_ps)`` predictions for one net.
+
+        Non-finite model output (corrupted weights, poisoned activations)
+        is replaced per path by the training-label prior mean; the
+        substitution is recorded in :attr:`degradation_counts` and
+        :attr:`provenance_log` under tier ``"label-prior"`` rather than
+        propagated or raised.
+        """
         self._require_fitted()
         was_training = self.model.training
         self.model.eval()
         try:
             slew, delay = self.model(sample)
+            slew_ps, delay_ps = self.label_scaler.denormalize(slew.data,
+                                                              delay.data)
+            slew_ps = self._reconstruct_slews(slew_ps, sample)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # degraded-but-valid beats an aborted run
+            prior_slew, prior_delay = self._prior_prediction(sample)
+            self._record(sample, "label-prior",
+                         f"{type(exc).__name__}: {exc}")
+            return prior_slew, prior_delay
         finally:
             if was_training:
                 self.model.train()
-        slew_ps, delay_ps = self.label_scaler.denormalize(slew.data, delay.data)
-        return self._reconstruct_slews(slew_ps, sample), delay_ps
+
+        finite = np.isfinite(slew_ps) & np.isfinite(delay_ps)
+        if not np.all(finite):
+            prior_slew, prior_delay = self._prior_prediction(sample)
+            slew_ps = np.where(finite, slew_ps, prior_slew)
+            delay_ps = np.where(finite, delay_ps, prior_delay)
+            bad = int(finite.size - np.count_nonzero(finite))
+            self._record(sample, "label-prior",
+                         f"{bad}/{finite.size} paths non-finite")
+        else:
+            self._record(sample, "model")
+        return slew_ps, delay_ps
+
+    def _prior_prediction(self, sample: NetSample
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Training-label prior mean per path — the degraded fallback."""
+        zeros = np.zeros(sample.num_paths)
+        slew_ps, delay_ps = self.label_scaler.denormalize(zeros, zeros.copy())
+        slew_ps = self._reconstruct_slews(slew_ps, sample)
+        # A corrupted sample (NaN input slews) must still yield finite output.
+        return (np.nan_to_num(slew_ps, nan=self.label_scaler.slew_mean),
+                np.nan_to_num(delay_ps, nan=self.label_scaler.delay_mean))
+
+    def _record(self, sample: NetSample, tier: str,
+                reason: Optional[str] = None) -> None:
+        record = PredictionRecord(sample.name, sample.design, tier, reason)
+        self.degradation_counts[tier] = self.degradation_counts.get(tier, 0) + 1
+        self.provenance_log.append(record)
+        if len(self.provenance_log) > _MAX_PROVENANCE_RECORDS:
+            del self.provenance_log[:-_MAX_PROVENANCE_RECORDS]
+        self.last_record = record
 
     def predict(self, samples: Sequence[NetSample]
                 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -297,13 +373,23 @@ class LearnedWireModel(WireTimingModel):
                     context: Optional[NetContext] = None
                     ) -> Tuple[np.ndarray, np.ndarray]:
         if context is None:
-            raise ValueError(
+            raise InputError(
                 "LearnedWireModel needs the cell context; run it through "
-                "STAEngine, which provides one")
+                "STAEngine, which provides one", net=net.name,
+                stage="predict")
         sample = build_net_sample(net, context, labeled=False)
         sample = self.feature_scaler.transform([sample])[0]
         slew_ps, delay_ps = self.estimator.predict_sample(sample)
+        if not (np.all(np.isfinite(slew_ps)) and np.all(np.isfinite(delay_ps))):
+            raise ModelError("learned prediction is non-finite",
+                             net=net.name, stage="predict",
+                             tier=self.name)
         return delay_ps * _PS, slew_ps * _PS
+
+    @property
+    def last_tier(self) -> Optional[str]:
+        """Provenance of the wrapped estimator's most recent prediction."""
+        return self.estimator.last_tier
 
     @property
     def name(self) -> str:

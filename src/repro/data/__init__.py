@@ -1,12 +1,14 @@
 """Dataset pipeline: generation, splitting and serialization."""
 
-from .generate import WireTimingDataset, design_net_samples, generate_dataset
+from .generate import (SkippedSample, WireTimingDataset, design_net_samples,
+                       generate_dataset)
 from .split import (by_design, collect_labels, nontree_only, train_val_split,
                     tree_only)
 from .io import load_dataset, save_dataset
 
 __all__ = [
-    "WireTimingDataset", "generate_dataset", "design_net_samples",
+    "WireTimingDataset", "SkippedSample", "generate_dataset",
+    "design_net_samples",
     "nontree_only", "tree_only", "by_design", "train_val_split",
     "collect_labels",
     "save_dataset", "load_dataset",

@@ -8,12 +8,14 @@ run the golden timer, and package a :class:`~repro.features.NetSample`.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.simulator import GoldenTimer
+from ..robustness.errors import EstimationError
 from ..design.benchmarks import (DEFAULT_SCALE, TEST_BENCHMARKS,
                                  TRAIN_BENCHMARKS, generate_benchmark)
 from ..design.netlist import Netlist
@@ -24,6 +26,17 @@ from ..liberty.library import Library, make_default_library
 
 _LAUNCH_SLEW = 20e-12
 
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class SkippedSample:
+    """One net dropped from a dataset build, with its typed failure reason."""
+
+    net: str
+    design: str
+    reason: str
+
 
 @dataclass
 class WireTimingDataset:
@@ -31,12 +44,15 @@ class WireTimingDataset:
 
     ``train`` and ``test`` hold *standardized* samples; ``scaler`` carries
     the training-set statistics so new nets can be normalized identically
-    at inference time.
+    at inference time.  ``skipped`` records nets whose golden labeling
+    failed with a typed error and were dropped instead of aborting the
+    build.
     """
 
     train: List[NetSample] = field(default_factory=list)
     test: List[NetSample] = field(default_factory=list)
     scaler: Optional[FeatureScaler] = None
+    skipped: List[SkippedSample] = field(default_factory=list)
 
     def test_by_design(self) -> Dict[str, List[NetSample]]:
         """Test samples grouped per benchmark, for per-row table output."""
@@ -56,13 +72,24 @@ class WireTimingDataset:
 
 def design_net_samples(netlist: Netlist, max_nets: Optional[int] = None,
                        rng: Optional[np.random.Generator] = None,
-                       si_mode: bool = True) -> List[NetSample]:
+                       si_mode: bool = True, on_error: str = "skip",
+                       skipped: Optional[List[SkippedSample]] = None
+                       ) -> List[NetSample]:
     """Build one sample per net of ``netlist`` (optionally a random subset).
 
     The input slew of each net is the actual output slew of its driving
     cell at the net's effective capacitance, so features and labels see a
     self-consistent operating point — exactly what a timer would propagate.
+
+    A net whose golden labeling fails with a typed
+    :class:`~repro.robustness.errors.EstimationError` (ill-conditioned MNA,
+    non-finite parasitics, ...) is skipped and logged by default — one
+    pathological net must not abort an hours-long dataset build.  Pass
+    ``on_error="raise"`` to fail fast instead, and a ``skipped`` list to
+    collect the per-net :class:`SkippedSample` records.
     """
+    if on_error not in ("skip", "raise"):
+        raise ValueError(f"on_error must be 'skip' or 'raise', got {on_error!r}")
     nets = list(netlist.nets.values())
     if max_nets is not None and len(nets) > max_nets:
         rng = rng or np.random.default_rng(0)
@@ -73,25 +100,37 @@ def design_net_samples(netlist: Netlist, max_nets: Optional[int] = None,
         drive_cell = netlist.gates[net.driver].cell
         load_cells = [netlist.gates[load.gate].cell for load in net.loads]
         sink_loads = np.array([c.input_cap for c in load_cells])
-        ceff = effective_capacitance(net.rcnet, drive_cell.drive_resistance,
-                                     sink_loads)
-        _, input_slew = drive_cell.delay_and_slew(_LAUNCH_SLEW, ceff)
-        context = NetContext(input_slew=input_slew, drive_cell=drive_cell,
-                             load_cells=load_cells)
-        timer = GoldenTimer(drive_resistance=drive_cell.drive_resistance,
-                            si_mode=si_mode)
-        samples.append(build_net_sample(net.rcnet, context,
-                                        design=netlist.name, timer=timer))
+        try:
+            ceff = effective_capacitance(net.rcnet,
+                                         drive_cell.drive_resistance,
+                                         sink_loads)
+            _, input_slew = drive_cell.delay_and_slew(_LAUNCH_SLEW, ceff)
+            context = NetContext(input_slew=input_slew, drive_cell=drive_cell,
+                                 load_cells=load_cells)
+            timer = GoldenTimer(drive_resistance=drive_cell.drive_resistance,
+                                si_mode=si_mode)
+            samples.append(build_net_sample(net.rcnet, context,
+                                            design=netlist.name, timer=timer))
+        except (EstimationError, np.linalg.LinAlgError) as exc:
+            if on_error == "raise":
+                raise
+            logger.warning("skipping net %r of design %r: %s",
+                           net.name, netlist.name, exc)
+            if skipped is not None:
+                skipped.append(SkippedSample(net.name, netlist.name, str(exc)))
     return samples
 
 
-def _samples_for_benchmark(args) -> List[NetSample]:
+def _samples_for_benchmark(args) -> Tuple[List[NetSample], List[SkippedSample]]:
     """Worker entry point: one benchmark's samples (picklable args)."""
     name, scale, nets_per_design, si_mode, worker_seed = args
     library = make_default_library()
     netlist = generate_benchmark(name, library, scale)
     rng = np.random.default_rng(worker_seed)
-    return design_net_samples(netlist, nets_per_design, rng, si_mode)
+    skipped: List[SkippedSample] = []
+    samples = design_net_samples(netlist, nets_per_design, rng, si_mode,
+                                 skipped=skipped)
+    return samples, skipped
 
 
 def generate_dataset(train_names: Sequence[str] = tuple(TRAIN_BENCHMARKS),
@@ -143,19 +182,24 @@ def generate_dataset(train_names: Sequence[str] = tuple(TRAIN_BENCHMARKS),
         for name, _, _, _, worker_seed in jobs:
             netlist = generate_benchmark(name, library, scale)
             rng = np.random.default_rng(worker_seed)
+            design_skipped: List[SkippedSample] = []
             per_benchmark.append(
-                design_net_samples(netlist, nets_per_design, rng, si_mode))
+                (design_net_samples(netlist, nets_per_design, rng, si_mode,
+                                    skipped=design_skipped), design_skipped))
     else:
         per_benchmark = [_samples_for_benchmark(job) for job in jobs]
 
     train: List[NetSample] = []
     test: List[NetSample] = []
-    for name, samples in zip(names, per_benchmark):
+    skipped: List[SkippedSample] = []
+    for name, (samples, design_skipped) in zip(names, per_benchmark):
         (train if name in train_names else test).extend(samples)
+        skipped.extend(design_skipped)
 
     scaler = FeatureScaler().fit(train)
     return WireTimingDataset(
         train=scaler.transform(train),
         test=scaler.transform(test),
         scaler=scaler,
+        skipped=skipped,
     )

@@ -23,6 +23,7 @@ from ..analysis.simulator import GoldenTimer
 from ..features.path_features import NetContext
 from ..liberty.ceff import effective_capacitance
 from ..rcnet.graph import RCNet
+from ..robustness.errors import EstimationError, ModelError, NumericalError
 from .netlist import Netlist, TimingPath
 
 _LN9 = float(np.log(9.0))  # 10%-90% swing of a single-pole response.
@@ -121,13 +122,18 @@ class D2MWireModel(WireTimingModel):
 
 @dataclass
 class StageTiming:
-    """Timing breakdown of one path stage."""
+    """Timing breakdown of one path stage.
+
+    ``tier`` is the wire-model degradation provenance: which tier of a
+    fallback-capable model served this stage (``None`` for plain models).
+    """
 
     gate: str
     net: str
     gate_delay: float
     wire_delay: float
     slew_out: float
+    tier: Optional[str] = None
 
 
 @dataclass
@@ -215,20 +221,38 @@ class STAEngine:
             context = NetContext(
                 input_slew=drive_slew, drive_cell=gate.cell,
                 load_cells=[self.netlist.gates[l.gate].cell for l in net.loads])
-            delays, slews = self.wire_model.wire_timing(
-                net.rcnet, drive_slew, sink_loads, gate.cell.drive_resistance,
-                context=context)
+            try:
+                delays, slews = self.wire_model.wire_timing(
+                    net.rcnet, drive_slew, sink_loads,
+                    gate.cell.drive_resistance, context=context)
+            except EstimationError:
+                raise  # already typed with provenance
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                raise ModelError(
+                    f"wire model {self.wire_model.name!r} failed: "
+                    f"{type(exc).__name__}: {exc}", net=stage.net,
+                    design=self.netlist.name, stage="sta",
+                    cause=exc) from exc
+            tier = getattr(self.wire_model, "last_tier", None)
             if self.slew_model is not None:
                 _, slews = self.slew_model.wire_timing(
                     net.rcnet, drive_slew, sink_loads,
                     gate.cell.drive_resistance, context=context)
             wire_delay = float(delays[stage.sink_index])
             slew = float(slews[stage.sink_index])
+            if not (np.isfinite(gate_delay) and np.isfinite(wire_delay)
+                    and np.isfinite(slew)):
+                raise NumericalError(
+                    "non-finite stage timing", net=stage.net,
+                    design=self.netlist.name, sink=stage.sink_index,
+                    stage="sta", tier=tier)
             arrival += gate_delay + wire_delay
             gate_total += gate_delay
             wire_total += wire_delay
             stages.append(StageTiming(stage.gate, stage.net, gate_delay,
-                                      wire_delay, slew))
+                                      wire_delay, slew, tier=tier))
         return PathTiming(path.name, arrival, gate_total, wire_total, stages)
 
     def analyze_design(self) -> STAReport:
@@ -251,6 +275,10 @@ class STAEngine:
                                              drive_resistance, context=context)
                 finally:
                     wire_seconds += time.perf_counter() - start
+
+            @property
+            def last_tier(self):
+                return getattr(model, "last_tier", None)
 
         engine = STAEngine(self.netlist, _TimedModel(), self.launch_slew,
                            slew_model=self.slew_model)

@@ -13,8 +13,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+import math
+
 import numpy as np
 
+from ..robustness.errors import TrainingDiverged
 from .layers import Module
 from .optim import Optimizer
 from .tensor import Tensor
@@ -35,9 +38,16 @@ class EpochStats:
 
 @dataclass
 class TrainingHistory:
-    """Full training trace returned by :meth:`Trainer.fit`."""
+    """Full training trace returned by :meth:`Trainer.fit`.
+
+    ``diverged`` is ``None`` for a healthy run; when the NaN/inf loss guard
+    stops training it carries the
+    :class:`~repro.robustness.errors.TrainingDiverged` record explaining
+    which epoch diverged and whether a best checkpoint was restored.
+    """
 
     epochs: List[EpochStats] = field(default_factory=list)
+    diverged: Optional[TrainingDiverged] = None
 
     @property
     def best_val_loss(self) -> Optional[float]:
@@ -121,10 +131,12 @@ class Trainer:
             if schedule is not None:
                 schedule.step()
 
+            train_loss = float(np.mean(losses)) if losses else float("nan")
+
             val_loss = None
             if val_samples is not None:
                 val_loss = self.evaluate(val_samples)
-                if val_loss < best_val - 1e-12:
+                if math.isfinite(val_loss) and val_loss < best_val - 1e-12:
                     best_val = val_loss
                     best_state = self.model.state_dict()
                     stale = 0
@@ -133,7 +145,7 @@ class Trainer:
 
             stats = EpochStats(
                 epoch=epoch,
-                train_loss=float(np.mean(losses)) if losses else float("nan"),
+                train_loss=train_loss,
                 val_loss=val_loss,
                 lr=self.optimizer.lr,
                 seconds=time.perf_counter() - start,
@@ -143,6 +155,19 @@ class Trainer:
                 val_str = f" val={val_loss:.6f}" if val_loss is not None else ""
                 print(f"epoch {epoch:4d} loss={stats.train_loss:.6f}{val_str} "
                       f"lr={stats.lr:.2e} ({stats.seconds:.2f}s)")
+
+            diverged = not math.isfinite(train_loss) or (
+                val_loss is not None and not math.isfinite(val_loss))
+            if diverged and losses:
+                # NaN/inf loss: the weights (and Adam state) are poisoned.
+                # Roll back to the best finite checkpoint and stop instead
+                # of silently training on garbage.
+                which = ("train" if not math.isfinite(train_loss) else "val")
+                history.diverged = TrainingDiverged(
+                    epoch=epoch, train_loss=train_loss, val_loss=val_loss,
+                    restored_best=best_state is not None,
+                    reason=f"non-finite {which} loss")
+                break
 
             if patience is not None and val_samples is not None and stale >= patience:
                 break

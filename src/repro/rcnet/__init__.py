@@ -13,8 +13,8 @@ from .paths import (WirePath, branch_nodes, count_wire_paths,
                     extract_wire_paths, shortest_path_tree)
 from .topology import (ParasiticRanges, chain_net, random_net,
                        random_nontree_net, random_tree_net, star_net)
-from .spef import (SPEFDesign, SPEFError, load_spef, parse_spef, save_spef,
-                   write_spef)
+from .spef import (SkippedNet, SPEFDesign, SPEFError, load_spef, parse_spef,
+                   save_spef, write_spef)
 from .reduce import reduce_net, reduction_stats
 
 __all__ = [
@@ -25,7 +25,7 @@ __all__ = [
     "count_wire_paths",
     "ParasiticRanges", "chain_net", "star_net", "random_tree_net",
     "random_nontree_net", "random_net",
-    "SPEFDesign", "SPEFError", "parse_spef", "load_spef", "write_spef",
-    "save_spef",
+    "SPEFDesign", "SPEFError", "SkippedNet", "parse_spef", "load_spef",
+    "write_spef", "save_spef",
     "reduce_net", "reduction_stats",
 ]

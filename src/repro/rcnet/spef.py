@@ -34,14 +34,29 @@ class SPEFError(ValueError):
     """Raised on malformed SPEF input."""
 
 
+@dataclass(frozen=True)
+class SkippedNet:
+    """One ``*D_NET`` block dropped by lenient parsing, with its reason."""
+
+    name: str
+    line: int
+    reason: str
+
+
 @dataclass
 class SPEFDesign:
-    """Parsed contents of one SPEF file."""
+    """Parsed contents of one SPEF file.
+
+    ``skipped`` is populated only by lenient parsing
+    (``parse_spef(text, strict=False)``): one record per malformed
+    ``*D_NET`` block that was dropped instead of aborting the file.
+    """
 
     design: str
     nets: List[RCNet] = field(default_factory=list)
     divider: str = "/"
     delimiter: str = ":"
+    skipped: List[SkippedNet] = field(default_factory=list)
 
     def net_by_name(self, name: str) -> RCNet:
         for net in self.nets:
@@ -122,26 +137,32 @@ def save_spef(path: str, nets: Sequence[RCNet], design: str = "repro_design") ->
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
-def parse_spef(text: str) -> SPEFDesign:
+def parse_spef(text: str, strict: bool = True) -> SPEFDesign:
     """Parse SPEF text into a :class:`SPEFDesign`.
 
-    Raises :class:`SPEFError` on structural problems (missing sections,
-    values before units, malformed records).
+    In strict mode (default) any structural problem — missing sections,
+    values before units, malformed records — raises :class:`SPEFError`.
+    With ``strict=False`` a malformed ``*D_NET`` block is skipped and
+    recorded in :attr:`SPEFDesign.skipped` with its line number and reason,
+    so one corrupt net no longer discards a whole extraction run; header
+    problems (missing ``*SPEF``, units) still raise, since nothing after
+    them can be trusted.
     """
-    parser = _SPEFParser()
+    parser = _SPEFParser(strict=strict)
     return parser.parse(text)
 
 
-def load_spef(path: str) -> SPEFDesign:
-    """Parse the SPEF file at ``path``."""
+def load_spef(path: str, strict: bool = True) -> SPEFDesign:
+    """Parse the SPEF file at ``path`` (see :func:`parse_spef`)."""
     with open(path) as handle:
-        return parse_spef(handle.read())
+        return parse_spef(handle.read(), strict=strict)
 
 
 class _SPEFParser:
     """Line-oriented recursive-descent parser for the supported subset."""
 
-    def __init__(self) -> None:
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
         self.design = "unknown"
         self.divider = "/"
         self.delimiter = ":"
@@ -149,14 +170,18 @@ class _SPEFParser:
         self.res_scale: Optional[float] = None
         self.name_map: Dict[str, str] = {}
         self.nets: List[RCNet] = []
+        self.skipped: List[SkippedNet] = []
 
     def parse(self, text: str) -> SPEFDesign:
-        lines = [self._strip_comment(raw) for raw in text.splitlines()]
-        lines = [line for line in lines if line]
+        # Keep 1-based source line numbers so lenient-mode skip records can
+        # point back into the file.
+        lines = [(number, self._strip_comment(raw))
+                 for number, raw in enumerate(text.splitlines(), start=1)]
+        lines = [(number, line) for number, line in lines if line]
         i = 0
         saw_header = False
         while i < len(lines):
-            line = lines[i]
+            _, line = lines[i]
             if line.startswith("*SPEF"):
                 saw_header = True
                 i += 1
@@ -178,12 +203,43 @@ class _SPEFParser:
             elif line.startswith("*NAME_MAP"):
                 i = self._parse_name_map(lines, i + 1)
             elif line.startswith("*D_NET"):
-                i = self._parse_net(lines, i)
+                i = self._net_block(lines, i)
             else:
                 i += 1  # Other headers / *PORTS etc. are ignored.
         if not saw_header:
             raise SPEFError("missing *SPEF header")
-        return SPEFDesign(self.design, self.nets, self.divider, self.delimiter)
+        return SPEFDesign(self.design, self.nets, self.divider,
+                          self.delimiter, self.skipped)
+
+    def _net_block(self, lines: List[Tuple[int, str]], i: int) -> int:
+        """Parse one ``*D_NET``; in lenient mode, skip-and-record failures."""
+        if self.strict:
+            return self._parse_net(lines, i)
+        if self.cap_scale is None or self.res_scale is None:
+            # A unit-less header poisons every value; not a per-net problem.
+            raise SPEFError("*D_NET encountered before *C_UNIT/*R_UNIT")
+        lineno, header = lines[i]
+        try:
+            return self._parse_net(lines, i)
+        except ValueError as exc:  # SPEFError, RCNetError, bad numerics
+            parts = header.split()
+            name = parts[1] if len(parts) > 1 else "<unnamed>"
+            try:
+                name = self._expand(name)
+            except SPEFError:
+                pass
+            self.skipped.append(SkippedNet(name, lineno, str(exc)))
+            # Resynchronize: resume after this block's *END, or at the next
+            # *D_NET when the block is unterminated.
+            i += 1
+            while i < len(lines):
+                _, line = lines[i]
+                if line.startswith("*END"):
+                    return i + 1
+                if line.startswith("*D_NET"):
+                    return i
+                i += 1
+            return i
 
     # -- helpers ---------------------------------------------------------
     @staticmethod
@@ -199,6 +255,13 @@ class _SPEFParser:
         if not match:
             raise SPEFError(f"expected quoted string in {line!r}")
         return match.group(1)
+
+    @staticmethod
+    def _number(token: str, line: str) -> float:
+        try:
+            return float(token)
+        except ValueError as exc:
+            raise SPEFError(f"non-numeric value {token!r} in {line!r}") from exc
 
     @staticmethod
     def _unit(line: str) -> float:
@@ -221,30 +284,30 @@ class _SPEFParser:
             raise SPEFError(f"unmapped name index {token!r}")
         return mapped + sep + tail
 
-    def _parse_name_map(self, lines: List[str], i: int) -> int:
-        while i < len(lines) and not lines[i].startswith("*") or (
-                i < len(lines) and lines[i].startswith("*") and
-                re.match(r"^\*\d+\s", lines[i])):
-            match = re.match(r"^\*(\d+)\s+(\S+)$", lines[i])
+    def _parse_name_map(self, lines: List[Tuple[int, str]], i: int) -> int:
+        while i < len(lines) and not lines[i][1].startswith("*") or (
+                i < len(lines) and lines[i][1].startswith("*") and
+                re.match(r"^\*\d+\s", lines[i][1])):
+            match = re.match(r"^\*(\d+)\s+(\S+)$", lines[i][1])
             if not match:
                 break
             self.name_map[match.group(1)] = match.group(2)
             i += 1
         return i
 
-    def _parse_net(self, lines: List[str], i: int) -> int:
+    def _parse_net(self, lines: List[Tuple[int, str]], i: int) -> int:
         if self.cap_scale is None or self.res_scale is None:
             raise SPEFError("*D_NET encountered before *C_UNIT/*R_UNIT")
-        header = lines[i].split()
+        header = lines[i][1].split()
         if len(header) < 2:
-            raise SPEFError(f"malformed *D_NET header {lines[i]!r}")
+            raise SPEFError(f"malformed *D_NET header {lines[i][1]!r}")
         net_name = self._expand(header[1])
         builder = RCNetBuilder(net_name)
         section = None
         source_set = False
         i += 1
         while i < len(lines):
-            line = lines[i]
+            _, line = lines[i]
             if line.startswith("*END"):
                 i += 1
                 break
@@ -274,7 +337,7 @@ class _SPEFParser:
                 if len(parts) < 4:
                     raise SPEFError(f"malformed resistance record {line!r}")
                 builder.add_edge(self._expand(parts[1]), self._expand(parts[2]),
-                                 float(parts[3]) * self.res_scale)
+                                 self._number(parts[3], line) * self.res_scale)
             i += 1
         else:
             raise SPEFError(f"net {net_name!r} not terminated by *END")
@@ -291,13 +354,14 @@ class _SPEFParser:
         parts = line.split()
         if len(parts) == 3:
             # Grounded: id node value
-            builder.add_cap(self._expand(parts[1]), float(parts[2]) * self.cap_scale)
+            builder.add_cap(self._expand(parts[1]),
+                            self._number(parts[2], line) * self.cap_scale)
         elif len(parts) == 4:
             # Coupling: id nodeA nodeB value.  The node belonging to this
             # net is the victim; the other is the aggressor reference.
             node_a = self._expand(parts[1])
             node_b = self._expand(parts[2])
-            value = float(parts[3]) * self.cap_scale
+            value = self._number(parts[3], line) * self.cap_scale
             prefix = net_name + self.delimiter
             if node_a.startswith(prefix) or node_a in builder:
                 builder.add_coupling(node_a, node_b, value)

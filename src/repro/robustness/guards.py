@@ -1,0 +1,71 @@
+"""Numerical-health guards shared by the analysis engines.
+
+Small, dependency-free helpers that turn silent NaN propagation and
+near-singular solves into typed :class:`~repro.robustness.errors.NumericalError`
+failures the fallback machinery can catch per net.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .errors import NumericalError
+
+# Condition number above which a symmetric operator is treated as singular
+# for timing purposes: beyond ~1e12 the double-precision solve has lost all
+# of the <=1% accuracy a timer needs.
+MAX_CONDITION = 1e12
+
+
+def require_finite(values: np.ndarray, what: str, *,
+                   net: Optional[str] = None, stage: Optional[str] = None,
+                   sink: Optional[int] = None) -> np.ndarray:
+    """Return ``values`` unchanged, raising :class:`NumericalError` on NaN/inf."""
+    values = np.asarray(values)
+    if not np.all(np.isfinite(values)):
+        bad = int(np.size(values) - np.count_nonzero(np.isfinite(values)))
+        raise NumericalError(
+            f"{what} contains {bad} non-finite value(s)",
+            net=net, stage=stage, sink=sink)
+    return values
+
+
+def symmetric_condition(eigenvalues: np.ndarray) -> float:
+    """Condition number of a symmetric operator from its eigenvalues.
+
+    For an SPD operator this is ``lam_max / lam_min``; a non-positive or
+    non-finite spectrum maps to ``inf`` (singular for our purposes).
+    """
+    eigenvalues = np.asarray(eigenvalues, dtype=np.float64)
+    if eigenvalues.size == 0 or not np.all(np.isfinite(eigenvalues)):
+        return float("inf")
+    smallest = float(eigenvalues.min())
+    largest = float(np.abs(eigenvalues).max())
+    if smallest <= 0.0:
+        return float("inf")
+    return largest / smallest
+
+
+def check_conditioning(matrix: np.ndarray, *, what: str = "operator",
+                       net: Optional[str] = None, stage: Optional[str] = None,
+                       limit: float = MAX_CONDITION) -> float:
+    """Condition number of a symmetric matrix, with a typed failure.
+
+    Raises :class:`NumericalError` when the matrix is non-finite or its
+    2-norm condition number exceeds ``limit``.  Returns the condition number
+    otherwise.
+    """
+    require_finite(matrix, what, net=net, stage=stage)
+    try:
+        eigenvalues = np.linalg.eigvalsh(matrix)
+    except np.linalg.LinAlgError as exc:
+        raise NumericalError(f"eigendecomposition of {what} failed: {exc}",
+                             net=net, stage=stage, cause=exc) from exc
+    condition = symmetric_condition(eigenvalues)
+    if condition > limit:
+        raise NumericalError(
+            f"{what} is ill-conditioned (cond={condition:.3e} > {limit:.1e})",
+            net=net, stage=stage)
+    return condition

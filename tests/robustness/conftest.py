@@ -1,0 +1,22 @@
+"""Shared fixtures for the robustness suite: a small fitted estimator."""
+
+import pytest
+
+from repro.core import GNNTransConfig, WireTimingEstimator
+from repro.data import generate_dataset
+
+FAST = GNNTransConfig(l1=2, l2=1, hidden=16, num_heads=2, head_hidden=(32,),
+                      epochs=6, learning_rate=5e-3)
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    return generate_dataset(train_names=["PCI_BRIDGE"], test_names=["WB_DMA"],
+                            scale=1500, nets_per_design=12)
+
+
+@pytest.fixture(scope="package")
+def fitted(dataset):
+    estimator = WireTimingEstimator(FAST)
+    estimator.fit(dataset.train, epochs=6)
+    return estimator

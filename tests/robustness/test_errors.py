@@ -1,0 +1,70 @@
+"""Error taxonomy: typing, provenance carrying, backward compatibility."""
+
+import pytest
+
+from repro.robustness import (EstimationError, InputError, ModelError,
+                              NumericalError, TrainingDiverged)
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("cls", [InputError, NumericalError, ModelError])
+    def test_subclasses(self, cls):
+        assert issubclass(cls, EstimationError)
+        assert issubclass(cls, ValueError)
+
+    def test_catchable_as_valueerror(self):
+        """Old call sites written against ad-hoc ValueErrors keep working."""
+        with pytest.raises(ValueError):
+            raise NumericalError("matrix is singular", net="n1")
+
+    def test_distinct_classes_are_distinguishable(self):
+        with pytest.raises(NumericalError):
+            try:
+                raise NumericalError("x")
+            except InputError:  # pragma: no cover - must not match
+                pytest.fail("NumericalError caught as InputError")
+
+
+class TestProvenance:
+    def test_provenance_dict_drops_empty_fields(self):
+        err = EstimationError("boom", net="n3", stage="mna")
+        assert err.provenance() == {"net": "n3", "stage": "mna"}
+
+    def test_full_provenance(self):
+        err = ModelError("bad output", net="n1", design="DMA", sink=2,
+                         stage="predict", tier="LearnedWireModel")
+        assert err.provenance() == {
+            "net": "n1", "design": "DMA", "sink": 2,
+            "stage": "predict", "tier": "LearnedWireModel"}
+
+    def test_str_includes_context(self):
+        err = InputError("non-finite resistance", net="n7", stage="mna-assembly")
+        text = str(err)
+        assert "non-finite resistance" in text
+        assert "net='n7'" in text
+        assert "stage='mna-assembly'" in text
+
+    def test_str_without_context_is_plain(self):
+        assert str(EstimationError("plain failure")) == "plain failure"
+
+    def test_cause_is_kept(self):
+        original = ZeroDivisionError("div by zero")
+        err = NumericalError("wrapped", cause=original)
+        assert err.cause is original
+
+
+class TestTrainingDiverged:
+    def test_str_mentions_epoch_and_restore(self):
+        record = TrainingDiverged(epoch=7, train_loss=float("nan"),
+                                  val_loss=None, restored_best=True,
+                                  reason="non-finite train loss")
+        text = str(record)
+        assert "epoch 7" in text
+        assert "non-finite train loss" in text
+        assert "restored" in text
+
+    def test_str_without_checkpoint(self):
+        record = TrainingDiverged(epoch=1, train_loss=float("inf"),
+                                  val_loss=None, restored_best=False,
+                                  reason="non-finite train loss")
+        assert "no finite checkpoint" in str(record)

@@ -1,0 +1,100 @@
+"""Numerical guards: near-singular nets yield finite timing or typed errors."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mna import (capacitance_vector, conductance_matrix,
+                                reduce_source, transfer_resistance_matrix)
+from repro.analysis.simulator import GoldenTimer
+from repro.robustness import InputError, NumericalError
+from repro.robustness.faultinject import (FaultInjector, coupling_only_sink_net,
+                                          resistance_spread_chain,
+                                          singular_mna_net,
+                                          zero_cap_junction_chain)
+from repro.rcnet import chain_net
+
+
+def assert_finite_or_numerical_error(timer, net):
+    """The guard contract: finite timings or a typed NumericalError."""
+    try:
+        result = timer.analyze(net, 20e-12)
+    except NumericalError as exc:
+        assert exc.provenance().get("net") == net.name
+        return None
+    delays, slews = result.delays(), result.slews()
+    assert np.all(np.isfinite(delays)) and np.all(delays >= 0.0)
+    assert np.all(np.isfinite(slews)) and np.all(slews > 0.0)
+    return result
+
+
+class TestPathologicalNets:
+    def test_zero_cap_junction_chain_is_regularized(self):
+        result = assert_finite_or_numerical_error(
+            GoldenTimer(drive_resistance=100.0), zero_cap_junction_chain())
+        # Cap-floor regularization makes this one solvable, not just typed.
+        assert result is not None
+
+    def test_six_decade_resistance_spread(self):
+        result = assert_finite_or_numerical_error(
+            GoldenTimer(drive_resistance=100.0),
+            resistance_spread_chain(decades=6.0))
+        assert result is not None
+
+    @pytest.mark.parametrize("si_mode", [False, True])
+    def test_coupling_only_sink(self, si_mode):
+        timer = GoldenTimer(drive_resistance=100.0, si_mode=si_mode)
+        result = assert_finite_or_numerical_error(timer,
+                                                  coupling_only_sink_net())
+        assert result is not None
+
+    def test_singular_operator_raises_typed_error(self):
+        with pytest.raises(NumericalError) as info:
+            GoldenTimer(drive_resistance=100.0).analyze(singular_mna_net(),
+                                                        20e-12)
+        assert info.value.provenance()["net"] == "singular_mna"
+        assert info.value.provenance()["stage"] == "simulate"
+
+
+class TestMNAGuards:
+    def test_nan_resistance_is_input_error(self):
+        net = FaultInjector(0).corrupt_rc_values(chain_net(6),
+                                                 "nan_resistance")
+        with pytest.raises(InputError) as info:
+            conductance_matrix(net)
+        assert info.value.provenance()["net"] == net.name
+
+    def test_zero_resistance_is_input_error(self):
+        net = FaultInjector(0).corrupt_rc_values(chain_net(6),
+                                                 "zero_resistance")
+        with pytest.raises(InputError):
+            conductance_matrix(net)
+
+    def test_inf_cap_is_input_error(self):
+        net = FaultInjector(0).corrupt_rc_values(chain_net(6), "inf_cap")
+        with pytest.raises(InputError):
+            capacitance_vector(net)
+
+    def test_transfer_matrix_condition_guard(self):
+        system = reduce_source(singular_mna_net())
+        with pytest.raises(NumericalError, match="ill-conditioned"):
+            transfer_resistance_matrix(system)
+
+    def test_healthy_net_unaffected(self):
+        net = chain_net(8)
+        g = conductance_matrix(net)
+        caps = capacitance_vector(net)
+        assert np.all(np.isfinite(g)) and np.all(np.isfinite(caps))
+        system = reduce_source(net)
+        assert np.all(np.isfinite(transfer_resistance_matrix(system)))
+
+
+class TestSimulatorInputGuards:
+    def test_nonpositive_input_slew_typed(self):
+        timer = GoldenTimer(drive_resistance=100.0)
+        with pytest.raises(InputError):
+            timer.analyze(chain_net(5), -1e-12)
+
+    def test_nan_input_slew_typed(self):
+        timer = GoldenTimer(drive_resistance=100.0)
+        with pytest.raises(InputError):
+            timer.analyze(chain_net(5), float("nan"))

@@ -1,0 +1,109 @@
+"""Lenient SPEF parsing: malformed nets are skipped with line provenance."""
+
+import pytest
+
+from repro.rcnet import (SkippedNet, SPEFError, chain_net, load_spef,
+                         parse_spef, write_spef)
+
+HEADER = """*SPEF "IEEE 1481-1998"
+*DESIGN "lenient"
+*DIVIDER /
+*DELIMITER :
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+"""
+
+GOOD_NET = """*D_NET good 2
+*CONN
+*I good:0 O
+*I good:1 I
+*CAP
+1 good:0 1
+2 good:1 1
+*RES
+1 good:0 good:1 50
+*END
+"""
+
+BAD_VALUE_NET = """*D_NET badval 2
+*CONN
+*I badval:0 O
+*I badval:1 I
+*CAP
+1 badval:0 1
+2 badval:1 1
+*RES
+1 badval:0 badval:1 bogus
+*END
+"""
+
+NEGATIVE_R_NET = """*D_NET negres 2
+*CONN
+*I negres:0 O
+*I negres:1 I
+*CAP
+1 negres:0 1
+2 negres:1 1
+*RES
+1 negres:0 negres:1 -50
+*END
+"""
+
+
+class TestLenientMode:
+    def test_healthy_text_has_no_skips(self):
+        design = parse_spef(write_spef([chain_net(5)]), strict=False)
+        assert len(design.nets) == 1
+        assert design.skipped == []
+
+    def test_bad_value_net_skipped_with_reason(self):
+        text = HEADER + GOOD_NET + BAD_VALUE_NET + GOOD_NET.replace(
+            "good", "good2")
+        with pytest.raises(SPEFError):
+            parse_spef(text)
+        design = parse_spef(text, strict=False)
+        assert [n.name for n in design.nets] == ["good", "good2"]
+        (skip,) = design.skipped
+        assert isinstance(skip, SkippedNet)
+        assert skip.name == "badval"
+        assert "bogus" in skip.reason
+
+    def test_skip_line_points_at_net_header(self):
+        text = HEADER + GOOD_NET + BAD_VALUE_NET
+        design = parse_spef(text, strict=False)
+        header_line = text.splitlines().index("*D_NET badval 2") + 1
+        assert design.skipped[0].line == header_line
+
+    def test_negative_resistance_skipped(self):
+        text = HEADER + GOOD_NET + NEGATIVE_R_NET
+        design = parse_spef(text, strict=False)
+        assert [n.name for n in design.nets] == ["good"]
+        assert design.skipped[0].name == "negres"
+
+    def test_multiple_bad_nets_all_recorded(self):
+        text = HEADER + BAD_VALUE_NET + GOOD_NET + NEGATIVE_R_NET
+        design = parse_spef(text, strict=False)
+        assert [n.name for n in design.nets] == ["good"]
+        assert [s.name for s in design.skipped] == ["badval", "negres"]
+
+    def test_missing_units_fatal_even_lenient(self):
+        headerless = '*SPEF "IEEE 1481-1998"\n*DESIGN "x"\n' + GOOD_NET
+        with pytest.raises(SPEFError):
+            parse_spef(headerless, strict=False)
+
+    def test_load_spef_forwards_strict_flag(self, tmp_path):
+        path = tmp_path / "design.spef"
+        path.write_text(HEADER + GOOD_NET + BAD_VALUE_NET)
+        with pytest.raises(SPEFError):
+            load_spef(str(path))
+        design = load_spef(str(path), strict=False)
+        assert len(design.nets) == 1
+        assert len(design.skipped) == 1
+
+
+class TestStrictDefault:
+    def test_strict_is_the_default(self):
+        text = HEADER + BAD_VALUE_NET
+        with pytest.raises(SPEFError):
+            parse_spef(text)
