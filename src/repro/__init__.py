@@ -22,5 +22,5 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis", "baselines", "bench", "core", "data", "design", "features",
-    "liberty", "nn", "rcnet", "__version__",
+    "liberty", "nn", "obs", "rcnet", "robustness", "__version__",
 ]

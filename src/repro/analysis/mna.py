@@ -19,9 +19,17 @@ import math
 
 import numpy as np
 
+from ..obs import get_metrics
 from ..rcnet.graph import RCNet
 from ..robustness.errors import InputError, NumericalError
 from ..robustness.guards import MAX_CONDITION, check_conditioning
+
+# Always-on health counters; MNA assembly sits under every analysis engine,
+# so these stay counter-cheap (see repro.obs.metrics).
+_ASSEMBLIES = get_metrics().counter("mna.assemblies")
+_REDUCTIONS = get_metrics().counter("mna.reductions")
+_INVERSIONS = get_metrics().counter("mna.inversions")
+_SOLVE_SIZE = get_metrics().histogram("mna.solve_size")
 
 
 def conductance_matrix(net: RCNet) -> np.ndarray:
@@ -33,6 +41,7 @@ def conductance_matrix(net: RCNet) -> np.ndarray:
     non-positive) resistance values, which would otherwise poison every
     downstream engine silently.
     """
+    _ASSEMBLIES.inc()
     n = net.num_nodes
     g = np.zeros((n, n), dtype=np.float64)
     for edge in net.edges:
@@ -133,6 +142,7 @@ def reduce_source(net: RCNet, miller_factor: Optional[float] = None,
     if n < 2:
         raise InputError("cannot reduce a single-node net", net=net.name,
                          stage="mna-reduce")
+    _REDUCTIONS.inc()
     full_g = conductance_matrix(net)
     caps = capacitance_vector(net, miller_factor, sink_loads)
     keep = np.array([i for i in range(n) if i != net.source], dtype=np.intp)
@@ -164,6 +174,8 @@ def transfer_resistance_matrix(system: ReducedSystem,
     :class:`~repro.robustness.errors.NumericalError` instead of returning
     garbage.
     """
+    _INVERSIONS.inc()
+    _SOLVE_SIZE.observe(system.g.shape[0])
     check_conditioning(system.g, what="reduced conductance matrix",
                        stage="mna-solve", limit=max_condition)
     try:

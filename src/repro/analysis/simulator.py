@@ -28,12 +28,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_metrics, get_tracer
 from ..rcnet.graph import OHM, RCNet
 from ..rcnet.paths import extract_wire_paths
 from ..robustness.errors import InputError, NumericalError
 from ..robustness.guards import require_finite, symmetric_condition
 from .elmore import elmore_delays
 from .mna import capacitance_vector, conductance_matrix
+
+# Always-on health counters (one integer add each; see repro.obs.metrics).
+_NETS_ANALYZED = get_metrics().counter("simulator.nets_analyzed")
+_DECOMPOSITIONS = get_metrics().counter("simulator.eigendecompositions")
+_CAP_RETRIES = get_metrics().counter("simulator.cap_floor_retries")
+_CROSSINGS = get_metrics().counter("simulator.crossing_searches")
+_MATRIX_SIZE = get_metrics().histogram("simulator.matrix_size")
 
 _MIN_CAP = 1e-20  # Farads; regularizes pure-junction (zero-cap) nodes.
 # Numerical-health policy of the symmetrized operator: when its condition
@@ -111,7 +119,9 @@ class TransientSolution:
         b = np.zeros(net.num_nodes)
         b[net.source] = g_drv
 
-        caps, inv_sqrt_c, eigenvalues, q = self._decompose(net, g, caps)
+        with get_tracer().span("simulate.decompose", net=net.name,
+                               nodes=net.num_nodes):
+            caps, inv_sqrt_c, eigenvalues, q = self._decompose(net, g, caps)
         # G + g_drv e e^T is PD, so all eigenvalues are strictly positive;
         # clamp against roundoff.
         self._lam = np.maximum(eigenvalues, 1e-6 / ramp_time * 1e-6)
@@ -144,9 +154,13 @@ class TransientSolution:
         """
         require_finite(caps, "capacitance vector", net=net.name,
                        stage="simulate")
+        _DECOMPOSITIONS.inc()
+        _MATRIX_SIZE.observe(net.num_nodes)
         min_cap = _MIN_CAP
         condition = float("inf")
-        for _ in range(_MAX_CAP_RETRIES + 1):
+        for attempt in range(_MAX_CAP_RETRIES + 1):
+            if attempt:
+                _CAP_RETRIES.inc()
             floored = np.maximum(caps, min_cap)
             inv_sqrt_c = 1.0 / np.sqrt(floored)
             m = (inv_sqrt_c[:, None] * g) * inv_sqrt_c[None, :]
@@ -219,6 +233,7 @@ class TransientSolution:
         :class:`~repro.robustness.errors.NumericalError` if the voltage
         never reaches ``level`` within ``horizon``.
         """
+        _CROSSINGS.inc()
         samples = 256
         ts = np.linspace(0.0, horizon, samples + 1)
         lo = 0.0
@@ -327,6 +342,13 @@ class GoldenTimer:
         """
         if transition not in ("rise", "fall"):
             raise ValueError(f"unknown transition {transition!r}")
+        _NETS_ANALYZED.inc()
+        with get_tracer().span("simulate.net", net=net.name,
+                               sinks=net.num_sinks):
+            return self._analyze(net, input_slew, sink_loads)
+
+    def _analyze(self, net: RCNet, input_slew: float,
+                 sink_loads: Optional[Sequence[float]]) -> WireTimingResult:
         solution = self.solve(net, input_slew, sink_loads)
         horizon = self._horizon(net, solution, sink_loads)
 

@@ -1,4 +1,15 @@
-"""Benchmark harness: model training orchestration and table rendering."""
+"""Benchmark harness: model training orchestration and table rendering.
+
+The machinery behind ``benchmarks/`` (one bench per paper table/figure):
+``train_all_models`` trains every model of Tables III/IV on a shared
+dataset, ``accuracy_table`` collects slew/delay R² and max-error per model,
+``format_table`` renders the aligned text tables the benches print, and
+``bootstrap_ci`` provides the confidence intervals quoted in
+EXPERIMENTS.md.
+
+Distinct from :mod:`repro.obs.bench`, which is the *performance* baseline
+(the ``repro bench`` CLI workload); this package measures accuracy.
+"""
 
 from .harness import (MODEL_ORDER, AccuracyTable, accuracy_table,
                       train_all_models, train_model)

@@ -8,6 +8,7 @@ user workflow without writing Python:
 ``repro evaluate``     report R^2 / max-error of a trained model
 ``repro spef-timing``  golden wire timing for every net of a SPEF file
 ``repro benchmarks``   list the Table II benchmark suite
+``repro bench``        run the pinned perf workload, write ``BENCH_<date>.json``
 
 Example session::
 
@@ -15,6 +16,12 @@ Example session::
     repro train -d ds.npz -o model.npz --plan PlanB --epochs 40
     repro evaluate -d ds.npz -m model.npz --nontree
     repro spef-timing design.spef --input-slew 20
+    repro bench --quick
+
+Observability: ``repro report --profile`` appends a per-stage timing table,
+``repro report --json`` emits the same stage timings and counters as JSON,
+and setting ``REPRO_TRACE=trace.jsonl`` streams every span of any command
+to a JSONL file (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -114,10 +121,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sdc", help="SDC constraints file "
                                  "(overrides --clock and launch slew)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", action="store_true",
+                   help="append a per-stage timing profile (tracer spans)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON report (stage "
+                        "timings + counters) instead of the text report")
     p.set_defaults(handler=_cmd_report)
 
     p = sub.add_parser("benchmarks", help="list the Table II suite")
     p.set_defaults(handler=_cmd_benchmarks)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned end-to-end perf workload, write BENCH_<date>.json")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized workload (seconds instead of minutes)")
+    p.add_argument("-o", "--outdir", default=".",
+                   help="directory for BENCH_<date>.json (default: cwd, "
+                        "i.e. the repo root when run from it)")
+    p.add_argument("--date", help="override the date stamp in the filename "
+                                  "(YYYY-MM-DD; default: today)")
+    p.set_defaults(handler=_cmd_bench)
     return parser
 
 
@@ -242,9 +266,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .design.interchange import InterchangeError
     from .design.verilog import VerilogError
     from .liberty import LibertyError, load_liberty
+    from .obs import get_tracer
     from .rcnet import SPEFError
 
     from .robustness import default_fallback_chain
+
+    tracer = get_tracer()
+    if args.profile or args.json:
+        # Structured stage timings are wanted: record spans for this run.
+        tracer.reset()
+        tracer.enable()
 
     engines = {"golden": GoldenWireModel, "elmore": ElmoreWireModel,
                "d2m": D2MWireModel, "awe": AWEWireModel,
@@ -283,10 +314,53 @@ def _cmd_report(args: argparse.Namespace) -> int:
     wire_model = engines[args.engine]()
     report = STAEngine(netlist, wire_model,
                        launch_slew=launch_slew).analyze_design()
+    if args.json:
+        from .obs import dump_json, observability_document
+
+        document = observability_document(extra={
+            "schema": "repro-report/1",
+            "design": report.design,
+            "wire_model": report.wire_model,
+            "clock_period_s": clock_period,
+            "gate_seconds": report.gate_seconds,
+            "wire_seconds": report.wire_seconds,
+            "paths": [{"name": p.path_name, "arrival_s": p.arrival,
+                       "gate_s": p.gate_delay_total,
+                       "wire_s": p.wire_delay_total,
+                       "stages": len(p.stages)} for p in report.paths],
+        })
+        if hasattr(wire_model, "counters"):
+            document["fallback_tiers"] = wire_model.counters()
+        print(dump_json(document))
+        return 0
     print(format_design_report(report, top=10, clock_period=clock_period))
     if hasattr(wire_model, "degradation_report"):
         print()
         print(wire_model.degradation_report())
+    if args.profile:
+        from .obs import aggregate_spans, format_profile
+
+        print()
+        print(format_profile(aggregate_spans(tracer.spans),
+                             title=f"per-stage profile ({report.design}, "
+                                   f"{report.wire_model})"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs import (DEFAULT_WORKLOAD, QUICK_WORKLOAD, format_bench_summary,
+                      run_bench, write_bench_report)
+
+    workload = QUICK_WORKLOAD if args.quick else DEFAULT_WORKLOAD
+    document = run_bench(workload)
+    try:
+        path = write_bench_report(document, out_dir=args.outdir,
+                                  date=args.date)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_bench_summary(document))
+    print(f"wrote {path}")
     return 0
 
 

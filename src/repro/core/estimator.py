@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..design.sta import WireTimingModel
+from ..obs import get_metrics, get_tracer
 from ..robustness.errors import InputError, ModelError
 from ..features.path_features import NetContext
 from ..features.pipeline import FeatureScaler, NetSample, build_net_sample
@@ -36,6 +37,9 @@ _PS = 1e-12
 _MAX_PROVENANCE_RECORDS = 4096
 
 ModelFactory = Callable[[int, int, GNNTransConfig, np.random.Generator], Module]
+
+_PREDICTIONS = get_metrics().counter("estimator.predictions")
+_PRIOR_FALLBACKS = get_metrics().counter("estimator.label_prior_fallbacks")
 
 
 @dataclass
@@ -198,11 +202,14 @@ class WireTimingEstimator:
         trainer = Trainer(self.model, optimizer, loss_fn,
                           grad_clip=self.config.grad_clip,
                           rng=np.random.default_rng(self.config.seed + 1))
-        self.history = trainer.fit(
-            list(train_samples), epochs=epochs or self.config.epochs,
-            batch_size=self.config.batch_size,
-            val_samples=list(val_samples) if val_samples else None,
-            patience=patience, verbose=verbose)
+        with get_tracer().span("estimator.fit",
+                               samples=len(train_samples)) as span:
+            self.history = trainer.fit(
+                list(train_samples), epochs=epochs or self.config.epochs,
+                batch_size=self.config.batch_size,
+                val_samples=list(val_samples) if val_samples else None,
+                patience=patience, verbose=verbose)
+            span.set(epochs_run=len(self.history))
         return self.history
 
     # ------------------------------------------------------------------
@@ -238,6 +245,7 @@ class WireTimingEstimator:
         propagated or raised.
         """
         self._require_fitted()
+        _PREDICTIONS.inc()
         was_training = self.model.training
         self.model.eval()
         try:
@@ -281,6 +289,8 @@ class WireTimingEstimator:
     def _record(self, sample: NetSample, tier: str,
                 reason: Optional[str] = None) -> None:
         record = PredictionRecord(sample.name, sample.design, tier, reason)
+        if tier != "model":
+            _PRIOR_FALLBACKS.inc()
         self.degradation_counts[tier] = self.degradation_counts.get(tier, 0) + 1
         self.provenance_log.append(record)
         if len(self.provenance_log) > _MAX_PROVENANCE_RECORDS:
@@ -303,7 +313,8 @@ class WireTimingEstimator:
 
     def evaluate(self, samples: Sequence[NetSample]) -> EvalMetrics:
         """R^2 and max-abs-error against golden labels (paper's metrics)."""
-        pred_slew, pred_delay = self.predict(samples)
+        with get_tracer().span("estimator.evaluate", samples=len(samples)):
+            pred_slew, pred_delay = self.predict(samples)
         true_slew = np.array([p.label_slew for s in samples for p in s.paths])
         true_delay = np.array([p.label_delay for s in samples for p in s.paths])
         return EvalMetrics(

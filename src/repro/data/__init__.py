@@ -1,4 +1,16 @@
-"""Dataset pipeline: generation, splitting and serialization."""
+"""Dataset pipeline: generation, splitting and serialization.
+
+``generate_dataset`` drives the full labeling flow: generate (or load) each
+benchmark design, extract per-net RC graphs, label every wire path with the
+golden transient simulator (crosstalk-injected when ``si_mode``), and
+package the result as a :class:`WireTimingDataset` with paper-style
+train/test splits by design.  Nets whose simulation fails with a typed
+error are skipped and recorded (``dataset.skipped``), never fatal.
+
+Splitting helpers mirror the paper's evaluation subsets (``nontree_only``
+for Table III, ``by_design`` for per-design rows) and ``save_dataset`` /
+``load_dataset`` round-trip everything through pickle-free ``.npz`` files.
+"""
 
 from .generate import (SkippedSample, WireTimingDataset, design_net_samples,
                        generate_dataset)

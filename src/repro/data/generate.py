@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.simulator import GoldenTimer
+from ..obs import get_metrics, get_tracer
 from ..robustness.errors import EstimationError
 from ..design.benchmarks import (DEFAULT_SCALE, TEST_BENCHMARKS,
                                  TRAIN_BENCHMARKS, generate_benchmark)
@@ -27,6 +28,9 @@ from ..liberty.library import Library, make_default_library
 _LAUNCH_SLEW = 20e-12
 
 logger = logging.getLogger(__name__)
+
+_NETS_LABELED = get_metrics().counter("dataset.nets_labeled")
+_NETS_SKIPPED = get_metrics().counter("dataset.nets_skipped")
 
 
 @dataclass(frozen=True)
@@ -111,9 +115,11 @@ def design_net_samples(netlist: Netlist, max_nets: Optional[int] = None,
                                 si_mode=si_mode)
             samples.append(build_net_sample(net.rcnet, context,
                                             design=netlist.name, timer=timer))
+            _NETS_LABELED.inc()
         except (EstimationError, np.linalg.LinAlgError) as exc:
             if on_error == "raise":
                 raise
+            _NETS_SKIPPED.inc()
             logger.warning("skipping net %r of design %r: %s",
                            net.name, netlist.name, exc)
             if skipped is not None:
@@ -124,12 +130,13 @@ def design_net_samples(netlist: Netlist, max_nets: Optional[int] = None,
 def _samples_for_benchmark(args) -> Tuple[List[NetSample], List[SkippedSample]]:
     """Worker entry point: one benchmark's samples (picklable args)."""
     name, scale, nets_per_design, si_mode, worker_seed = args
-    library = make_default_library()
-    netlist = generate_benchmark(name, library, scale)
-    rng = np.random.default_rng(worker_seed)
-    skipped: List[SkippedSample] = []
-    samples = design_net_samples(netlist, nets_per_design, rng, si_mode,
-                                 skipped=skipped)
+    with get_tracer().span("dataset.design", design=name, scale=scale):
+        library = make_default_library()
+        netlist = generate_benchmark(name, library, scale)
+        rng = np.random.default_rng(worker_seed)
+        skipped: List[SkippedSample] = []
+        samples = design_net_samples(netlist, nets_per_design, rng, si_mode,
+                                     skipped=skipped)
     return samples, skipped
 
 
@@ -171,35 +178,44 @@ def generate_dataset(train_names: Sequence[str] = tuple(TRAIN_BENCHMARKS),
     jobs = [(name, scale, nets_per_design, si_mode, seed + index)
             for index, name in enumerate(names)]
 
-    if n_jobs > 1:
-        import multiprocessing
+    tracer = get_tracer()
+    with tracer.span("dataset.generate", designs=len(names), scale=scale,
+                     nets_per_design=nets_per_design) as span:
+        if n_jobs > 1:
+            # Spans inside workers land in each worker's own (disabled)
+            # tracer; only the enclosing span is visible to this process.
+            import multiprocessing
 
-        with multiprocessing.Pool(processes=n_jobs) as pool:
-            per_benchmark = pool.map(_samples_for_benchmark, jobs)
-    elif library is not None:
-        # In-process path with the caller's library.
-        per_benchmark = []
-        for name, _, _, _, worker_seed in jobs:
-            netlist = generate_benchmark(name, library, scale)
-            rng = np.random.default_rng(worker_seed)
-            design_skipped: List[SkippedSample] = []
-            per_benchmark.append(
-                (design_net_samples(netlist, nets_per_design, rng, si_mode,
-                                    skipped=design_skipped), design_skipped))
-    else:
-        per_benchmark = [_samples_for_benchmark(job) for job in jobs]
+            with multiprocessing.Pool(processes=n_jobs) as pool:
+                per_benchmark = pool.map(_samples_for_benchmark, jobs)
+        elif library is not None:
+            # In-process path with the caller's library.
+            per_benchmark = []
+            for name, _, _, _, worker_seed in jobs:
+                with tracer.span("dataset.design", design=name, scale=scale):
+                    netlist = generate_benchmark(name, library, scale)
+                    rng = np.random.default_rng(worker_seed)
+                    design_skipped: List[SkippedSample] = []
+                    per_benchmark.append(
+                        (design_net_samples(netlist, nets_per_design, rng,
+                                            si_mode, skipped=design_skipped),
+                         design_skipped))
+        else:
+            per_benchmark = [_samples_for_benchmark(job) for job in jobs]
 
-    train: List[NetSample] = []
-    test: List[NetSample] = []
-    skipped: List[SkippedSample] = []
-    for name, (samples, design_skipped) in zip(names, per_benchmark):
-        (train if name in train_names else test).extend(samples)
-        skipped.extend(design_skipped)
+        train: List[NetSample] = []
+        test: List[NetSample] = []
+        skipped: List[SkippedSample] = []
+        for name, (samples, design_skipped) in zip(names, per_benchmark):
+            (train if name in train_names else test).extend(samples)
+            skipped.extend(design_skipped)
+        span.set(train_nets=len(train), test_nets=len(test),
+                 skipped_nets=len(skipped))
 
-    scaler = FeatureScaler().fit(train)
-    return WireTimingDataset(
-        train=scaler.transform(train),
-        test=scaler.transform(test),
-        scaler=scaler,
-        skipped=skipped,
-    )
+        scaler = FeatureScaler().fit(train)
+        return WireTimingDataset(
+            train=scaler.transform(train),
+            test=scaler.transform(test),
+            scaler=scaler,
+            skipped=skipped,
+        )

@@ -22,11 +22,15 @@ from ..analysis.elmore import elmore_delays
 from ..analysis.simulator import GoldenTimer
 from ..features.path_features import NetContext
 from ..liberty.ceff import effective_capacitance
+from ..obs import get_metrics, get_tracer
 from ..rcnet.graph import RCNet
 from ..robustness.errors import EstimationError, ModelError, NumericalError
 from .netlist import Netlist, TimingPath
 
 _LN9 = float(np.log(9.0))  # 10%-90% swing of a single-pole response.
+
+_STAGES_TIMED = get_metrics().counter("sta.stages_timed")
+_PATHS_TIMED = get_metrics().counter("sta.paths_timed")
 
 
 class WireTimingModel(ABC):
@@ -251,8 +255,10 @@ class STAEngine:
             arrival += gate_delay + wire_delay
             gate_total += gate_delay
             wire_total += wire_delay
+            _STAGES_TIMED.inc()
             stages.append(StageTiming(stage.gate, stage.net, gate_delay,
                                       wire_delay, slew, tier=tier))
+        _PATHS_TIMED.inc()
         return PathTiming(path.name, arrival, gate_total, wire_total, stages)
 
     def analyze_design(self) -> STAReport:
@@ -282,9 +288,14 @@ class STAEngine:
 
         engine = STAEngine(self.netlist, _TimedModel(), self.launch_slew,
                            slew_model=self.slew_model)
-        start = time.perf_counter()
-        paths = [engine.path_arrival(p) for p in self.netlist.paths]
-        total = time.perf_counter() - start
+        with get_tracer().span("sta.analyze_design", design=self.netlist.name,
+                               wire_model=model.name,
+                               paths=len(self.netlist.paths)) as span:
+            start = time.perf_counter()
+            paths = [engine.path_arrival(p) for p in self.netlist.paths]
+            total = time.perf_counter() - start
+            span.set(gate_seconds=total - wire_seconds,
+                     wire_seconds=wire_seconds)
         return STAReport(
             design=self.netlist.name,
             wire_model=model.name,

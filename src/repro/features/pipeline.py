@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.simulator import GoldenTimer
+from ..obs import get_metrics, get_tracer
 from ..rcnet.graph import RCNet
 from ..rcnet.paths import WirePath, extract_wire_paths
 from .node_features import NUM_NODE_FEATURES, extract_node_features
@@ -28,6 +29,8 @@ _PS = 1e-12
 # Resistance scale (ohms) dividing the weighted adjacency so the GNN
 # aggregation weights land near unity.
 ADJACENCY_RESISTANCE_SCALE = 100.0
+
+_SAMPLES_BUILT = get_metrics().counter("features.samples_built")
 
 
 @dataclass
@@ -135,6 +138,7 @@ def build_net_sample(net: RCNet, context: NetContext, design: str = "",
             label_delay=label_delay,
             input_slew_ps=context.input_slew / _PS,
         ))
+    _SAMPLES_BUILT.inc()
     return NetSample(
         name=net.name,
         design=design,
@@ -166,12 +170,13 @@ class FeatureScaler:
         """Fit per-dimension statistics over every node/path in ``samples``."""
         if not samples:
             raise ValueError("cannot fit scaler on an empty sample list")
-        nodes = np.vstack([s.node_features for s in samples])
-        paths = np.vstack([p.features for s in samples for p in s.paths])
-        self.node_mean = nodes.mean(axis=0)
-        self.node_std = _safe_std(nodes)
-        self.path_mean = paths.mean(axis=0)
-        self.path_std = _safe_std(paths)
+        with get_tracer().span("features.scaler_fit", samples=len(samples)):
+            nodes = np.vstack([s.node_features for s in samples])
+            paths = np.vstack([p.features for s in samples for p in s.paths])
+            self.node_mean = nodes.mean(axis=0)
+            self.node_std = _safe_std(nodes)
+            self.path_mean = paths.mean(axis=0)
+            self.path_std = _safe_std(paths)
         return self
 
     def transform(self, samples: Sequence[NetSample]) -> List[NetSample]:

@@ -17,8 +17,12 @@ import math
 
 import numpy as np
 
+from ..obs import get_metrics, get_tracer
 from ..robustness.errors import TrainingDiverged
 from .layers import Module
+
+_EPOCHS_RUN = get_metrics().counter("trainer.epochs_run")
+_BATCHES_RUN = get_metrics().counter("trainer.batches_run")
 from .optim import Optimizer
 from .tensor import Tensor
 
@@ -111,37 +115,41 @@ class Trainer:
         indices = np.arange(len(train_samples))
         for epoch in range(1, epochs + 1):
             start = time.perf_counter()
-            self.model.train()
-            self.rng.shuffle(indices)
-            losses: List[float] = []
-            for batch_start in range(0, len(indices), batch_size):
-                batch = indices[batch_start:batch_start + batch_size]
-                self.optimizer.zero_grad()
-                batch_loss = 0.0
-                for idx in batch:
-                    loss = self.loss_fn(self.model, train_samples[int(idx)])
-                    # Average gradients across the batch by scaling each
-                    # per-sample loss before its backward pass.
-                    (loss * (1.0 / len(batch))).backward()
-                    batch_loss += loss.item()
-                if self.grad_clip is not None:
-                    self.optimizer.clip_grad_norm(self.grad_clip)
-                self.optimizer.step()
-                losses.append(batch_loss / len(batch))
-            if schedule is not None:
-                schedule.step()
+            with get_tracer().span("train.epoch", epoch=epoch) as span:
+                self.model.train()
+                self.rng.shuffle(indices)
+                losses: List[float] = []
+                for batch_start in range(0, len(indices), batch_size):
+                    batch = indices[batch_start:batch_start + batch_size]
+                    self.optimizer.zero_grad()
+                    batch_loss = 0.0
+                    for idx in batch:
+                        loss = self.loss_fn(self.model, train_samples[int(idx)])
+                        # Average gradients across the batch by scaling each
+                        # per-sample loss before its backward pass.
+                        (loss * (1.0 / len(batch))).backward()
+                        batch_loss += loss.item()
+                    if self.grad_clip is not None:
+                        self.optimizer.clip_grad_norm(self.grad_clip)
+                    self.optimizer.step()
+                    losses.append(batch_loss / len(batch))
+                    _BATCHES_RUN.inc()
+                if schedule is not None:
+                    schedule.step()
 
-            train_loss = float(np.mean(losses)) if losses else float("nan")
+                train_loss = float(np.mean(losses)) if losses else float("nan")
 
-            val_loss = None
-            if val_samples is not None:
-                val_loss = self.evaluate(val_samples)
-                if math.isfinite(val_loss) and val_loss < best_val - 1e-12:
-                    best_val = val_loss
-                    best_state = self.model.state_dict()
-                    stale = 0
-                else:
-                    stale += 1
+                val_loss = None
+                if val_samples is not None:
+                    val_loss = self.evaluate(val_samples)
+                    if math.isfinite(val_loss) and val_loss < best_val - 1e-12:
+                        best_val = val_loss
+                        best_state = self.model.state_dict()
+                        stale = 0
+                    else:
+                        stale += 1
+                span.set(train_loss=train_loss, val_loss=val_loss)
+            _EPOCHS_RUN.inc()
 
             stats = EpochStats(
                 epoch=epoch,

@@ -1,0 +1,181 @@
+"""Typed counters, gauges and histograms for pipeline health accounting.
+
+Unlike spans (see :mod:`repro.obs.tracer`), metrics are *always on*: a
+counter increment is one integer addition, cheap enough for the hottest
+loops (threshold-crossing searches, per-net MNA assembly).  The process-wide
+:class:`MetricRegistry` is reachable through :func:`get_metrics`; modules
+get-or-create their instruments by dotted name:
+
+* ``Counter`` — monotone event counts (nets simulated, fallback-tier hits,
+  cache hits, skipped samples);
+* ``Gauge`` — last-written values (current learning rate, dataset size);
+* ``Histogram`` — value distributions with power-of-two buckets plus exact
+  count/sum/min/max (MNA solve sizes, per-tier latencies).
+
+``registry.snapshot()`` returns a plain JSON-safe dict, the layout embedded
+in ``BENCH_*.json`` and emitted by ``repro report --json``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Optional
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-written scalar value (``None`` until first set)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = None
+
+    def snapshot(self) -> Optional[float]:
+        return self.value
+
+
+class Histogram:
+    """Distribution summary: exact count/sum/min/max + log2 buckets.
+
+    Buckets are keyed by ``ceil(log2(value))`` so each one covers a factor
+    of two of the positive axis; zero and negative observations land in the
+    dedicated ``"<=0"`` bucket.  This gives a fixed-size, merge-friendly
+    digest without storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[str, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        key = "<=0" if value <= 0.0 else str(math.ceil(math.log2(value)))
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "buckets": {}}
+        return {"count": self.count, "sum": self.total, "min": self.min,
+                "max": self.max, "mean": self.mean,
+                "buckets": dict(self.buckets)}
+
+
+class MetricRegistry:
+    """Get-or-create store of named instruments.
+
+    Instruments are created on first use and *zeroed in place* by
+    :meth:`reset`, so module-level references cached at import time stay
+    valid across resets (the ``repro bench`` runner resets between stages).
+    Creation is guarded by a lock; the instruments themselves are plain
+    attributes — CPython-atomic enough for the single-threaded pipeline,
+    and each worker process of a parallel dataset build owns its own
+    registry.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(name, Counter(name))
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(name, Gauge(name))
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(name, Histogram(name))
+        return metric
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every instrument in place (references stay valid)."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for metric in group.values():
+                metric.reset()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view: ``{"counters": .., "gauges": .., "histograms": ..}``.
+
+        Untouched instruments (zero counters, unset gauges, empty
+        histograms) are omitted so snapshots only show what actually ran.
+        """
+        return {
+            "counters": {n: c.snapshot() for n, c in
+                         sorted(self._counters.items()) if c.value},
+            "gauges": {n: g.snapshot() for n, g in
+                       sorted(self._gauges.items()) if g.value is not None},
+            "histograms": {n: h.snapshot() for n, h in
+                           sorted(self._histograms.items()) if h.count},
+        }
+
+
+_GLOBAL_REGISTRY = MetricRegistry()
+
+
+def get_metrics() -> MetricRegistry:
+    """The process-wide registry used by all built-in instrumentation."""
+    return _GLOBAL_REGISTRY

@@ -27,6 +27,7 @@ import numpy as np
 from ..design.sta import (AWEWireModel, D2MWireModel, ElmoreWireModel,
                           WireTimingModel)
 from ..features.path_features import NetContext
+from ..obs import get_metrics
 from ..rcnet.graph import RCNet
 
 _LN2 = math.log(2.0)
@@ -244,6 +245,8 @@ class FallbackChain(WireTimingModel):
                                      f"{type(exc).__name__}: {exc}")
                 continue
             elapsed = time.perf_counter() - tier_start
+            get_metrics().histogram(f"fallback.tier_seconds.{name}").observe(
+                elapsed)
             if self.net_timeout is not None and elapsed > self.net_timeout:
                 stats.timeouts += 1
                 self._record_failure(
@@ -252,6 +255,9 @@ class FallbackChain(WireTimingModel):
                 continue
             breaker.record_success()
             stats.served += 1
+            get_metrics().counter(f"fallback.served.{name}").inc()
+            if failures:
+                get_metrics().counter("fallback.degraded_nets").inc()
             record = NetServeRecord(net.name, name,
                                     time.perf_counter() - start, failures)
             self.records.append(record)
@@ -281,6 +287,7 @@ class FallbackChain(WireTimingModel):
                         failures: List[TierFailure], name: str,
                         reason: str) -> None:
         stats.failed += 1
+        get_metrics().counter(f"fallback.failures.{name}").inc()
         if breaker.record_failure():
             stats.breaker_trips += 1
         failures.append(TierFailure(name, reason))

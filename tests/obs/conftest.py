@@ -1,0 +1,22 @@
+"""Fixtures for the observability suite: isolate global tracer/metrics."""
+
+import pytest
+
+from repro.obs import get_metrics, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def _isolate_observability_state():
+    """Save/restore the global tracer and zero the metric registry.
+
+    The obs tests (and the CLI commands they drive) flip the process-wide
+    tracer on and off; without this fixture that state would leak into
+    unrelated tests in the same session.
+    """
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    yield
+    tracer.enabled = was_enabled
+    tracer.reset()
+    tracer.close()
+    get_metrics().reset()

@@ -1,0 +1,120 @@
+"""Bench workload: schema validation, filenames, and the CLI smoke test."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (BENCH_SCHEMA, QUICK_WORKLOAD, REQUIRED_STAGES,
+                       bench_filename, format_bench_summary,
+                       validate_bench_report, write_bench_report)
+
+
+def _minimal_document():
+    """Smallest document that passes ``validate_bench_report``."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_utc": "2026-08-05T00:00:00Z",
+        "environment": {"python": "3.12", "platform": "linux",
+                        "numpy": "1.0"},
+        "workload": QUICK_WORKLOAD.to_dict(),
+        "stages": [{"name": name, "wall_s": 1.0, "cpu_s": 1.0}
+                   for name in REQUIRED_STAGES],
+        "results": {
+            "dataset": {},
+            "train": {},
+            "evaluate": {"r2_slew": 0.9, "r2_delay": 0.9,
+                         "throughput_nets_per_s": 100.0},
+            "sta": {"paths": 4, "gate_seconds": 1e-9, "wire_seconds": 1e-10,
+                    "fallback_tiers": {}},
+        },
+        "observability": {},
+    }
+
+
+def _stage(document, name):
+    return next(s for s in document["stages"] if s["name"] == name)
+
+
+class TestValidator:
+    def test_minimal_document_is_valid(self):
+        assert validate_bench_report(_minimal_document()) == []
+
+    def test_non_dict_rejected(self):
+        problems = validate_bench_report([1, 2])
+        assert problems and "object" in problems[0]
+
+    def test_wrong_schema_id_rejected(self):
+        document = _minimal_document()
+        document["schema"] = "repro-bench/0"
+        assert any("schema" in p for p in validate_bench_report(document))
+
+    def test_missing_stage_rejected(self):
+        document = _minimal_document()
+        document["stages"] = [s for s in document["stages"]
+                              if s["name"] != "train"]
+        assert any("train" in p for p in validate_bench_report(document))
+
+    def test_stage_without_timing_rejected(self):
+        document = _minimal_document()
+        del _stage(document, "sta")["wall_s"]
+        assert any("sta" in p and "wall_s" in p
+                   for p in validate_bench_report(document))
+
+    def test_stage_with_negative_timing_rejected(self):
+        document = _minimal_document()
+        _stage(document, "dataset")["cpu_s"] = -1.0
+        assert any("dataset" in p and "cpu_s" in p
+                   for p in validate_bench_report(document))
+
+    def test_missing_top_level_key_rejected(self):
+        document = _minimal_document()
+        del document["workload"]
+        assert any("workload" in p for p in validate_bench_report(document))
+
+
+class TestWriteBenchReport:
+    def test_filename_uses_date_stamp(self):
+        assert bench_filename("2026-08-05") == "BENCH_2026-08-05.json"
+
+    def test_invalid_document_refused(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid bench report"):
+            write_bench_report({"schema": "nope"}, out_dir=str(tmp_path))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_valid_document_written(self, tmp_path):
+        path = write_bench_report(_minimal_document(), out_dir=str(tmp_path),
+                                  date="2026-01-02")
+        assert os.path.basename(path) == "BENCH_2026-01-02.json"
+        assert json.load(open(path))["schema"] == BENCH_SCHEMA
+
+    def test_summary_renders_stages(self):
+        text = format_bench_summary(_minimal_document())
+        for name in REQUIRED_STAGES:
+            assert name in text
+
+
+class TestBenchCliSmoke:
+    def test_quick_bench_writes_schema_valid_report(self, tmp_path, capsys):
+        """End-to-end: ``repro bench --quick`` must emit a valid BENCH file."""
+        code = main(["bench", "--quick", "-o", str(tmp_path),
+                     "--date", "2026-08-05"])
+        assert code == 0
+        path = tmp_path / "BENCH_2026-08-05.json"
+        assert path.exists()
+        document = json.load(open(path))
+        assert validate_bench_report(document) == []
+        # Per-stage wall/CPU timings for every pipeline phase.
+        for name in REQUIRED_STAGES:
+            stage = _stage(document, name)
+            assert stage["wall_s"] > 0.0
+            assert stage["cpu_s"] >= 0.0
+        # The workload is pinned so runs are comparable across PRs.
+        assert document["workload"] == QUICK_WORKLOAD.to_dict()
+        # Counters from the instrumented hot paths made it into the report.
+        counters = document["observability"]["metrics"]["counters"]
+        assert counters["simulator.nets_analyzed"] > 0
+        assert counters["trainer.epochs_run"] == QUICK_WORKLOAD.epochs
+        out = capsys.readouterr().out
+        assert "wrote" in out and "BENCH_2026-08-05.json" in out

@@ -1,0 +1,50 @@
+"""The docs internal-link checker (tools/check_docs_links.py) works and
+the repo's own documentation passes it."""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_docs_links.py")
+
+
+def _run(root):
+    return subprocess.run([sys.executable, CHECKER, root],
+                          capture_output=True, text=True)
+
+
+class TestCheckerTool:
+    def test_repo_docs_have_no_broken_links(self):
+        result = _run(REPO_ROOT)
+        assert result.returncode == 0, result.stderr
+
+    def test_broken_file_link_detected(self, tmp_path):
+        (tmp_path / "a.md").write_text("see [other](missing.md)\n")
+        result = _run(str(tmp_path))
+        assert result.returncode == 1
+        assert "a.md:1" in result.stderr
+        assert "missing.md" in result.stderr
+
+    def test_broken_anchor_detected(self, tmp_path):
+        (tmp_path / "a.md").write_text("# Real Heading\n\n"
+                                       "[jump](a.md#not-a-heading)\n")
+        result = _run(str(tmp_path))
+        assert result.returncode == 1
+        assert "missing anchor" in result.stderr
+
+    def test_valid_links_pass(self, tmp_path):
+        (tmp_path / "b.md").write_text("# Target Section\n")
+        (tmp_path / "a.md").write_text(
+            "[file](b.md) [anchor](b.md#target-section) "
+            "[self](#local)\n\n# Local\n"
+            "[external](https://example.com/nope)\n")
+        result = _run(str(tmp_path))
+        assert result.returncode == 0, result.stderr
+
+    def test_links_inside_code_fences_ignored(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "```markdown\n[fake](nowhere.md)\n```\n")
+        result = _run(str(tmp_path))
+        assert result.returncode == 0, result.stderr

@@ -1,0 +1,110 @@
+"""Counter/gauge/histogram aggregation and registry snapshots."""
+
+import math
+
+from repro.obs import Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_increments_aggregate(self):
+        counter = Counter("events")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == 5
+
+    def test_reset_zeroes(self):
+        counter = Counter("events")
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("lr")
+        assert gauge.snapshot() is None
+        gauge.set(0.1)
+        gauge.set(0.05)
+        assert gauge.snapshot() == 0.05
+
+    def test_reset_unsets(self):
+        gauge = Gauge("lr")
+        gauge.set(1.0)
+        gauge.reset()
+        assert gauge.snapshot() is None
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = Histogram("sizes")
+        for value in (2.0, 8.0, 32.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 42.0
+        assert hist.min == 2.0
+        assert hist.max == 32.0
+        assert hist.mean == 14.0
+
+    def test_power_of_two_buckets(self):
+        hist = Histogram("sizes")
+        hist.observe(3.0)    # 2 < 3 <= 4  -> bucket "2"
+        hist.observe(4.0)    # exactly 4   -> bucket "2"
+        hist.observe(5.0)    # 4 < 5 <= 8  -> bucket "3"
+        hist.observe(0.0)    # non-positive bucket
+        assert hist.buckets == {"2": 2, "3": 1, "<=0": 1}
+
+    def test_empty_snapshot(self):
+        snapshot = Histogram("empty").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] is None
+        assert math.isnan(Histogram("empty").mean)
+
+    def test_reset(self):
+        hist = Histogram("sizes")
+        hist.observe(1.0)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.buckets == {}
+        assert hist.min == math.inf
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_snapshot_layout_and_omission_of_untouched(self):
+        registry = MetricRegistry()
+        registry.counter("hit").inc(3)
+        registry.counter("untouched")
+        registry.gauge("lr").set(0.01)
+        registry.gauge("unset")
+        registry.histogram("size").observe(16.0)
+        registry.histogram("empty")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"hit": 3}
+        assert snapshot["gauges"] == {"lr": 0.01}
+        assert list(snapshot["histograms"]) == ["size"]
+        assert snapshot["histograms"]["size"]["count"] == 1
+
+    def test_reset_zeroes_in_place_keeping_references(self):
+        """Module-level cached instruments must survive registry resets."""
+        registry = MetricRegistry()
+        cached = registry.counter("module.cached")
+        cached.inc(9)
+        registry.reset()
+        assert cached.value == 0
+        cached.inc()
+        assert registry.counter("module.cached").value == 1
+        assert registry.counter("module.cached") is cached
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(2.5)
+        json.dumps(registry.snapshot())  # must not raise

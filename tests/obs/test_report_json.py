@@ -1,0 +1,74 @@
+"""CLI ``repro report`` observability flags: --json and --profile."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def design_dir(tmp_path_factory):
+    """Export a small benchmark once; reused by every test in the module."""
+    outdir = tmp_path_factory.mktemp("design")
+    code = main(["export-design", "PCI_BRIDGE", "-o", str(outdir),
+                 "--scale", "3200"])
+    assert code == 0
+    return outdir
+
+
+def _report_args(design_dir, *extra):
+    return ["report",
+            "--verilog", str(design_dir / "netlist.v"),
+            "--spef", str(design_dir / "parasitics.spef"),
+            "--lib", str(design_dir / "cells.lib"),
+            "--engine", "elmore", "--paths", "4", *extra]
+
+
+class TestReportJson:
+    def test_json_report_is_machine_readable(self, design_dir, capsys):
+        code = main(_report_args(design_dir, "--json"))
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-report/1"
+        assert document["wire_model"] == "ElmoreWireModel"
+        assert document["clock_period_s"] == pytest.approx(1.5e-9)
+        assert document["gate_seconds"] > 0.0
+        assert document["wire_seconds"] > 0.0
+        assert document["paths"]
+        for path in document["paths"]:
+            assert path["arrival_s"] > 0.0
+            assert path["stages"] >= 1
+
+    def test_json_report_carries_stage_timings(self, design_dir, capsys):
+        code = main(_report_args(design_dir, "--json"))
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "sta.analyze_design" in document["stages"]
+        stage = document["stages"]["sta.analyze_design"]
+        assert stage["count"] == 1
+        assert stage["wall_s"] > 0.0
+        counters = document["metrics"]["counters"]
+        assert counters["sta.paths_timed"] >= 1
+
+    def test_fallback_engine_reports_tier_counters(self, design_dir, capsys):
+        code = main(_report_args(design_dir, "--json",
+                                 "--engine", "fallback"))
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "fallback_tiers" in document
+        assert sum(document["fallback_tiers"].values()) >= 1
+
+
+class TestReportProfile:
+    def test_profile_appends_stage_table(self, design_dir, capsys):
+        code = main(_report_args(design_dir, "--profile"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-stage profile" in out
+        assert "sta.analyze_design" in out
+
+    def test_plain_report_has_no_profile(self, design_dir, capsys):
+        code = main(_report_args(design_dir))
+        assert code == 0
+        assert "per-stage profile" not in capsys.readouterr().out
