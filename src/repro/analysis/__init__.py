@@ -13,8 +13,10 @@ from .elmore import (downstream_caps, elmore_delay_to_sink, elmore_delays,
 from .moments import moments
 from .d2m import d2m_delay_to_sink, d2m_delays
 from .awe import TwoPoleModel, awe2_delays, awe2_timing, fit_two_pole
-from .simulator import (GoldenTimer, SinkTiming, TransientSolution,
-                        WireTimingResult)
+from .cache import (SolveCache, configure_solve_cache, get_solve_cache,
+                    solve_key)
+from .simulator import (EigenSolve, GoldenTimer, SinkTiming,
+                        TransientSolution, WireTimingResult, eigendecompose)
 
 __all__ = [
     "conductance_matrix", "capacitance_vector", "reduce_source",
@@ -25,4 +27,6 @@ __all__ = [
     "d2m_delays", "d2m_delay_to_sink",
     "awe2_delays", "awe2_timing", "fit_two_pole", "TwoPoleModel",
     "GoldenTimer", "TransientSolution", "WireTimingResult", "SinkTiming",
+    "EigenSolve", "eigendecompose",
+    "SolveCache", "get_solve_cache", "configure_solve_cache", "solve_key",
 ]

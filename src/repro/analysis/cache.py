@@ -1,0 +1,146 @@
+"""Content-addressed memo cache for the golden simulator's eigensolves.
+
+The eigendecomposition in :class:`~repro.analysis.simulator.TransientSolution`
+is the pipeline's single hottest operation (O(N^3) per net), and it is
+recomputed for *identical inputs* constantly: STA re-analyzes the same net
+once per timing path that crosses it (and twice per stage when a separate
+slew model runs), ``estimator.throughput`` loops the same test nets, and
+generated designs share many content-identical small nets.
+
+The decomposition depends only on the tuple (topology, R, C, driver): the
+net's edge list with resistances, the assembled capacitance vector (node
+caps + sink loads), the source index, and the driver's Thevenin resistance.
+:func:`solve_key` hashes exactly those bytes (BLAKE2b-128 over the raw
+float64 buffers — content, not object identity), and :class:`SolveCache` is
+a size-bounded LRU from that key to the reusable
+:class:`~repro.analysis.simulator.EigenSolve` object.
+
+Hit/miss/eviction counts feed the ``simulator.cache_*`` metrics (see
+docs/OBSERVABILITY.md).  Every worker process of a parallel run owns its own
+cache, so no cross-process locking exists or is needed.  Cached solves must
+be treated as immutable — they are shared between all timing queries that
+hash to the same key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..obs import get_metrics
+from ..rcnet.graph import RCNet
+
+#: Environment variable overriding the default cache capacity (entries);
+#: ``0`` disables caching entirely.
+CACHE_SIZE_ENV = "REPRO_SOLVE_CACHE"
+
+#: Default LRU capacity.  Solves are O(N^2) floats each; at the pipeline's
+#: typical 10-60 node nets this bounds the cache well under ~100 MB.
+DEFAULT_CACHE_SIZE = 512
+
+_HITS = get_metrics().counter("simulator.cache_hits")
+_MISSES = get_metrics().counter("simulator.cache_misses")
+_EVICTIONS = get_metrics().counter("simulator.cache_evictions")
+
+
+def solve_key(net: RCNet, caps: np.ndarray, drive_resistance: float) -> bytes:
+    """Content hash of one eigensolve's inputs: (topology, R, C, driver).
+
+    Two nets with equal structure and parasitics map to the same key even
+    when they are distinct objects with different names — name is identity,
+    not content, and generated designs repeat small net shapes often.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(struct.pack("<qqd", net.num_nodes, net.source,
+                              float(drive_resistance)))
+    if net.edges:
+        topology = np.array([(e.u, e.v) for e in net.edges], dtype=np.int64)
+        resistances = np.array([e.resistance for e in net.edges],
+                               dtype=np.float64)
+        digest.update(topology.tobytes())
+        digest.update(resistances.tobytes())
+    digest.update(np.ascontiguousarray(caps, dtype=np.float64).tobytes())
+    return digest.digest()
+
+
+class SolveCache:
+    """Size-bounded LRU cache from :func:`solve_key` to an eigensolve."""
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[bytes, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def get(self, key: bytes) -> Optional[Any]:
+        """Look up ``key``, counting the hit/miss and refreshing recency."""
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            _MISSES.inc()
+            return None
+        self._entries.move_to_end(key)
+        _HITS.inc()
+        return entry
+
+    def put(self, key: bytes, solve: Any) -> None:
+        """Insert ``solve``, evicting least-recently-used entries if full."""
+        if not self.enabled:
+            return
+        self._entries[key] = solve
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            _EVICTIONS.inc()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Current counter values plus occupancy (JSON-safe)."""
+        return {"entries": len(self._entries), "maxsize": self.maxsize,
+                "hits": _HITS.value, "misses": _MISSES.value,
+                "evictions": _EVICTIONS.value}
+
+
+def _default_size() -> int:
+    raw = os.environ.get(CACHE_SIZE_ENV)
+    if raw is None:
+        return DEFAULT_CACHE_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        return DEFAULT_CACHE_SIZE
+    return max(0, size)
+
+
+_GLOBAL_CACHE = SolveCache(_default_size())
+
+
+def get_solve_cache() -> SolveCache:
+    """The process-wide solve cache used by :class:`GoldenTimer`."""
+    return _GLOBAL_CACHE
+
+
+def configure_solve_cache(maxsize: int) -> SolveCache:
+    """Replace the global cache with a fresh one of ``maxsize`` entries.
+
+    ``0`` disables memoization (every solve recomputes).  Returns the new
+    cache so tests can assert on it directly.
+    """
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = SolveCache(maxsize)
+    return _GLOBAL_CACHE

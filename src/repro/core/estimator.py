@@ -27,6 +27,7 @@ from ..nn.metrics import max_abs_error, r2_score
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
 from ..nn.trainer import Trainer, TrainingHistory
+from ..parallel import parallel_map
 from ..rcnet.graph import RCNet
 from .config import DEFAULT_CONFIG, GNNTransConfig
 from .gnntrans import GNNTrans
@@ -297,10 +298,19 @@ class WireTimingEstimator:
             del self.provenance_log[:-_MAX_PROVENANCE_RECORDS]
         self.last_record = record
 
-    def predict(self, samples: Sequence[NetSample]
+    def predict(self, samples: Sequence[NetSample], jobs: int = 1
                 ) -> Tuple[np.ndarray, np.ndarray]:
-        """Concatenated per-path predictions over many nets, in ps."""
+        """Concatenated per-path predictions over many nets, in ps.
+
+        ``jobs > 1`` fans the per-net inference across worker processes
+        (the fitted estimator ships to each worker once, via the pool
+        initializer); results and provenance records come back in sample
+        order, so the output is identical to the serial path.
+        """
         self._require_fitted()
+        samples = list(samples)
+        if jobs is None or jobs != 1:
+            return self._predict_parallel(samples, jobs)
         slews: List[np.ndarray] = []
         delays: List[np.ndarray] = []
         for sample in samples:
@@ -311,10 +321,36 @@ class WireTimingEstimator:
             return np.zeros(0), np.zeros(0)
         return np.concatenate(slews), np.concatenate(delays)
 
-    def evaluate(self, samples: Sequence[NetSample]) -> EvalMetrics:
+    def _predict_parallel(self, samples: List[NetSample], jobs: int
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Worker-pool prediction path; merges provenance in the parent.
+
+        Worker processes own separate metric registries and estimator
+        copies, so each returned tuple carries the tier/reason of its
+        prediction and the parent replays them through :meth:`_record` —
+        counters and ``provenance_log`` end up as the serial path leaves
+        them.
+        """
+        results = parallel_map(_predict_worker, samples, jobs=jobs,
+                               initializer=_init_predict_worker,
+                               initargs=(self,), label="predict")
+        slews: List[np.ndarray] = []
+        delays: List[np.ndarray] = []
+        for sample, (slew_ps, delay_ps, tier, reason) in zip(samples, results):
+            _PREDICTIONS.inc()
+            self._record(sample, tier, reason)
+            slews.append(slew_ps)
+            delays.append(delay_ps)
+        if not slews:
+            return np.zeros(0), np.zeros(0)
+        return np.concatenate(slews), np.concatenate(delays)
+
+    def evaluate(self, samples: Sequence[NetSample],
+                 jobs: int = 1) -> EvalMetrics:
         """R^2 and max-abs-error against golden labels (paper's metrics)."""
-        with get_tracer().span("estimator.evaluate", samples=len(samples)):
-            pred_slew, pred_delay = self.predict(samples)
+        with get_tracer().span("estimator.evaluate", samples=len(samples),
+                               jobs=jobs):
+            pred_slew, pred_delay = self.predict(samples, jobs=jobs)
         true_slew = np.array([p.label_slew for s in samples for p in s.paths])
         true_delay = np.array([p.label_delay for s in samples for p in s.paths])
         return EvalMetrics(
@@ -363,6 +399,24 @@ class WireTimingEstimator:
     def _require_fitted(self) -> None:
         if self.model is None:
             raise RuntimeError("estimator is not fitted; call fit() or load()")
+
+
+# Per-worker estimator installed once by the pool initializer, so the model
+# weights are shipped per worker instead of per task.
+_WORKER_ESTIMATOR: Optional[WireTimingEstimator] = None
+
+
+def _init_predict_worker(estimator: "WireTimingEstimator") -> None:
+    global _WORKER_ESTIMATOR
+    _WORKER_ESTIMATOR = estimator
+
+
+def _predict_worker(sample: NetSample
+                    ) -> Tuple[np.ndarray, np.ndarray, str, Optional[str]]:
+    """Worker entry point: predict one net, returning result + provenance."""
+    slew_ps, delay_ps = _WORKER_ESTIMATOR.predict_sample(sample)
+    record = _WORKER_ESTIMATOR.last_record
+    return slew_ps, delay_ps, record.tier, record.reason
 
 
 class LearnedWireModel(WireTimingModel):

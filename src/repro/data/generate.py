@@ -4,6 +4,15 @@ This is the reproduction of the paper's data pipeline (StarRC parasitics +
 PrimeTime-SI golden reports): for every net of a generated benchmark design
 we derive the electrical context from the actual driving/receiving cells,
 run the golden timer, and package a :class:`~repro.features.NetSample`.
+
+Golden labeling is the generation bottleneck (the paper parallelized the
+analogous stage over 4 GPUs), so the stage is decomposed into picklable
+per-net :class:`NetLabelTask` units executed through
+:func:`repro.parallel.parallel_map`: ``n_jobs`` worker processes label nets
+concurrently, results are collected in task order, and every random choice
+draws from ``SeedSequence`` children spawned per design and per net from
+the workload seed — so any ``n_jobs`` produces a bit-identical dataset,
+including which nets were sampled and which were skipped.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ import numpy as np
 
 from ..analysis.simulator import GoldenTimer
 from ..obs import get_metrics, get_tracer
+from ..parallel import MapFailure, parallel_map, spawn_seeds
 from ..robustness.errors import EstimationError
 from ..design.benchmarks import (DEFAULT_SCALE, TEST_BENCHMARKS,
                                  TRAIN_BENCHMARKS, generate_benchmark)
@@ -74,70 +84,160 @@ class WireTimingDataset:
         return sum(s.num_paths for s in self.test)
 
 
-def design_net_samples(netlist: Netlist, max_nets: Optional[int] = None,
-                       rng: Optional[np.random.Generator] = None,
-                       si_mode: bool = True, on_error: str = "skip",
-                       skipped: Optional[List[SkippedSample]] = None
-                       ) -> List[NetSample]:
-    """Build one sample per net of ``netlist`` (optionally a random subset).
+@dataclass(frozen=True)
+class NetLabelTask:
+    """One golden-labeling work unit: a net plus its electrical context.
+
+    Tasks are self-contained and picklable — the RC net, the driving cell
+    and the receiving cells travel with the task, so workers need no shared
+    library object.  ``seed`` is the net's private ``SeedSequence`` child
+    (spawned from the workload seed); golden labeling is currently fully
+    deterministic, but any future stochastic component (Monte-Carlo SI
+    sampling, parasitic jitter) must draw from it so that results stay
+    independent of the worker count.
+    """
+
+    design: str
+    net_name: str
+    rcnet: object            # RCNet
+    drive_cell: object       # liberty Cell
+    load_cells: Tuple[object, ...]
+    si_mode: bool = True
+    on_error: str = "skip"
+    seed: Optional[np.random.SeedSequence] = None
+
+
+def _label_net(task: NetLabelTask
+               ) -> Tuple[Optional[NetSample], Optional[SkippedSample]]:
+    """Worker entry point: golden-label one net (exactly one result).
+
+    Returns ``(sample, None)`` on success and ``(None, skip_record)`` when
+    the net fails with a typed error and the task is in skip mode; in raise
+    mode the typed error propagates (through the pool, when parallel).
+    """
+    try:
+        sink_loads = np.array([c.input_cap for c in task.load_cells])
+        ceff = effective_capacitance(task.rcnet,
+                                     task.drive_cell.drive_resistance,
+                                     sink_loads)
+        _, input_slew = task.drive_cell.delay_and_slew(_LAUNCH_SLEW, ceff)
+        context = NetContext(input_slew=input_slew,
+                             drive_cell=task.drive_cell,
+                             load_cells=list(task.load_cells))
+        timer = GoldenTimer(drive_resistance=task.drive_cell.drive_resistance,
+                            si_mode=task.si_mode)
+        sample = build_net_sample(task.rcnet, context, design=task.design,
+                                  timer=timer)
+        return sample, None
+    except (EstimationError, np.linalg.LinAlgError) as exc:
+        if task.on_error == "raise":
+            raise
+        return None, SkippedSample(task.net_name, task.design, str(exc))
+
+
+def _net_tasks(netlist: Netlist, max_nets: Optional[int] = None,
+               rng: Optional[np.random.Generator] = None,
+               si_mode: bool = True, on_error: str = "skip",
+               seed_seq: Optional[np.random.SeedSequence] = None
+               ) -> List[NetLabelTask]:
+    """Decompose one design into per-net labeling tasks (optionally subsampled).
 
     The input slew of each net is the actual output slew of its driving
     cell at the net's effective capacitance, so features and labels see a
     self-consistent operating point — exactly what a timer would propagate.
+    """
+    nets = list(netlist.nets.values())
+    if max_nets is not None and len(nets) > max_nets:
+        rng = rng or np.random.default_rng(0)
+        picked = rng.choice(len(nets), size=max_nets, replace=False)
+        nets = [nets[int(i)] for i in sorted(picked)]
+    net_seeds: Sequence[Optional[np.random.SeedSequence]]
+    net_seeds = seed_seq.spawn(len(nets)) if seed_seq is not None \
+        else [None] * len(nets)
+    tasks: List[NetLabelTask] = []
+    for net, child in zip(nets, net_seeds):
+        tasks.append(NetLabelTask(
+            design=netlist.name,
+            net_name=net.name,
+            rcnet=net.rcnet,
+            drive_cell=netlist.gates[net.driver].cell,
+            load_cells=tuple(netlist.gates[load.gate].cell
+                             for load in net.loads),
+            si_mode=si_mode,
+            on_error=on_error,
+            seed=child,
+        ))
+    return tasks
+
+
+def design_net_samples(netlist: Netlist, max_nets: Optional[int] = None,
+                       rng: Optional[np.random.Generator] = None,
+                       si_mode: bool = True, on_error: str = "skip",
+                       skipped: Optional[List[SkippedSample]] = None,
+                       jobs: int = 1) -> List[NetSample]:
+    """Build one sample per net of ``netlist`` (optionally a random subset).
 
     A net whose golden labeling fails with a typed
     :class:`~repro.robustness.errors.EstimationError` (ill-conditioned MNA,
     non-finite parasitics, ...) is skipped and logged by default — one
     pathological net must not abort an hours-long dataset build.  Pass
     ``on_error="raise"`` to fail fast instead, and a ``skipped`` list to
-    collect the per-net :class:`SkippedSample` records.
+    collect the per-net :class:`SkippedSample` records.  ``jobs`` labels
+    nets across worker processes; results are identical for any value.
     """
     if on_error not in ("skip", "raise"):
         raise ValueError(f"on_error must be 'skip' or 'raise', got {on_error!r}")
-    nets = list(netlist.nets.values())
-    if max_nets is not None and len(nets) > max_nets:
-        rng = rng or np.random.default_rng(0)
-        picked = rng.choice(len(nets), size=max_nets, replace=False)
-        nets = [nets[int(i)] for i in sorted(picked)]
+    tasks = _net_tasks(netlist, max_nets, rng, si_mode, on_error)
+    results = parallel_map(_label_net, tasks, jobs=jobs, label="label_nets")
+    return _collect(tasks, results, skipped)
+
+
+def _collect(tasks: Sequence[NetLabelTask],
+             results: Sequence[Tuple[Optional[NetSample],
+                                     Optional[SkippedSample]]],
+             skipped: Optional[List[SkippedSample]]) -> List[NetSample]:
+    """Fold ordered worker results into samples + skip records + counters."""
     samples: List[NetSample] = []
-    for net in nets:
-        drive_cell = netlist.gates[net.driver].cell
-        load_cells = [netlist.gates[load.gate].cell for load in net.loads]
-        sink_loads = np.array([c.input_cap for c in load_cells])
-        try:
-            ceff = effective_capacitance(net.rcnet,
-                                         drive_cell.drive_resistance,
-                                         sink_loads)
-            _, input_slew = drive_cell.delay_and_slew(_LAUNCH_SLEW, ceff)
-            context = NetContext(input_slew=input_slew, drive_cell=drive_cell,
-                                 load_cells=load_cells)
-            timer = GoldenTimer(drive_resistance=drive_cell.drive_resistance,
-                                si_mode=si_mode)
-            samples.append(build_net_sample(net.rcnet, context,
-                                            design=netlist.name, timer=timer))
+    for task, (sample, skip) in zip(tasks, results):
+        if sample is not None:
+            samples.append(sample)
             _NETS_LABELED.inc()
-        except (EstimationError, np.linalg.LinAlgError) as exc:
-            if on_error == "raise":
-                raise
+        else:
             _NETS_SKIPPED.inc()
             logger.warning("skipping net %r of design %r: %s",
-                           net.name, netlist.name, exc)
+                           skip.net, skip.design, skip.reason)
             if skipped is not None:
-                skipped.append(SkippedSample(net.name, netlist.name, str(exc)))
+                skipped.append(skip)
     return samples
 
 
-def _samples_for_benchmark(args) -> Tuple[List[NetSample], List[SkippedSample]]:
-    """Worker entry point: one benchmark's samples (picklable args)."""
-    name, scale, nets_per_design, si_mode, worker_seed = args
-    with get_tracer().span("dataset.design", design=name, scale=scale):
-        library = make_default_library()
-        netlist = generate_benchmark(name, library, scale)
-        rng = np.random.default_rng(worker_seed)
-        skipped: List[SkippedSample] = []
-        samples = design_net_samples(netlist, nets_per_design, rng, si_mode,
-                                     skipped=skipped)
-    return samples, skipped
+@dataclass(frozen=True)
+class _DesignJob:
+    """Worker unit of the design-generation phase (picklable)."""
+
+    name: str
+    scale: int
+    nets_per_design: Optional[int]
+    si_mode: bool
+    seed: np.random.SeedSequence
+    library: Optional[Library] = None
+
+
+def _design_tasks(job: _DesignJob) -> List[NetLabelTask]:
+    """Worker entry point: generate one benchmark and emit its net tasks.
+
+    Subsampling draws from the design's own ``SeedSequence`` child, and the
+    per-net seeds are spawned from the same child in sampled-net order —
+    both independent of which process runs the job.
+    """
+    with get_tracer().span("dataset.design", design=job.name,
+                           scale=job.scale):
+        library = job.library if job.library is not None \
+            else make_default_library()
+        netlist = generate_benchmark(job.name, library, job.scale)
+        rng = np.random.default_rng(job.seed)
+        return _net_tasks(netlist, job.nets_per_design, rng, job.si_mode,
+                          seed_seq=job.seed)
 
 
 def generate_dataset(train_names: Sequence[str] = tuple(TRAIN_BENCHMARKS),
@@ -159,58 +259,47 @@ def generate_dataset(train_names: Sequence[str] = tuple(TRAIN_BENCHMARKS),
     nets_per_design:
         Cap on sampled nets per design (None = all nets).
     library:
-        Cell library (default synthetic library).
+        Cell library (default synthetic library).  Cells travel inside the
+        per-net tasks, so custom libraries work with any ``n_jobs``.
     si_mode:
         Whether golden labels include SI coupling effects.
     seed:
-        Seed for net subsampling.
+        Workload seed.  Per-design and per-net RNG streams are spawned from
+        it via ``numpy.random.SeedSequence.spawn``, so the sampled nets,
+        the labels and the skipped-net records are bit-identical for every
+        ``n_jobs`` value.
     n_jobs:
-        Worker processes for golden labeling (the generation bottleneck;
-        the paper parallelized the analogous stage over 4 GPUs).  Results
-        are identical for any ``n_jobs`` because each benchmark owns a
-        deterministic per-design seed.
+        Worker processes for design generation and golden labeling (the
+        generation bottleneck).  A worker crash degrades to an in-parent
+        serial retry (see :mod:`repro.parallel`) instead of aborting.
     """
-    if library is not None and n_jobs > 1:
-        raise ValueError(
-            "a custom library cannot be shipped to worker processes; "
-            "use n_jobs=1 or the default library")
     names = list(train_names) + list(test_names)
-    jobs = [(name, scale, nets_per_design, si_mode, seed + index)
-            for index, name in enumerate(names)]
+    design_jobs = [
+        _DesignJob(name, scale, nets_per_design, si_mode, child, library)
+        for name, child in zip(names, spawn_seeds(seed, len(names)))]
 
     tracer = get_tracer()
     with tracer.span("dataset.generate", designs=len(names), scale=scale,
-                     nets_per_design=nets_per_design) as span:
-        if n_jobs > 1:
-            # Spans inside workers land in each worker's own (disabled)
-            # tracer; only the enclosing span is visible to this process.
-            import multiprocessing
-
-            with multiprocessing.Pool(processes=n_jobs) as pool:
-                per_benchmark = pool.map(_samples_for_benchmark, jobs)
-        elif library is not None:
-            # In-process path with the caller's library.
-            per_benchmark = []
-            for name, _, _, _, worker_seed in jobs:
-                with tracer.span("dataset.design", design=name, scale=scale):
-                    netlist = generate_benchmark(name, library, scale)
-                    rng = np.random.default_rng(worker_seed)
-                    design_skipped: List[SkippedSample] = []
-                    per_benchmark.append(
-                        (design_net_samples(netlist, nets_per_design, rng,
-                                            si_mode, skipped=design_skipped),
-                         design_skipped))
-        else:
-            per_benchmark = [_samples_for_benchmark(job) for job in jobs]
+                     nets_per_design=nets_per_design, jobs=n_jobs) as span:
+        crashes: List[MapFailure] = []
+        per_design = parallel_map(_design_tasks, design_jobs, jobs=n_jobs,
+                                  label="generate_designs", failures=crashes)
+        tasks = [task for design_tasks in per_design
+                 for task in design_tasks]
+        results = parallel_map(_label_net, tasks, jobs=n_jobs,
+                               label="label_nets", failures=crashes)
 
         train: List[NetSample] = []
         test: List[NetSample] = []
         skipped: List[SkippedSample] = []
-        for name, (samples, design_skipped) in zip(names, per_benchmark):
-            (train if name in train_names else test).extend(samples)
-            skipped.extend(design_skipped)
+        train_set = set(train_names)
+        samples = _collect(tasks, results, skipped)
+        for task, sample in zip(
+                (t for t, (s, _) in zip(tasks, results) if s is not None),
+                samples):
+            (train if task.design in train_set else test).append(sample)
         span.set(train_nets=len(train), test_nets=len(test),
-                 skipped_nets=len(skipped))
+                 skipped_nets=len(skipped), worker_crashes=len(crashes))
 
         scaler = FeatureScaler().fit(train)
         return WireTimingDataset(

@@ -23,6 +23,7 @@ from ..analysis.simulator import GoldenTimer
 from ..features.path_features import NetContext
 from ..liberty.ceff import effective_capacitance
 from ..obs import get_metrics, get_tracer
+from ..parallel import parallel_map
 from ..rcnet.graph import RCNet
 from ..robustness.errors import EstimationError, ModelError, NumericalError
 from .netlist import Netlist, TimingPath
@@ -261,12 +262,14 @@ class STAEngine:
         _PATHS_TIMED.inc()
         return PathTiming(path.name, arrival, gate_total, wire_total, stages)
 
-    def analyze_design(self) -> STAReport:
-        """Arrival times of every recorded path, with a runtime split.
+    def _timed_arrival(self, path: TimingPath
+                       ) -> Tuple[PathTiming, float, float]:
+        """One path through a wire-timing-instrumented engine.
 
-        The gate/wire runtime split is measured by running the wire engine
-        inside a timed wrapper; totals therefore reflect the actual cost of
-        each component, mirroring Table V's Gate/Wire columns.
+        Returns ``(timing, wire_seconds, total_seconds)`` so callers can
+        assemble the Table V gate/wire runtime split from per-path compute
+        time — a definition that survives parallel execution, where
+        wall-clock no longer equals work done.
         """
         wire_seconds = 0.0
         model = self.wire_model
@@ -288,18 +291,70 @@ class STAEngine:
 
         engine = STAEngine(self.netlist, _TimedModel(), self.launch_slew,
                            slew_model=self.slew_model)
+        start = time.perf_counter()
+        timing = engine.path_arrival(path)
+        total = time.perf_counter() - start
+        return timing, wire_seconds, total
+
+    def analyze_design(self, jobs: int = 1) -> STAReport:
+        """Arrival times of every recorded path, with a runtime split.
+
+        The gate/wire runtime split is measured by running the wire engine
+        inside a timed wrapper; totals are summed per-path compute seconds,
+        mirroring Table V's Gate/Wire columns.
+
+        ``jobs > 1`` analyzes paths across worker processes (the netlist
+        and wire model ship to each worker once).  Arrival times and the
+        per-stage tier provenance in the report are identical to the
+        serial path; in-model degradation counters (e.g. a FallbackChain's
+        ``stats``) accumulate inside the workers and are not merged back —
+        read provenance from the report's ``stages`` instead.
+        """
+        model = self.wire_model
+        paths = list(self.netlist.paths)
         with get_tracer().span("sta.analyze_design", design=self.netlist.name,
                                wire_model=model.name,
-                               paths=len(self.netlist.paths)) as span:
-            start = time.perf_counter()
-            paths = [engine.path_arrival(p) for p in self.netlist.paths]
-            total = time.perf_counter() - start
+                               paths=len(paths), jobs=jobs) as span:
+            if jobs == 1 or len(paths) < 2:
+                results = [self._timed_arrival(p) for p in paths]
+            else:
+                results = parallel_map(
+                    _timed_path, list(range(len(paths))), jobs=jobs,
+                    initializer=_init_sta_worker,
+                    initargs=(self.netlist, model, self.launch_slew,
+                              self.slew_model),
+                    label="sta_paths")
+                # Worker processes own separate metric registries; replay
+                # the per-path counters in the parent.
+                for timing, _, _ in results:
+                    _PATHS_TIMED.inc()
+                    _STAGES_TIMED.inc(len(timing.stages))
+            wire_seconds = sum(w for _, w, _ in results)
+            total = sum(t for _, _, t in results)
             span.set(gate_seconds=total - wire_seconds,
                      wire_seconds=wire_seconds)
         return STAReport(
             design=self.netlist.name,
             wire_model=model.name,
-            paths=paths,
+            paths=[timing for timing, _, _ in results],
             gate_seconds=total - wire_seconds,
             wire_seconds=wire_seconds,
         )
+
+
+# Per-worker STA engine installed once by the pool initializer, so the
+# netlist and wire model ship per worker instead of per path.
+_WORKER_ENGINE: Optional[STAEngine] = None
+
+
+def _init_sta_worker(netlist: Netlist, wire_model: WireTimingModel,
+                     launch_slew: float,
+                     slew_model: Optional[WireTimingModel]) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = STAEngine(netlist, wire_model, launch_slew,
+                               slew_model=slew_model)
+
+
+def _timed_path(index: int) -> Tuple[PathTiming, float, float]:
+    """Worker entry point: time one path by index into the shipped netlist."""
+    return _WORKER_ENGINE._timed_arrival(_WORKER_ENGINE.netlist.paths[index])

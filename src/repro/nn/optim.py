@@ -79,15 +79,23 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2015) with bias correction."""
+    """Adam (Kingma & Ba, 2015) with bias correction.
+
+    ``decoupled=True`` applies weight decay directly to the weights instead
+    of folding it into the gradient — the AdamW update rule.  The flag is
+    consumed inside :meth:`step`, so ``weight_decay`` stays a plain
+    readable attribute at all times (no temporary mutation that a
+    concurrent reader or a mid-step exception could observe).
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
                  betas: tuple = (0.9, 0.999), eps: float = 1e-8,
-                 weight_decay: float = 0.0) -> None:
+                 weight_decay: float = 0.0, decoupled: bool = False) -> None:
         super().__init__(parameters, lr)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
+        self.decoupled = decoupled
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
@@ -101,7 +109,10 @@ class Adam(Optimizer):
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                if self.decoupled:
+                    p.data -= self.lr * self.weight_decay * p.data
+                else:
+                    grad = grad + self.weight_decay * p.data
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
@@ -114,16 +125,11 @@ class Adam(Optimizer):
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
 
-    def step(self) -> None:
-        if self.weight_decay:
-            for p in self.parameters:
-                if p.grad is not None:
-                    p.data -= self.lr * self.weight_decay * p.data
-        decay, self.weight_decay = self.weight_decay, 0.0
-        try:
-            super().step()
-        finally:
-            self.weight_decay = decay
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay, decoupled=True)
 
 
 class CosineSchedule:

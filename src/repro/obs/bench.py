@@ -52,6 +52,10 @@ class BenchWorkload:
     sta_paths: int = 12
     seed: int = 7
     si_mode: bool = True
+    #: Worker processes for the parallel stages (dataset labeling,
+    #: evaluation, STA).  Results are jobs-invariant; only the timings
+    #: change, which is why comparable reports must pin the same value.
+    jobs: int = 1
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -65,6 +69,7 @@ class BenchWorkload:
             "sta_paths": self.sta_paths,
             "seed": self.seed,
             "si_mode": self.si_mode,
+            "jobs": self.jobs,
         }
 
 
@@ -151,7 +156,8 @@ def run_bench(workload: BenchWorkload = DEFAULT_WORKLOAD,
             scale=workload.scale,
             nets_per_design=workload.nets_per_design,
             si_mode=workload.si_mode,
-            seed=workload.seed))
+            seed=workload.seed,
+            n_jobs=workload.jobs))
 
         config = _replace(PLANS[workload.plan], epochs=workload.epochs,
                           seed=workload.seed)
@@ -162,7 +168,8 @@ def run_bench(workload: BenchWorkload = DEFAULT_WORKLOAD,
             train, val_samples=val, epochs=workload.epochs, verbose=False))
 
         eval_metrics = clock.run("evaluate",
-                                 lambda: estimator.evaluate(dataset.test))
+                                 lambda: estimator.evaluate(
+                                     dataset.test, jobs=workload.jobs))
         throughput = estimator.throughput(dataset.test)
 
         def _sta():
@@ -173,10 +180,24 @@ def run_bench(workload: BenchWorkload = DEFAULT_WORKLOAD,
             for path in sample_timing_paths(netlist, workload.sta_paths, rng):
                 netlist.add_path(path)
             chain = default_fallback_chain()
-            report = STAEngine(netlist, chain).analyze_design()
+            report = STAEngine(netlist, chain).analyze_design(
+                jobs=workload.jobs)
             return report, chain
 
         sta_report, chain = clock.run("sta", _sta)
+        # Tier counts come from the report's per-stage provenance rather
+        # than chain.stats: with jobs > 1 the chain instances that served
+        # nets live in worker processes, but every serve is recorded in
+        # its StageTiming.tier, so this matches chain.counters() exactly
+        # on a serial run and stays correct on a parallel one.
+        from collections import Counter as _Counter
+
+        tier_counts = _Counter(stage.tier for path in sta_report.paths
+                               for stage in path.stages)
+        fallback_tiers = {name: tier_counts.get(name, 0)
+                          for name in chain.tier_names}
+        degraded_nets = sum(count for name, count in fallback_tiers.items()
+                            if name != chain.tier_names[0])
 
         import platform
 
@@ -218,8 +239,8 @@ def run_bench(workload: BenchWorkload = DEFAULT_WORKLOAD,
                     "paths": len(sta_report.paths),
                     "gate_seconds": sta_report.gate_seconds,
                     "wire_seconds": sta_report.wire_seconds,
-                    "fallback_tiers": chain.counters(),
-                    "degraded_nets": chain.degraded_count,
+                    "fallback_tiers": fallback_tiers,
+                    "degraded_nets": degraded_nets,
                 },
             },
             "observability": observability_document(tracer, registry),

@@ -1,0 +1,23 @@
+"""Parallel execution layer for the golden-label pipeline.
+
+The paper exists because sign-off timing of every routed net is too slow;
+the reproduction's own bottleneck is the same stage — golden transient
+labeling — running as a serial single-process loop.  This package provides
+the process-pool machinery that dataset generation, batch evaluation and
+STA use to scale across cores while staying *bit-identical* to the serial
+path:
+
+* :func:`parallel_map` — ordered, spawn-safe process-pool map with typed
+  worker-crash degradation (:class:`~repro.robustness.errors.WorkerError`
+  plus an in-parent serial retry) instead of an aborted run;
+* :func:`spawn_seeds` — independent per-task RNG streams derived from one
+  workload seed via ``numpy.random.SeedSequence.spawn``, so results do not
+  depend on the worker count;
+* :func:`resolve_jobs` — normalizes a user-facing ``--jobs`` value.
+"""
+
+from .pool import (MapFailure, parallel_map, resolve_jobs, spawn_seeds,
+                   worker_context)
+
+__all__ = ["parallel_map", "spawn_seeds", "resolve_jobs", "MapFailure",
+           "worker_context"]

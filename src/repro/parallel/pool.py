@@ -1,0 +1,205 @@
+"""Ordered, crash-tolerant process-pool map with deterministic seeding.
+
+Design constraints, in order of importance:
+
+1. **Determinism** — ``parallel_map(fn, items, jobs=N)`` must return exactly
+   what ``[fn(x) for x in items]`` returns, for any ``N``.  Results are
+   collected by task index, never by completion order, and per-task RNG
+   streams come from :func:`spawn_seeds` (``SeedSequence.spawn``) so they do
+   not depend on how tasks land on workers.
+2. **Crash containment** — a worker process dying mid-task (segfault, OOM
+   kill, ``os._exit``) must not kill an hours-long run.  The crash becomes a
+   typed :class:`~repro.robustness.errors.WorkerError` and, by default, the
+   affected tasks are retried serially in the parent — a degradation tier in
+   the spirit of :class:`~repro.robustness.fallback.FallbackChain`, recorded
+   in the caller-supplied ``failures`` list and the ``parallel.*`` counters
+   rather than silent.
+3. **Spawn safety** — ``fn``, ``initializer`` and every item must be
+   picklable module-level objects; the map works under any multiprocessing
+   start method (the ``spawn`` method is exercised in the test-suite).
+
+Ordinary exceptions raised *by* ``fn`` inside a worker are re-raised in the
+parent exactly as the serial loop would raise them; only process death is
+treated specially.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (Any, Callable, Iterable, List, Optional, Sequence,
+                    Tuple, TypeVar)
+
+import numpy as np
+
+from ..obs import get_metrics, get_tracer
+from ..robustness.errors import WorkerError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable overriding the multiprocessing start method.
+MP_CONTEXT_ENV = "REPRO_MP_CONTEXT"
+
+_TASKS = get_metrics().counter("parallel.tasks")
+_CRASHES = get_metrics().counter("parallel.worker_crashes")
+_RETRIES = get_metrics().counter("parallel.serial_retries")
+_JOBS_GAUGE = get_metrics().gauge("parallel.jobs")
+
+
+@dataclass(frozen=True)
+class MapFailure:
+    """Record of one worker crash observed while serving a task.
+
+    ``recovered`` tells whether the in-parent serial retry produced the
+    result (the run continued bit-identically) or the task's error was
+    re-raised to the caller.
+    """
+
+    index: int
+    reason: str
+    recovered: bool
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a user-facing ``--jobs`` value to a worker count.
+
+    ``None`` and ``0`` mean "all cores"; negative values are rejected.  The
+    result is never larger than the machine's CPU count — more workers than
+    cores only adds memory pressure for this CPU-bound pipeline.
+    """
+    cores = os.cpu_count() or 1
+    if jobs is None or jobs == 0:
+        return cores
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return min(jobs, cores)
+
+
+def spawn_seeds(seed: int, count: int) -> List[np.random.SeedSequence]:
+    """``count`` independent child seed sequences of one workload seed.
+
+    ``SeedSequence.spawn`` guarantees statistically independent streams that
+    depend only on ``(seed, child index)`` — never on worker assignment or
+    completion order — which is what makes ``--jobs N`` and ``--jobs 1``
+    datasets identical.  Arithmetic offsets (``seed + i``) do not: adjacent
+    seeds produce correlated generators and collide across stages.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return np.random.SeedSequence(seed).spawn(count)
+
+
+def worker_context(name: Optional[str] = None):
+    """The multiprocessing context used for worker pools.
+
+    Resolution order: explicit ``name`` argument, the :data:`MP_CONTEXT_ENV`
+    environment variable, then ``"fork"`` where available (fast start, no
+    re-import of numpy per worker) with ``"spawn"`` as the portable default.
+    Everything shipped to workers is picklable, so any method works.
+    """
+    import multiprocessing
+
+    if name is None:
+        name = os.environ.get(MP_CONTEXT_ENV)
+    if name is None:
+        name = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+            else "spawn"
+    return multiprocessing.get_context(name)
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1, *,
+                 initializer: Optional[Callable[..., None]] = None,
+                 initargs: Tuple = (),
+                 context: Optional[str] = None,
+                 retry_crashed: bool = True,
+                 failures: Optional[List[MapFailure]] = None,
+                 label: str = "map") -> List[R]:
+    """Apply ``fn`` to every item, optionally across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        Module-level (picklable) callable applied to each item.
+    items:
+        Task inputs; results come back in the same order.
+    jobs:
+        Worker processes.  ``jobs <= 1`` (or fewer than two items) runs the
+        plain in-process loop — byte-for-byte the serial semantics, no pool.
+    initializer, initargs:
+        Optional per-worker setup hook (ships shared read-only state once
+        per worker instead of once per task).
+    context:
+        Multiprocessing start-method name; see :func:`worker_context`.
+    retry_crashed:
+        When a worker dies mid-task: ``True`` re-runs the affected tasks
+        serially in the parent (the degradation tier), ``False`` raises the
+        typed :class:`~repro.robustness.errors.WorkerError` immediately.
+    failures:
+        Optional list collecting one :class:`MapFailure` per crash-affected
+        task, for caller-side reporting.
+    label:
+        Span/metric label for observability (``parallel.<label>``).
+
+    Raises
+    ------
+    WorkerError
+        A worker crashed and ``retry_crashed`` is false.
+    Exception
+        Any exception ``fn`` itself raises, exactly like the serial loop.
+    """
+    items = list(items)
+    _TASKS.inc(len(items))
+    if jobs is None or jobs <= 0:
+        jobs = resolve_jobs(jobs)
+    jobs = max(1, min(jobs, len(items)))
+    with get_tracer().span(f"parallel.{label}", jobs=jobs, tasks=len(items)):
+        if jobs <= 1:
+            if initializer is not None:
+                initializer(*initargs)
+            return [fn(item) for item in items]
+        _JOBS_GAUGE.set(jobs)
+        return _pool_map(fn, items, jobs, initializer, initargs, context,
+                         retry_crashed, failures)
+
+
+def _pool_map(fn, items, jobs, initializer, initargs, context,
+              retry_crashed, failures):
+    mp_context = worker_context(context)
+    results: List[Any] = [None] * len(items)
+    crashed: List[int] = []
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context,
+                             initializer=initializer,
+                             initargs=initargs) as pool:
+        futures = {index: pool.submit(fn, item)
+                   for index, item in enumerate(items)}
+        for index in range(len(items)):
+            try:
+                results[index] = futures[index].result()
+            except BrokenProcessPool as exc:
+                # The dying worker takes the whole pool down; every task
+                # that has not returned yet lands here.  Contain, record,
+                # and let the serial tier below finish the job.
+                _CRASHES.inc()
+                crashed.append(index)
+                if not retry_crashed:
+                    error = WorkerError(
+                        f"worker process died while serving task {index}: "
+                        f"{exc}", task_index=index, cause=exc)
+                    if failures is not None:
+                        failures.append(MapFailure(index, str(error),
+                                                   recovered=False))
+                    raise error from exc
+    if crashed:
+        if initializer is not None:
+            initializer(*initargs)
+        for index in crashed:
+            _RETRIES.inc()
+            if failures is not None:
+                failures.append(MapFailure(
+                    index, "worker process died; task re-run serially "
+                           "in the parent", recovered=True))
+            results[index] = fn(items[index])
+    return results

@@ -14,7 +14,7 @@ builds on ``design.sta`` — would be circular.
 """
 
 from .errors import (EstimationError, InputError, ModelError, NumericalError,
-                     TrainingDiverged)
+                     TrainingDiverged, WorkerError)
 from .guards import (MAX_CONDITION, check_conditioning, require_finite,
                      symmetric_condition)
 
@@ -29,6 +29,7 @@ _LAZY = {
     "FaultInjector": "faultinject",
     "RC_FAULT_MODES": "faultinject",
     "coupling_only_sink_net": "faultinject",
+    "crashing_task": "faultinject",
     "pathological_nets": "faultinject",
     "resistance_spread_chain": "faultinject",
     "singular_mna_net": "faultinject",
@@ -37,7 +38,7 @@ _LAZY = {
 
 __all__ = [
     "EstimationError", "InputError", "NumericalError", "ModelError",
-    "TrainingDiverged",
+    "TrainingDiverged", "WorkerError",
     "MAX_CONDITION", "require_finite", "check_conditioning",
     "symmetric_condition",
     *sorted(_LAZY),

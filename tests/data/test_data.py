@@ -131,8 +131,14 @@ class TestParallelGeneration:
             for pa, pb in zip(a.paths, b.paths):
                 assert pa.label_delay == pb.label_delay
 
-    def test_custom_library_rejects_parallel(self, library):
-        with pytest.raises(ValueError, match="custom library"):
-            generate_dataset(train_names=["PCI_BRIDGE"],
-                             test_names=["WB_DMA"], scale=2000,
-                             nets_per_design=5, library=library, n_jobs=2)
+    def test_custom_library_parallel(self, library):
+        """Cells ship inside each task, so custom libraries parallelize."""
+        kwargs = dict(train_names=["PCI_BRIDGE"], test_names=["WB_DMA"],
+                      scale=2000, nets_per_design=5, library=library, seed=3)
+        serial = generate_dataset(n_jobs=1, **kwargs)
+        parallel = generate_dataset(n_jobs=2, **kwargs)
+        assert len(serial.train) == len(parallel.train) > 0
+        for a, b in zip(serial.train + serial.test,
+                        parallel.train + parallel.test):
+            assert a.name == b.name
+            np.testing.assert_array_equal(a.node_features, b.node_features)

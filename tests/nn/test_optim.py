@@ -63,6 +63,67 @@ class TestOptimizers:
         np.testing.assert_allclose(p2.data, [2.0])
 
 
+class TestAdamWDecoupledDecay:
+    def test_decay_applied_exactly_once_per_step(self):
+        """A zero-gradient parameter shrinks by exactly lr * wd * value."""
+        p = Parameter(np.array([10.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        # Decoupled decay only (the Adam update of a zero grad is zero).
+        assert p.data[0] == pytest.approx(10.0 * (1.0 - 0.1 * 0.5))
+        opt.step()
+        assert p.data[0] == pytest.approx(10.0 * (1.0 - 0.1 * 0.5) ** 2)
+
+    def test_decay_not_folded_into_moments(self):
+        """Decoupled decay must leave the Adam moments untouched."""
+        p = Parameter(np.array([10.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        np.testing.assert_allclose(opt._m[0], [0.0])
+        np.testing.assert_allclose(opt._v[0], [0.0])
+
+    def test_weight_decay_attribute_stable(self):
+        """No temporary self.weight_decay=0 mutation, even mid-step."""
+        p = Parameter(np.array([1.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.25)
+        p.grad = np.array([0.3])
+        opt.step()
+        assert opt.weight_decay == 0.25
+        assert opt.decoupled is True
+
+    def test_survives_exception_in_step(self):
+        """A crash inside step() must not leave weight_decay zeroed."""
+        p = Parameter(np.array([1.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.25)
+        p.grad = np.array([float("nan")])  # survives: no exception path
+        opt.step()
+        assert opt.weight_decay == 0.25
+        # Force a real failure: corrupt internal state so step() raises.
+        opt._m = [np.zeros(2)]  # wrong shape -> broadcast error
+        p.grad = np.array([0.5])
+        with pytest.raises(ValueError):
+            opt.step()
+        assert opt.weight_decay == 0.25
+
+    def test_matches_adam_with_decoupled_flag(self):
+        """AdamW is exactly Adam(decoupled=True) — same trajectory."""
+        rng = np.random.default_rng(3)
+        start = rng.normal(size=4)
+        grads = [rng.normal(size=4) for _ in range(5)]
+        pa = Parameter(start.copy())
+        pw = Parameter(start.copy())
+        adam = Adam([pa], lr=0.05, weight_decay=0.1, decoupled=True)
+        adamw = AdamW([pw], lr=0.05, weight_decay=0.1)
+        for grad in grads:
+            pa.grad = grad.copy()
+            pw.grad = grad.copy()
+            adam.step()
+            adamw.step()
+        np.testing.assert_array_equal(pa.data, pw.data)
+
+
 class TestGradClipping:
     def test_clip_reduces_norm(self):
         p = Parameter(np.zeros(4))

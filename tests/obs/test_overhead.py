@@ -9,6 +9,8 @@ be unreliable on shared CI machines.
 
 import time
 
+import pytest
+
 from repro.obs import NULL_SPAN, Tracer, get_metrics, get_tracer
 
 
@@ -50,6 +52,14 @@ class TestDisabledNoOp:
 
 
 class TestInstrumentedPipelineWhenDisabled:
+    @pytest.fixture(autouse=True)
+    def cold_solve_cache(self):
+        # These tests assert that the eigendecomposition itself runs; a
+        # solve cache warmed by earlier tests would legitimately skip it.
+        from repro.analysis import get_solve_cache
+
+        get_solve_cache().clear()
+
     def test_golden_timer_records_no_spans_when_disabled(self, small_chain):
         from repro.analysis import GoldenTimer
 

@@ -1,0 +1,149 @@
+"""The process-pool map: ordering, determinism, crash containment."""
+
+import numpy as np
+import pytest
+
+from repro.obs import get_metrics
+from repro.parallel import (MapFailure, parallel_map, resolve_jobs,
+                            spawn_seeds, worker_context)
+from repro.robustness import WorkerError
+from repro.robustness.faultinject import crashing_task
+
+
+def _square(x):
+    return x * x
+
+
+def _draw(seed_seq):
+    return float(np.random.default_rng(seed_seq).random())
+
+
+def _boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+class TestInlinePath:
+    def test_single_job_is_plain_loop(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_single_item_stays_inline(self):
+        # One task never justifies a pool, whatever jobs says.
+        assert parallel_map(_square, [5], jobs=8) == [25]
+
+    def test_inline_runs_initializer(self):
+        calls = []
+        parallel_map(_square, [1, 2], jobs=1,
+                     initializer=calls.append, initargs=("ready",))
+        assert calls == ["ready"]
+
+    def test_fn_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="task 3"):
+            parallel_map(_boom, [3], jobs=1)
+
+
+class TestPoolPath:
+    def test_results_in_task_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=4) == [x * x for x in items]
+
+    def test_matches_serial(self):
+        items = list(range(8))
+        assert parallel_map(_square, items, jobs=3) == \
+            parallel_map(_square, items, jobs=1)
+
+    def test_fn_exception_propagates_from_worker(self):
+        # Results collect in index order, so the first failing index wins.
+        with pytest.raises(RuntimeError, match="task 0"):
+            parallel_map(_boom, [0, 1], jobs=2)
+
+    def test_spawn_context_smoke(self):
+        # Everything shipped must survive the spawn start method too.
+        assert parallel_map(_square, [2, 3, 4], jobs=2,
+                            context="spawn") == [4, 9, 16]
+
+
+class TestSeeding:
+    def test_spawn_seeds_reproducible(self):
+        a = [_draw(s) for s in spawn_seeds(7, 4)]
+        b = [_draw(s) for s in spawn_seeds(7, 4)]
+        assert a == b
+
+    def test_children_independent_of_count(self):
+        # Child i is a function of (seed, i) only — growing the batch must
+        # not reshuffle earlier streams.
+        few = [_draw(s) for s in spawn_seeds(7, 2)]
+        many = [_draw(s) for s in spawn_seeds(7, 6)]
+        assert many[:2] == few
+
+    def test_different_seeds_differ(self):
+        assert _draw(spawn_seeds(1, 1)[0]) != _draw(spawn_seeds(2, 1)[0])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestResolveJobs:
+    def test_explicit_value(self):
+        import os
+        # Explicit requests are honoured up to the machine's core count.
+        assert resolve_jobs(2) == min(2, os.cpu_count() or 1)
+
+    def test_one_is_always_one(self):
+        assert resolve_jobs(1) == 1
+
+    def test_none_and_zero_mean_all_cores(self):
+        import os
+        cores = os.cpu_count() or 1
+        assert resolve_jobs(None) == cores
+        assert resolve_jobs(0) == cores
+
+    def test_clamped_to_cores(self):
+        import os
+        assert resolve_jobs(10_000) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestWorkerContext:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_CONTEXT", "spawn")
+        assert worker_context().get_start_method() == "spawn"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_CONTEXT", "spawn")
+        assert worker_context("fork").get_start_method() == "fork"
+
+
+class TestCrashContainment:
+    def test_crash_recovers_via_serial_retry(self):
+        """Dead workers degrade to an in-parent retry, not an abort."""
+        failures = []
+        crashes_before = get_metrics().counter(
+            "parallel.worker_crashes").value
+        result = parallel_map(crashing_task, [10, 11, 12], jobs=2,
+                              failures=failures)
+        # crashing_task returns its item when run in the parent, so the
+        # retry tier completes the map with the right values in order.
+        assert result == [10, 11, 12]
+        assert failures and all(f.recovered for f in failures)
+        assert all(isinstance(f, MapFailure) for f in failures)
+        assert get_metrics().counter(
+            "parallel.worker_crashes").value > crashes_before
+
+    def test_crash_raises_typed_error_without_retry(self):
+        failures = []
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(crashing_task, [1, 2], jobs=2,
+                         retry_crashed=False, failures=failures)
+        assert excinfo.value.task_index is not None
+        assert failures and not failures[0].recovered
+
+    def test_crashing_task_is_inline_safe(self):
+        # In the parent process the fault helper is a no-op passthrough.
+        assert crashing_task(42) == 42

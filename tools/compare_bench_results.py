@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Compare the ``results`` blocks of two ``BENCH_<date>.json`` reports.
+
+The bench's acceptance contract is that ``--jobs`` is a pure throughput
+knob: dataset counts, training losses, evaluation metrics and STA tier
+provenance must be identical whatever the worker count.  This tool diffs
+the ``results`` blocks of two reports and exits 1 on any mismatch, so CI
+can run the workload at two jobs settings and assert label equality.
+
+Timing-dependent keys are excluded from the comparison — they measure the
+machine, not the pipeline:
+
+* ``evaluate.throughput_nets_per_s``
+* ``sta.gate_seconds`` / ``sta.wire_seconds``
+
+Usage::
+
+    python tools/compare_bench_results.py BENCH_a.json BENCH_b.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+#: results-block paths whose values are wall-clock measurements.
+TIMING_KEYS = {
+    ("evaluate", "throughput_nets_per_s"),
+    ("sta", "gate_seconds"),
+    ("sta", "wire_seconds"),
+}
+
+
+def _flatten(block: Dict[str, Any], prefix: tuple = ()) -> Dict[tuple, Any]:
+    flat: Dict[tuple, Any] = {}
+    for key, value in block.items():
+        path = prefix + (key,)
+        if isinstance(value, dict):
+            flat.update(_flatten(value, path))
+        else:
+            flat[path] = value
+    return flat
+
+
+def compare_results(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+    """Human-readable mismatch lines between two ``results`` blocks."""
+    flat_a = {k: v for k, v in _flatten(a).items() if k not in TIMING_KEYS}
+    flat_b = {k: v for k, v in _flatten(b).items() if k not in TIMING_KEYS}
+    lines = []
+    for path in sorted(set(flat_a) | set(flat_b), key=".".join):
+        dotted = ".".join(path)
+        if path not in flat_a:
+            lines.append(f"{dotted}: only in second report ({flat_b[path]!r})")
+        elif path not in flat_b:
+            lines.append(f"{dotted}: only in first report ({flat_a[path]!r})")
+        elif flat_a[path] != flat_b[path]:
+            lines.append(f"{dotted}: {flat_a[path]!r} != {flat_b[path]!r}")
+    return lines
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: compare_bench_results.py A.json B.json",
+              file=sys.stderr)
+        return 2
+    reports = []
+    for path in argv:
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error reading {path}: {exc}", file=sys.stderr)
+            return 2
+        if "results" not in document:
+            print(f"error: {path} has no 'results' block", file=sys.stderr)
+            return 2
+        reports.append(document["results"])
+    mismatches = compare_results(reports[0], reports[1])
+    if mismatches:
+        print(f"results blocks differ ({len(mismatches)} mismatches):")
+        for line in mismatches:
+            print(f"  {line}")
+        return 1
+    print("results blocks match (timing keys excluded)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
