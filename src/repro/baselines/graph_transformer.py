@@ -16,6 +16,7 @@ import numpy as np
 from ..core.transformer_layer import MultiHeadSelfAttention
 from ..nn.layers import Linear, Module
 from ..nn.tensor import Tensor, concat
+from ..robustness.guards import guarded_eigh
 
 
 def laplacian_positional_encoding(adjacency: np.ndarray, dim: int) -> np.ndarray:
@@ -29,7 +30,8 @@ def laplacian_positional_encoding(adjacency: np.ndarray, dim: int) -> np.ndarray
     degree = binary.sum(axis=1)
     inv_sqrt = np.where(degree > 0.0, 1.0 / np.sqrt(np.maximum(degree, 1e-12)), 0.0)
     laplacian = np.eye(n) - binary * inv_sqrt[:, None] * inv_sqrt[None, :]
-    _, vectors = np.linalg.eigh(laplacian)
+    _, vectors = guarded_eigh(laplacian, what="normalized Laplacian",
+                              stage="positional-encoding")
     # Skip the trivial (constant) eigenvector; take the next `dim`.
     encoding = np.zeros((n, dim))
     available = min(dim, max(0, n - 1))

@@ -9,6 +9,7 @@ user workflow without writing Python:
 ``repro spef-timing``  golden wire timing for every net of a SPEF file
 ``repro benchmarks``   list the Table II benchmark suite
 ``repro bench``        run the pinned perf workload, write ``BENCH_<date>.json``
+``repro lint``         run the repo's AST invariant linter (docs/LINTING.md)
 
 Example session::
 
@@ -157,6 +158,30 @@ def _build_parser() -> argparse.ArgumentParser:
                         "cores; capped at core count); recorded in the "
                         "report's workload block")
     p.set_defaults(handler=_cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the repo's AST invariant linter (see docs/LINTING.md)")
+    p.add_argument("paths", nargs="*", default=["src", "tools"],
+                   help="files/directories to lint (default: src tools)")
+    p.add_argument("--select", default=None,
+                   help="comma-separated rule names to run exclusively "
+                        "(e.g. ERR001,ERR002)")
+    p.add_argument("--ignore", default=None,
+                   help="comma-separated rule names to skip")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   dest="fmt", help="report format (json is repro-lint/1)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline file of grandfathered findings (default: "
+                        "lint-baseline.json when it exists)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write the current findings to the baseline file "
+                        "and exit 0")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.add_argument("-o", "--output",
+                   help="also write the report to this file")
+    p.set_defaults(handler=_cmd_lint)
     return parser
 
 
@@ -397,6 +422,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(format_bench_summary(document))
     print(f"wrote {path}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (DEFAULT_BASELINE, BaselineError, LintRunner,
+                       default_rules, load_baseline, render_json,
+                       render_text, rule_catalogue, write_baseline)
+
+    rules = default_rules()
+    if args.list_rules:
+        print(rule_catalogue(rules))
+        return 0
+
+    def _names(raw: Optional[str]) -> Optional[List[str]]:
+        if raw is None:
+            return None
+        return [part.strip() for part in raw.split(",") if part.strip()]
+
+    try:
+        runner = LintRunner(rules, select=_names(args.select),
+                            ignore=_names(args.ignore))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    try:
+        baseline = [] if args.write_baseline else load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = runner.run(args.paths, baseline=baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(f"wrote {len(result.findings)} finding(s) to {baseline_path}; "
+              f"add a justification to every entry")
+        return 0
+    report = render_json(result) if args.fmt == "json" else \
+        render_text(result) + "\n"
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report)
+        except OSError as exc:
+            print(f"error: cannot write {args.output!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    print(report, end="")
+    return result.exit_code
 
 
 def _cmd_benchmarks(args: argparse.Namespace) -> int:

@@ -257,9 +257,12 @@ class WireTimingEstimator:
         except (KeyboardInterrupt, SystemExit):
             raise
         except Exception as exc:  # degraded-but-valid beats an aborted run
+            error = ModelError(
+                f"inference failed: {type(exc).__name__}: {exc}",
+                net=sample.name, design=sample.design, stage="predict",
+                tier="label-prior", cause=exc)
             prior_slew, prior_delay = self._prior_prediction(sample)
-            self._record(sample, "label-prior",
-                         f"{type(exc).__name__}: {exc}")
+            self._record(sample, "label-prior", str(error))
             return prior_slew, prior_delay
         finally:
             if was_training:

@@ -1,0 +1,43 @@
+"""`repro.lint` — AST-based invariant linter for this repository.
+
+Generic linters check style; this package checks the invariants the
+reproduction's correctness actually rests on: deterministic (jobs- and
+import-order-invariant) RNG and iteration discipline in the golden-label
+pipeline, guarded linear algebra, the typed error-contract of
+:mod:`repro.robustness.errors`, spawn-safe :func:`repro.parallel.parallel_map`
+usage, and navigable documentation.  See docs/LINTING.md for the rule
+catalogue, the suppression/baseline workflow, and how to add a rule.
+
+Typical use is through the CLI::
+
+    repro lint src tools                       # text report, exit 1 on findings
+    repro lint src --select ERR001,ERR002      # only the error-contract rules
+    repro lint src tools --format json         # machine-readable repro-lint/1
+    repro lint src tools --write-baseline      # grandfather current findings
+
+and programmatically::
+
+    from repro.lint import LintRunner, load_baseline
+    result = LintRunner().run(["src", "tools"],
+                              baseline=load_baseline("lint-baseline.json"))
+    assert result.exit_code == 0, result.findings
+"""
+
+from .baseline import (BASELINE_SCHEMA, DEFAULT_BASELINE, BaselineEntry,
+                       BaselineError, apply_baseline, load_baseline,
+                       write_baseline)
+from .engine import (PARSE_RULE, Finding, LintResult, LintRunner,
+                     ModuleContext, ProjectRule, Rule, module_name,
+                     python_files, suppressed_lines)
+from .report import (REPORT_SCHEMA, render_json, render_text,
+                     report_document, rule_catalogue)
+from .rules import TAXONOMY_ERRORS, default_rules
+
+__all__ = [
+    "BASELINE_SCHEMA", "DEFAULT_BASELINE", "BaselineEntry", "BaselineError",
+    "Finding", "LintResult", "LintRunner", "ModuleContext", "PARSE_RULE",
+    "ProjectRule", "REPORT_SCHEMA", "Rule", "TAXONOMY_ERRORS",
+    "apply_baseline", "default_rules", "load_baseline", "module_name",
+    "python_files", "render_json", "render_text", "report_document",
+    "rule_catalogue", "suppressed_lines", "write_baseline",
+]

@@ -1,0 +1,121 @@
+"""Baseline (grandfathered-findings) file support for the repo linter.
+
+A baseline lets the linter land with existing violations acknowledged but
+not yet fixed: each entry names one finding (rule + path + source snippet)
+together with a human justification, and matching findings are reported as
+``baselined`` instead of failing the run.  Entries that no longer match
+anything are *stale* and surface in the report so the baseline shrinks
+over time instead of rotting.
+
+Matching is content-based — ``(rule, path, snippet)`` with the snippet
+being the stripped source line — so pure line-number drift (code added
+above the finding) does not invalidate entries, while editing the
+offending line itself does, forcing a re-decision.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .engine import Finding
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+#: Default baseline filename, looked up in the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding: what it is and why it is tolerated."""
+
+    rule: str
+    path: str
+    snippet: str
+    justification: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"rule": self.rule, "path": self.path,
+                "snippet": self.snippet,
+                "justification": self.justification}
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Entries of a baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    if not isinstance(document, dict) \
+            or document.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path!r} is not a {BASELINE_SCHEMA} document")
+    raw_entries = document.get("entries", [])
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"baseline {path!r} has a non-list 'entries'")
+    entries: List[BaselineEntry] = []
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(
+                f"baseline {path!r} entry {index} is not an object")
+        try:
+            entries.append(BaselineEntry(
+                rule=str(raw["rule"]), path=str(raw["path"]),
+                snippet=str(raw["snippet"]),
+                justification=str(raw.get("justification", ""))))
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path!r} entry {index} lacks field {exc}") from exc
+    return entries
+
+
+def write_baseline(path: str, findings: Sequence["Finding"],
+                   justification: str = "grandfathered at baseline "
+                                        "creation; justify or fix") -> None:
+    """Write ``findings`` as a fresh baseline file (sorted, one per line)."""
+    entries = sorted({BaselineEntry(f.rule, f.path, f.snippet, justification)
+                      for f in findings},
+                     key=lambda e: (e.path, e.rule, e.snippet))
+    document = {"schema": BASELINE_SCHEMA,
+                "entries": [entry.as_dict() for entry in entries]}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(findings: Sequence["Finding"],
+                   entries: Sequence[BaselineEntry]
+                   ) -> Tuple[List["Finding"], int, List[BaselineEntry]]:
+    """Split findings into (active, baselined-count, stale-entries).
+
+    An entry suppresses *every* finding with the same ``(rule, path,
+    snippet)`` key — a deliberately coarse match, since distinguishing two
+    identical violations on identical source lines is not actionable.
+    """
+    keys = {entry.key() for entry in entries}
+    active: List["Finding"] = []
+    matched: Set[Tuple[str, str, str]] = set()
+    baselined = 0
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        if key in keys:
+            baselined += 1
+            matched.add(key)
+        else:
+            active.append(finding)
+    stale = [entry for entry in entries if entry.key() not in matched]
+    return active, baselined, stale

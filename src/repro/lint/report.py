@@ -1,0 +1,66 @@
+"""Text and JSON renderers for lint results.
+
+The JSON document (schema ``repro-lint/1``) is the machine interface CI
+consumes and archives; it is rendered with sorted keys and a stable field
+set so reports diff cleanly across runs.  The text renderer is for humans
+at the terminal: one ``path:line:col: RULE severity: message`` row per
+finding plus a summary line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .engine import LintResult, Rule
+
+REPORT_SCHEMA = "repro-lint/1"
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one row per finding plus a summary."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(f"{finding.location()}: {finding.rule} "
+                     f"{finding.severity}: {finding.message}")
+    for entry in result.stale_baseline:
+        lines.append(f"stale baseline entry: {entry.rule} at {entry.path} "
+                     f"({entry.snippet!r}) no longer matches — remove it")
+    tail = (f"{len(result.findings)} finding(s) in "
+            f"{result.files_checked} file(s)")
+    extras: List[str] = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed inline")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        tail += " (" + ", ".join(extras) + ")"
+    lines.append(tail if result.findings else f"clean: {tail}")
+    return "\n".join(lines)
+
+
+def report_document(result: LintResult) -> Dict[str, object]:
+    """The ``repro-lint/1`` report as a JSON-safe dict."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "files_checked": result.files_checked,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "counts": result.counts(),
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "stale_baseline": [entry.as_dict()
+                           for entry in result.stale_baseline],
+        "exit_code": result.exit_code,
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """Canonical JSON rendering (sorted keys, 2-space indent, newline)."""
+    return json.dumps(report_document(result), indent=2, sort_keys=True) + "\n"
+
+
+def rule_catalogue(rules: Sequence[Rule]) -> str:
+    """``--list-rules`` table: name, severity, one-line summary."""
+    lines = [f"{rule.name}  {rule.slug:<26} {rule.severity:<8} "
+             f"{rule.summary}" for rule in rules]
+    return "\n".join(lines)

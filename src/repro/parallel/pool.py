@@ -29,8 +29,11 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import (Any, Callable, Iterable, List, Optional, Sequence,
+from typing import (TYPE_CHECKING, Any, Callable, List, Optional, Sequence,
                     Tuple, TypeVar)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.context import BaseContext
 
 import numpy as np
 
@@ -92,7 +95,7 @@ def spawn_seeds(seed: int, count: int) -> List[np.random.SeedSequence]:
     return np.random.SeedSequence(seed).spawn(count)
 
 
-def worker_context(name: Optional[str] = None):
+def worker_context(name: Optional[str] = None) -> "BaseContext":
     """The multiprocessing context used for worker pools.
 
     Resolution order: explicit ``name`` argument, the :data:`MP_CONTEXT_ENV`
@@ -165,8 +168,11 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1, *,
                          retry_crashed, failures)
 
 
-def _pool_map(fn, items, jobs, initializer, initargs, context,
-              retry_crashed, failures):
+def _pool_map(fn: Callable[[T], R], items: Sequence[T], jobs: int,
+              initializer: Optional[Callable[..., None]],
+              initargs: Tuple[Any, ...], context: Optional[str],
+              retry_crashed: bool,
+              failures: Optional[List[MapFailure]]) -> List[R]:
     mp_context = worker_context(context)
     results: List[Any] = [None] * len(items)
     crashed: List[int] = []

@@ -15,8 +15,8 @@ builds on ``design.sta`` — would be circular.
 
 from .errors import (EstimationError, InputError, ModelError, NumericalError,
                      TrainingDiverged, WorkerError)
-from .guards import (MAX_CONDITION, check_conditioning, require_finite,
-                     symmetric_condition)
+from .guards import (MAX_CONDITION, check_conditioning, guarded_eigh,
+                     require_finite, symmetric_condition)
 
 _LAZY = {
     "FallbackChain": "fallback",
@@ -40,7 +40,7 @@ __all__ = [
     "EstimationError", "InputError", "NumericalError", "ModelError",
     "TrainingDiverged", "WorkerError",
     "MAX_CONDITION", "require_finite", "check_conditioning",
-    "symmetric_condition",
+    "guarded_eigh", "symmetric_condition",
     *sorted(_LAZY),
 ]
 

@@ -7,7 +7,7 @@ failures the fallback machinery can catch per net.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +46,29 @@ def symmetric_condition(eigenvalues: np.ndarray) -> float:
     if smallest <= 0.0:
         return float("inf")
     return largest / smallest
+
+
+def guarded_eigh(matrix: np.ndarray, *, what: str = "operator",
+                 net: Optional[str] = None, stage: Optional[str] = None
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """``np.linalg.eigh`` with the repo's numerical-safety contract.
+
+    Validates the input is finite, converts ``LinAlgError`` into a typed
+    :class:`NumericalError` with provenance, and checks the returned
+    decomposition is finite — the sanctioned way to eigendecompose outside
+    :mod:`repro.analysis` (lint rule NUM001).  Returns ``(eigenvalues,
+    eigenvectors)`` like the raw call.
+    """
+    require_finite(matrix, what, net=net, stage=stage)
+    try:
+        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    except np.linalg.LinAlgError as exc:
+        raise NumericalError(f"eigendecomposition of {what} failed: {exc}",
+                             net=net, stage=stage, cause=exc) from exc
+    require_finite(eigenvalues, f"eigenvalues of {what}", net=net, stage=stage)
+    require_finite(eigenvectors, f"eigenvectors of {what}", net=net,
+                   stage=stage)
+    return eigenvalues, eigenvectors
 
 
 def check_conditioning(matrix: np.ndarray, *, what: str = "operator",

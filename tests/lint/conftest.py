@@ -1,0 +1,31 @@
+"""Shared fixture helpers for the lint suite: write-and-lint snippets."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintRunner
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Write a code snippet to a (possibly nested) path and lint it.
+
+    Returns ``lint(code, name="snippet.py", select=None, ignore=None)``
+    -> :class:`repro.lint.LintResult`.  ``name`` may contain directories
+    (``"analysis/foo.py"``) so scoped rules see the right module segments.
+    """
+
+    def lint(code, name="snippet.py", select=None, ignore=None):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code), encoding="utf-8")
+        runner = LintRunner(select=select, ignore=ignore)
+        return runner.run([str(path)])
+
+    return lint
+
+
+def rule_names(result):
+    """Sorted rule names of a result's active findings."""
+    return sorted(finding.rule for finding in result.findings)

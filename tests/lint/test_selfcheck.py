@@ -1,0 +1,34 @@
+"""Self-application: the repo must stay clean under its own linter.
+
+This is the acceptance gate the CI ``static-analysis`` job enforces;
+keeping it in tier-1 means a violation fails locally before it fails in
+CI, with the same baseline semantics (`lint-baseline.json` at the repo
+root, empty today).
+"""
+
+import os
+from pathlib import Path
+
+from repro.lint import DEFAULT_BASELINE, LintRunner, load_baseline
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_repo_is_lint_clean(monkeypatch):
+    monkeypatch.chdir(REPO)
+    baseline = load_baseline(DEFAULT_BASELINE)
+    result = LintRunner().run(["src", "tools"], baseline=baseline)
+    details = "\n".join(
+        f"{f.location()}: {f.rule}: {f.message}" for f in result.findings)
+    assert result.exit_code == 0, f"repo lint findings:\n{details}"
+    # Every baseline entry must still match something; stale entries mean
+    # the debt was paid and the entry should be deleted.
+    assert result.stale_baseline == []
+    assert result.files_checked > 50
+
+
+def test_committed_baseline_is_well_formed():
+    entries = load_baseline(os.path.join(str(REPO), DEFAULT_BASELINE))
+    for entry in entries:
+        assert entry.justification.strip(), (
+            f"baseline entry {entry.key()} lacks a justification")

@@ -1,104 +1,37 @@
 #!/usr/bin/env python
 """Check internal markdown links across the repo's documentation.
 
-Scans every tracked ``*.md`` file for inline links/images
-(``[text](target)``) and reference definitions (``[label]: target``),
-resolves relative targets against the containing file, and fails (exit 1)
-when a target file or an in-file ``#fragment`` anchor does not exist.
-External links (``http(s)://``, ``mailto:``) are ignored — CI must not
-depend on the network.
+Thin wrapper kept for existing CI callers: the actual checker now lives in
+:mod:`repro.lint.docrules` as lint rule DOC001, so ``repro lint`` is the
+single static-analysis entry point (see docs/LINTING.md).  Behaviour and
+exit codes are unchanged: problems print to stderr and exit 1.
 
 Usage::
 
     python tools/check_docs_links.py [root]
-
-GitHub-style anchors are derived from headings: lowercase, spaces to
-hyphens, punctuation dropped.  Fragment checks are best-effort (formatting
-inside headings is stripped before slugging).
 """
 
 from __future__ import annotations
 
 import os
-import re
 import sys
-from typing import Iterator, List, Set, Tuple
+from typing import List
 
-SKIP_DIRS = {".git", ".hypothesis", "__pycache__", ".pytest_cache",
-             "node_modules", ".eggs", "build", "dist"}
+# Runnable without an installed package or PYTHONPATH: resolve src/ from
+# this file's location.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
-INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
-REFERENCE_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
-HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
-FENCE = re.compile(r"```.*?```", re.DOTALL)
-
-
-def markdown_files(root: str) -> Iterator[str]:
-    for dirpath, dirnames, filenames in os.walk(root):
-        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
-        for name in sorted(filenames):
-            if name.lower().endswith(".md"):
-                yield os.path.join(dirpath, name)
-
-
-def github_slug(heading: str) -> str:
-    text = re.sub(r"[`*_]|\[|\]|\([^)]*\)", "", heading).strip().lower()
-    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
-    return re.sub(r"[\s]+", "-", text)
-
-
-def anchors_of(path: str) -> Set[str]:
-    with open(path, encoding="utf-8") as handle:
-        text = FENCE.sub("", handle.read())
-    slugs: Set[str] = set()
-    counts: dict = {}
-    for match in HEADING.finditer(text):
-        slug = github_slug(match.group(1))
-        n = counts.get(slug, 0)
-        counts[slug] = n + 1
-        slugs.add(slug if n == 0 else f"{slug}-{n}")
-    return slugs
-
-
-def link_targets(path: str) -> Iterator[Tuple[int, str]]:
-    with open(path, encoding="utf-8") as handle:
-        text = handle.read()
-    # Blank out fenced code (keeping newlines so line numbers survive).
-    text = FENCE.sub(lambda m: re.sub(r"[^\n]", " ", m.group(0)), text)
-    for pattern in (INLINE_LINK, REFERENCE_DEF):
-        for match in pattern.finditer(text):
-            line = text.count("\n", 0, match.start()) + 1
-            yield line, match.group(1)
-
-
-def check(root: str) -> List[str]:
-    problems: List[str] = []
-    for path in markdown_files(root):
-        rel = os.path.relpath(path, root)
-        for line, target in link_targets(path):
-            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
-                continue
-            base, _, fragment = target.partition("#")
-            if base:
-                resolved = os.path.normpath(
-                    os.path.join(os.path.dirname(path), base))
-                if not os.path.exists(resolved):
-                    problems.append(f"{rel}:{line}: broken link -> {target}")
-                    continue
-            else:
-                resolved = path
-            if fragment and resolved.lower().endswith(".md"):
-                if github_slug(fragment) not in anchors_of(resolved):
-                    problems.append(
-                        f"{rel}:{line}: missing anchor -> {target}")
-    return problems
+from repro.lint.docrules import check_markdown_tree  # noqa: E402
 
 
 def main(argv: List[str]) -> int:
     root = argv[1] if len(argv) > 1 else os.getcwd()
-    problems = check(root)
-    for problem in problems:
-        print(problem, file=sys.stderr)
+    problems = check_markdown_tree(root)
+    for rel, line, message in problems:
+        print(f"{rel}:{line}: {message}", file=sys.stderr)
     if problems:
         print(f"{len(problems)} broken internal doc link(s)", file=sys.stderr)
         return 1
