@@ -29,6 +29,7 @@ def d2m_delays(net: RCNet, miller_factor: Optional[float] = None,
     through numerical noise on near-zero-delay nodes) the metric falls back
     to the Elmore delay.
     """
+    # repro-shape: sink_loads=(s,):f64 -> (n,):f64
     m = moments(net, order=2, miller_factor=miller_factor, sink_loads=sink_loads)
     m1 = -m[0]          # Elmore delay (positive).
     m2 = m[1]           # Second moment (positive for RC nets).

@@ -31,6 +31,7 @@ def elmore_delays(net: RCNet, miller_factor: Optional[float] = None,
     ``k`` in seconds.  The returned vector is indexed by *original* node
     index, with 0 at the source.
     """
+    # repro-shape: sink_loads=(s,):f64 -> (n,):f64
     system = reduce_source(net, miller_factor, sink_loads)
     x = np.linalg.solve(system.g, system.caps)
     delays = np.zeros(net.num_nodes, dtype=np.float64)
@@ -55,6 +56,7 @@ def downstream_caps(net: RCNet,
     minimum-resistance spanning tree rooted at the source — consistent with
     the paper's shortest-path definition of wire paths.
     """
+    # repro-shape: sink_loads=(s,):f64 -> (n,):f64
     _, parent, _ = shortest_path_tree(net)
     caps = capacitance_vector(net, miller_factor=None, sink_loads=sink_loads)
     downstream = caps.copy()
@@ -76,6 +78,7 @@ def stage_delays(net: RCNet, path: WirePath,
     node.  Summing stage delays over a tree path recovers the path Elmore
     delay when the path is the whole route to the capacitances it shields.
     """
+    # repro-shape: sink_loads=(s,):f64 -> (e,):f64
     downstream = downstream_caps(net, sink_loads)
     delays = np.empty(len(path.edges), dtype=np.float64)
     for i, (edge_index, node) in enumerate(zip(path.edges, path.nodes[1:])):

@@ -74,6 +74,7 @@ def capacitance_vector(net: RCNet, miller_factor: Optional[float] = None,
         Optional extra load capacitance per sink (e.g. receiver pin caps),
         aligned with ``net.sinks``.
     """
+    # repro-shape: sink_loads=(s,):f64 -> (n,):f64
     caps = net.cap_vector()
     for coupling in net.couplings:
         if miller_factor is None:
@@ -84,8 +85,10 @@ def capacitance_vector(net: RCNet, miller_factor: Optional[float] = None,
     if sink_loads is not None:
         sink_loads = np.asarray(sink_loads, dtype=np.float64)
         if sink_loads.shape != (net.num_sinks,):
-            raise ValueError(
-                f"sink_loads must have shape ({net.num_sinks},), got {sink_loads.shape}")
+            raise InputError(
+                f"sink_loads must have shape ({net.num_sinks},), "
+                f"got {sink_loads.shape}",
+                net=net.name, stage="mna-assembly")
         for sink, load in zip(net.sinks, sink_loads):
             caps[sink] += load
     if not np.all(np.isfinite(caps)):

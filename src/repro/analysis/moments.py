@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from ..rcnet.graph import RCNet
+from ..robustness.errors import InputError
 from .mna import reduce_source
 
 # Imported at module load so the (substantial) scipy import cost lands at
@@ -38,8 +39,10 @@ def moments(net: RCNet, order: int = 2, miller_factor: Optional[float] = None,
     ``result[0]`` is the (signed, negative) first moment, so the Elmore
     delay of node ``k`` is ``-result[0, k]``.
     """
+    # repro-shape: sink_loads=(s,):f64 -> (k, n):f64
     if order < 1:
-        raise ValueError(f"order must be >= 1, got {order}")
+        raise InputError(f"order must be >= 1, got {order}",
+                         net=net.name, stage="moments")
     system = reduce_source(net, miller_factor, sink_loads)
     # Pre-factorize the reduced conductance matrix for repeated solves.
     lu_piv = _factorize(system.g)

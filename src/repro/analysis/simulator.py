@@ -201,7 +201,8 @@ class TransientSolution:
         else:
             injection = np.asarray(injection, dtype=np.float64)
             if injection.shape != (net.num_nodes,):
-                raise ValueError("injection must have one current per node")
+                raise InputError("injection must have one current per node",
+                                 net=net.name, stage="simulate")
             self._gamma = q.T @ (inv_sqrt_c * injection)
         # Modal state at the end of the ramp (start state is zero).
         self._z_ramp_end = self._z_during_ramp(ramp_time)
@@ -432,7 +433,8 @@ class GoldenTimer:
         transition time at each sink.
         """
         if transition not in ("rise", "fall"):
-            raise ValueError(f"unknown transition {transition!r}")
+            raise InputError(f"unknown transition {transition!r}",
+                             net=net.name, stage="simulate")
         _NETS_ANALYZED.inc()
         with get_tracer().span("simulate.net", net=net.name,
                                sinks=net.num_sinks):

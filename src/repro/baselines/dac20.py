@@ -26,6 +26,7 @@ from ..features.pipeline import (ADJACENCY_RESISTANCE_SCALE, FeatureScaler,
                                  NetSample, build_net_sample)
 from ..nn.metrics import max_abs_error, r2_score
 from ..rcnet.graph import RCNet
+from ..robustness.errors import ModelError
 from .gbdt import GradientBoostedTrees
 from .loop_breaking import (break_loops, tree_downstream_caps,
                             tree_elmore_delays, tree_path_to_source)
@@ -215,9 +216,10 @@ class DAC20WireModel(WireTimingModel):
                     context: Optional[NetContext] = None
                     ) -> Tuple[np.ndarray, np.ndarray]:
         if context is None:
-            raise ValueError(
+            raise ModelError(
                 "DAC20WireModel needs the cell context; run it through "
-                "STAEngine, which provides one")
+                "STAEngine, which provides one",
+                net=net.name, stage="dac20")
         sample = build_net_sample(net, context, labeled=False)
         sample = self.feature_scaler.transform([sample])[0]
         slew_ps, delay_ps = self.estimator.predict_sample(sample)

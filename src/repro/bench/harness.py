@@ -8,7 +8,7 @@ produces per-benchmark accuracy rows in the paper's layout.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,7 +31,8 @@ _BASELINE_KIND = {
 
 def train_model(name: str, dataset: WireTimingDataset,
                 config: GNNTransConfig = DEFAULT_CONFIG,
-                epochs: Optional[int] = None, seed: int = 0):
+                epochs: Optional[int] = None, seed: int = 0
+                ) -> Union[WireTimingEstimator, DAC20Estimator]:
     """Train one named model on the dataset's training split.
 
     Returns an object exposing ``evaluate(samples) -> EvalMetrics`` and
@@ -39,9 +40,9 @@ def train_model(name: str, dataset: WireTimingDataset,
     :class:`DAC20Estimator`.
     """
     if name == "DAC20":
-        estimator = DAC20Estimator(feature_scaler=dataset.scaler, seed=seed)
-        estimator.fit(dataset.train)
-        return estimator
+        dac20 = DAC20Estimator(feature_scaler=dataset.scaler, seed=seed)
+        dac20.fit(dataset.train)
+        return dac20
     config = replace(config, seed=seed)
     if name == "GNNTrans":
         estimator = WireTimingEstimator(config)

@@ -41,6 +41,7 @@ class TimingHeads(Module):
 
     def forward(self, path_representations: Tensor) -> Tuple[Tensor, Tensor]:
         """Return ``(slew, delay)`` predictions, each of shape (P,)."""
+        # repro-shape: path_representations=(p, d):f64
         slew = self.slew_mlp(path_representations)                # Eq. (5)
         if self.condition_delay_on_slew:
             delay_input = concat([path_representations, slew], axis=-1)

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..liberty.cell import Cell
 from ..rcnet.graph import RCNet
+from ..robustness.errors import InputError
 
 
 @dataclass(frozen=True)
@@ -108,14 +109,19 @@ class Netlist:
 
     def add_net(self, net: DesignNet) -> None:
         if net.name in self.nets:
-            raise ValueError(f"duplicate net {net.name!r}")
+            raise InputError(f"duplicate net {net.name!r}",
+                             net=net.name, stage="netlist")
         if net.driver not in self.gates:
-            raise ValueError(f"net {net.name!r}: unknown driver {net.driver!r}")
+            raise InputError(f"net {net.name!r}: unknown driver "
+                             f"{net.driver!r}", net=net.name, stage="netlist")
         for load in net.loads:
             if load.gate not in self.gates:
-                raise ValueError(f"net {net.name!r}: unknown load gate {load.gate!r}")
+                raise InputError(f"net {net.name!r}: unknown load gate "
+                                 f"{load.gate!r}", net=net.name,
+                                 stage="netlist")
         if net.driver in self._driven_net:
-            raise ValueError(f"gate {net.driver!r} already drives a net")
+            raise InputError(f"gate {net.driver!r} already drives a net",
+                             net=net.name, stage="netlist")
         self.nets[net.name] = net
         self._driven_net[net.driver] = net.name
 

@@ -36,6 +36,7 @@ from ..analysis.elmore import downstream_caps, elmore_delays, stage_delays
 from ..liberty.cell import Cell
 from ..rcnet.graph import RCNet
 from ..rcnet.paths import WirePath
+from ..robustness.errors import InputError
 
 PATH_FEATURE_NAMES = (
     "downstream_cap",
@@ -86,10 +87,11 @@ def extract_path_features(net: RCNet, paths: Sequence[WirePath],
     ``paths`` must be ordered like ``net.sinks`` (the order produced by
     :func:`repro.rcnet.paths.extract_wire_paths`).
     """
+    # repro-shape: -> (p, 10):f64
     if len(context.load_cells) != net.num_sinks:
-        raise ValueError(
+        raise InputError(
             f"context has {len(context.load_cells)} load cells for "
-            f"{net.num_sinks} sinks")
+            f"{net.num_sinks} sinks", net=net.name, stage="features")
     sink_loads = context.sink_loads()
     elmore = elmore_delays(net, sink_loads=sink_loads)
     d2m = d2m_delays(net, sink_loads=sink_loads)

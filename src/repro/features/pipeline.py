@@ -84,6 +84,7 @@ def build_adjacency(net: RCNet,
     Entries are resistance values divided by ``scale`` so typical weights
     are O(1); zero means "no direct resistance".
     """
+    # repro-shape: -> (n, n):f64
     return net.weighted_adjacency() / scale
 
 
@@ -214,6 +215,7 @@ class FeatureScaler:
 
 
 def _safe_std(matrix: np.ndarray) -> np.ndarray:
+    # repro-shape: matrix=(n, f):f64 -> (f,):f64
     std = matrix.std(axis=0)
     std[std < 1e-12] = 1.0
     return std

@@ -23,6 +23,7 @@ import numpy as np
 from ..rcnet.graph import RCNet
 from ..rcnet.paths import shortest_path_tree
 from ..analysis.mna import capacitance_vector
+from ..robustness.errors import InputError
 
 
 def effective_capacitance(net: RCNet, drive_resistance: float,
@@ -44,7 +45,8 @@ def effective_capacitance(net: RCNet, drive_resistance: float,
         Effective capacitance in farads, in ``(0, total_cap]``.
     """
     if drive_resistance <= 0.0:
-        raise ValueError("drive_resistance must be positive")
+        raise InputError("drive_resistance must be positive",
+                         net=net.name, stage="ceff")
     caps = capacitance_vector(net, miller_factor=None, sink_loads=sink_loads)
     dist, _, _ = shortest_path_tree(net)  # resistance from source to each node
     weights = drive_resistance / (drive_resistance + np.asarray(dist))

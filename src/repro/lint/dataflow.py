@@ -1,0 +1,243 @@
+"""Forward dataflow over :mod:`.cfg` graphs: engine plus two analyses.
+
+The engine (:func:`run_forward`) is a classic worklist fixpoint for *may*
+analyses: states are ``var -> frozenset(facts)`` environments, the join is
+key-wise union, and a client supplies the per-statement transfer function.
+Union joins converge because transfer functions here are monotone and the
+fact sets are finite (bounded by the function's def sites).
+
+Two concrete analyses ship with the engine:
+
+* :class:`ReachingDefinitions` — which textual definitions of each name can
+  reach each program point.  FLOW003 uses it to find the constructor call
+  behind ``raise err`` when the error object was built earlier.
+* :class:`TaintAnalysis` — a two-point taint lattice (clean / tainted-at-
+  line) seeded by a client ``is_source`` predicate over call nodes and
+  propagated through assignments.  FLOW001 instantiates it with
+  "unseeded-RNG constructor" sources to catch generators that flow into
+  ``parallel_map`` arguments.
+
+Both deliberately ignore attribute stores, containers and aliasing — a
+fact lost to a dict or an object attribute simply stops propagating, which
+under-approximates taint and over-approximates cleanliness.  For lint-tier
+findings that is the right bias: silence over noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from .cfg import CFG, Block, block_expressions, is_control
+
+#: One dataflow environment: variable name -> set of opaque facts.
+Env = Dict[str, FrozenSet[object]]
+
+#: Per-statement transfer: ``(stmt, env) -> env`` (must not mutate input).
+Transfer = Callable[[ast.stmt, Env], Env]
+
+
+def join_envs(envs: List[Env]) -> Env:
+    """Key-wise union of environments (the may-analysis join)."""
+    merged: Dict[str, FrozenSet[object]] = {}
+    for env in envs:
+        for name, facts in env.items():
+            existing = merged.get(name)
+            merged[name] = facts if existing is None else existing | facts
+    return merged
+
+
+def run_forward(cfg: CFG, transfer: Transfer,
+                initial: Optional[Env] = None) -> Dict[int, Tuple[Env, Env]]:
+    """Fixpoint of a forward may-analysis; block index -> (in, out) envs."""
+    preds = cfg.predecessors()
+    states: Dict[int, Tuple[Env, Env]] = {}
+    order = [b.index for b in cfg.blocks]
+    worklist: List[int] = list(order)
+    entry_env: Env = dict(initial or {})
+    guard = 0
+    limit = max(64, len(cfg.blocks) * len(cfg.blocks) * 4)
+    while worklist:
+        guard += 1
+        if guard > limit * 8:
+            break  # defensive: malformed graphs must not hang the linter
+        index = worklist.pop(0)
+        incoming = [states[p][1] for p, _ in preds[index] if p in states]
+        env_in = join_envs(incoming)
+        if index == cfg.entry:
+            env_in = join_envs([entry_env, env_in])
+        env_out = env_in
+        for stmt in cfg.blocks[index].stmts:
+            env_out = transfer(stmt, env_out)
+        previous = states.get(index)
+        states[index] = (env_in, env_out)
+        if previous is None or previous[1] != env_out:
+            for succ, _ in cfg.blocks[index].succs:
+                if succ not in worklist:
+                    worklist.append(succ)
+    return states
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions
+# ----------------------------------------------------------------------
+class ReachingDefinitions:
+    """Which ``(line, col)`` definition sites of each name reach each point.
+
+    ``value_at(var, site)`` recovers the assigned AST expression of a def
+    site, letting clients reason about *what* a name held — e.g. FLOW003
+    resolving ``raise err`` back to ``err = NumericalError(...)``.
+    """
+
+    PARAM = ("param", 0, 0)
+
+    def __init__(self, cfg: CFG, params: Optional[List[str]] = None) -> None:
+        self.cfg = cfg
+        self._values: Dict[Tuple[str, int, int], Optional[ast.expr]] = {}
+        initial: Env = {name: frozenset({self.PARAM})
+                        for name in (params or [])}
+        self.states = run_forward(cfg, self._transfer, initial)
+
+    # -- queries --------------------------------------------------------
+    def defs_in(self, block: int, var: str) -> FrozenSet[object]:
+        env_in, _ = self.states.get(block, ({}, {}))
+        return env_in.get(var, frozenset())
+
+    def value_at(self, var: str, site: object) -> Optional[ast.expr]:
+        if not isinstance(site, tuple) or len(site) != 3:
+            return None
+        return self._values.get((var, site[1], site[2]))  # type: ignore
+
+    def reaching_values(self, block: int, var: str) -> List[ast.expr]:
+        """Assigned expressions of every def of ``var`` reaching ``block``."""
+        values = []
+        for site in sorted(self.defs_in(block, var),
+                           key=lambda s: (str(s),)):
+            value = self.value_at(var, site)
+            if value is not None:
+                values.append(value)
+        return values
+
+    # -- transfer -------------------------------------------------------
+    def _transfer(self, stmt: ast.stmt, env: Env) -> Env:
+        out = dict(env)
+        for name, value, line, col in _definitions(stmt):
+            key = ("def", line, col)
+            self._values[(name, line, col)] = value
+            out[name] = frozenset({key})
+        return out
+
+
+def _definitions(stmt: ast.stmt
+                 ) -> Iterator[Tuple[str, Optional[ast.expr], int, int]]:
+    """(name, assigned value or None, line, col) defined by one statement."""
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            for name in _target_names(target):
+                yield name, stmt.value, stmt.lineno, stmt.col_offset
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        for name in _target_names(stmt.target):
+            yield name, stmt.value, stmt.lineno, stmt.col_offset
+    elif isinstance(stmt, ast.AugAssign):
+        for name in _target_names(stmt.target):
+            yield name, None, stmt.lineno, stmt.col_offset
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for name in _target_names(stmt.target):
+            yield name, None, stmt.lineno, stmt.col_offset
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name in _target_names(item.optional_vars):
+                    yield name, item.context_expr, stmt.lineno, \
+                        stmt.col_offset
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+# ----------------------------------------------------------------------
+# Taint
+# ----------------------------------------------------------------------
+class TaintAnalysis:
+    """Two-point taint lattice over locals, seeded by a source predicate.
+
+    ``is_source(call)`` marks calls whose result is tainted; taint spreads
+    through assignments whose right-hand side syntactically contains a
+    tainted name or a source call, and dies on reassignment from clean
+    expressions.  Facts are ``("taint", line, col)`` tuples naming the
+    originating source call so findings can point at it.
+    """
+
+    def __init__(self, cfg: CFG,
+                 is_source: Callable[[ast.Call], bool],
+                 tainted_params: Optional[List[str]] = None) -> None:
+        self.cfg = cfg
+        self.is_source = is_source
+        initial: Env = {name: frozenset({("taint", 0, 0)})
+                        for name in (tainted_params or [])}
+        self.states = run_forward(cfg, self._transfer, initial)
+
+    def taints_in(self, block: int, var: str) -> FrozenSet[object]:
+        env_in, _ = self.states.get(block, ({}, {}))
+        return env_in.get(var, frozenset())
+
+    def expr_taints(self, expr: ast.expr, env: Env) -> FrozenSet[object]:
+        """Taint facts of an expression under an environment."""
+        facts: FrozenSet[object] = frozenset()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                facts |= env.get(node.id, frozenset())
+            elif isinstance(node, ast.Call) and self.is_source(node):
+                facts |= frozenset({("taint", node.lineno, node.col_offset)})
+        return facts
+
+    def _transfer(self, stmt: ast.stmt, env: Env) -> Env:
+        out = dict(env)
+        if isinstance(stmt, ast.Assign):
+            facts = self.expr_taints(stmt.value, env)
+            for target in stmt.targets:
+                for name in _target_names(target):
+                    if facts:
+                        out[name] = facts
+                    else:
+                        out.pop(name, None)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            facts = self.expr_taints(stmt.value, env)
+            for name in _target_names(stmt.target):
+                if facts:
+                    out[name] = facts
+                else:
+                    out.pop(name, None)
+        return out
+
+
+def statement_expressions(stmt: ast.stmt) -> List[ast.expr]:
+    """Expressions evaluated by a statement *within its own block*."""
+    if is_control(stmt):
+        return block_expressions(stmt)
+    exprs: List[ast.expr] = []
+    for node in ast.iter_child_nodes(stmt):
+        if isinstance(node, ast.expr):
+            exprs.append(node)
+    return exprs
+
+
+def block_envs(states: Dict[int, Tuple[Env, Env]], block: Block,
+               transfer: Transfer) -> Iterator[Tuple[ast.stmt, Env]]:
+    """(statement, env-before-it) pairs of one block, replaying transfers.
+
+    Lets clients inspect the environment at statement granularity without
+    the engine having to store one env per statement.
+    """
+    env_in, _ = states.get(block.index, ({}, {}))
+    env = env_in
+    for stmt in block.stmts:
+        yield stmt, env
+        env = transfer(stmt, env)

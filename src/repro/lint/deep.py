@@ -1,0 +1,379 @@
+"""The ``--deep`` tier driver: summaries, rule packs, incremental cache.
+
+One :class:`DeepAnalyzer` run does, in order:
+
+1. **hash** every input file (BLAKE2b of the raw bytes);
+2. **summarize** the modules whose hash is new or changed (parse + extract
+   a :class:`~repro.lint.symbols.ModuleSummary`), reusing cached summaries
+   for everything else;
+3. **propagate dirtiness** along *reverse* import edges: a module is dirty
+   when its own content changed or when anything it (transitively) imports
+   is dirty — exactly the set whose cross-module findings could differ;
+4. **analyze** dirty modules with the three deep rule packs (FLOW via
+   :mod:`.flowrules` + :mod:`.callgraph`, SHAPE via :mod:`.shapes`, UNIT
+   via :mod:`.units`) over a symbol table built from *all* summaries, and
+   reuse cached findings for clean modules;
+5. **persist** the cache: one JSON file mapping module name to
+   ``{hash, summary, findings}`` plus a config fingerprint (analysis
+   version + unit declarations), so a config change invalidates everything
+   while a one-module edit re-analyzes only that module and its importers.
+
+Counters (:class:`DeepStats`) expose exactly how much work was done —
+``modules_analyzed`` vs ``modules_cached`` — which is what the incremental
+tests and the JSON report's ``cache`` block consume.
+
+Cached entries for modules *outside* the current input set are retained
+untouched and their summaries still feed the symbol table.  That is what
+makes ``repro lint --changed --deep`` sound enough to be useful: the
+changed file is re-analyzed against the rest of the project as of its last
+full run, at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CallGraph
+from .config import LintConfig, default_config
+from .engine import (Finding, display_path, module_name, suppressed_lines)
+from .flowrules import (check_anonymous_raises, check_parallel_rng,
+                        check_raise_provenance, check_resource_paths)
+from .shapes import ShapeContract, check_call_edges
+from .symbols import ModuleSummary, SymbolTable, summarize_module
+from .units import UnitDeclarations, check_units, load_declarations
+
+#: Bump when any deep pack's semantics change: stale caches self-invalidate.
+ANALYSIS_VERSION = "repro-lint-deep/1"
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE = ".repro-lint-cache.json"
+
+#: Names of the deep rule packs, for reports and ``--list-rules``.
+PACKS = ("FLOW", "SHAPE", "UNIT")
+
+
+@dataclass
+class DeepStats:
+    """How much work one deep run actually did."""
+
+    modules_total: int = 0      # modules in the current input set
+    modules_analyzed: int = 0   # re-analyzed this run (dirty)
+    modules_cached: int = 0     # findings served from the cache (clean)
+    modules_retained: int = 0   # cache-only modules kept for resolution
+    suppressed: int = 0         # deep findings removed by inline disables
+    cache_loaded: bool = False  # a compatible cache file was read
+    cache_path: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "modules_total": self.modules_total,
+            "modules_analyzed": self.modules_analyzed,
+            "modules_cached": self.modules_cached,
+            "modules_retained": self.modules_retained,
+            "suppressed": self.suppressed,
+            "cache_loaded": self.cache_loaded,
+            "cache_path": self.cache_path,
+            "packs": list(PACKS),
+        }
+
+
+@dataclass
+class _ModuleState:
+    """Working state of one input module during a run."""
+
+    module: str
+    path: str
+    display: str
+    source: str
+    content_hash: str
+    is_package: bool
+    summary: Optional[ModuleSummary] = None
+    tree: Optional[ast.Module] = None
+    changed: bool = False
+    findings: List[Finding] = field(default_factory=list)
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+class DeepAnalyzer:
+    """Whole-program analysis with a content-hash incremental cache."""
+
+    def __init__(self, config: Optional[LintConfig] = None,
+                 cache_path: Optional[str] = DEFAULT_CACHE) -> None:
+        self.config = config if config is not None else default_config()
+        self.cache_path = cache_path
+        self.declarations: UnitDeclarations = load_declarations(
+            self.config.unit_declarations_path())
+
+    # ------------------------------------------------------------------
+    def config_fingerprint(self) -> str:
+        """Hash of everything besides file content that shapes findings."""
+        payload = json.dumps({
+            "version": ANALYSIS_VERSION,
+            "scopes": list(self.declarations.scopes),
+            "names": {k: list(v)
+                      for k, v in sorted(self.declarations.names.items())},
+            "suffixes": {k: list(v) for k, v
+                         in sorted(self.declarations.suffixes.items())},
+        }, sort_keys=True)
+        return content_hash(payload.encode("utf-8"))
+
+    def analyze(self, files: Sequence[str]
+                ) -> Tuple[List[Finding], DeepStats]:
+        """Deep findings (suppression-filtered) plus run counters."""
+        stats = DeepStats(cache_path=self.cache_path)
+        cached = self._load_cache(stats)
+        states = self._read_modules(files)
+        stats.modules_total = len(states)
+
+        # Summaries: reuse for unchanged content, recompute for the rest.
+        for state in states.values():
+            entry = cached.get(state.module)
+            if entry is not None \
+                    and entry.get("hash") == state.content_hash:
+                try:
+                    state.summary = ModuleSummary.from_dict(entry["summary"])
+                    continue
+                except (KeyError, TypeError, ValueError):
+                    pass  # corrupt entry: fall through to re-summarize
+            state.changed = True
+            self._parse(state)
+            if state.tree is not None:
+                state.summary = summarize_module(
+                    state.module, state.display, state.tree,
+                    state.source.splitlines(), state.is_package)
+
+        summaries = {state.module: state.summary
+                     for state in states.values()
+                     if state.summary is not None}
+        retained: Dict[str, Dict[str, object]] = {}
+        for module, entry in cached.items():
+            if module in states:
+                continue
+            try:
+                summaries.setdefault(
+                    module, ModuleSummary.from_dict(entry["summary"]))
+                retained[module] = entry
+            except (KeyError, TypeError, ValueError):
+                continue
+        stats.modules_retained = len(retained)
+
+        dirty = self._propagate_dirty(states, summaries)
+        table = SymbolTable(summaries)
+        graph = CallGraph(table)
+
+        findings: List[Finding] = []
+        fresh_cache: Dict[str, Dict[str, object]] = dict(retained)
+        for module in sorted(states):
+            state = states[module]
+            if state.summary is None:
+                continue  # unparsable: the classic tier reports LINT000
+            if module in dirty:
+                if state.tree is None:
+                    self._parse(state)
+                if state.tree is None:
+                    continue
+                state.findings = self._analyze_module(state, table, graph)
+                stats.modules_analyzed += 1
+            else:
+                entry = cached.get(module, {})
+                state.findings = _findings_from_cache(entry)
+                stats.modules_cached += 1
+            fresh_cache[module] = {
+                "hash": state.content_hash,
+                "summary": state.summary.as_dict(),
+                "findings": [f.as_dict() for f in state.findings],
+            }
+            findings.extend(self._apply_suppressions(state, stats))
+
+        self._write_cache(fresh_cache)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings, stats
+
+    # ------------------------------------------------------------------
+    def _read_modules(self, files: Sequence[str]) -> Dict[str, _ModuleState]:
+        states: Dict[str, _ModuleState] = {}
+        for path in files:
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+                source = data.decode("utf-8")
+            except (OSError, UnicodeDecodeError):
+                continue  # the classic tier reports LINT000 for these
+            module = module_name(path)
+            if not module:
+                continue
+            states[module] = _ModuleState(
+                module=module, path=path, display=display_path(path),
+                source=source, content_hash=content_hash(data),
+                is_package=os.path.basename(path) == "__init__.py")
+        return states
+
+    @staticmethod
+    def _parse(state: _ModuleState) -> None:
+        try:
+            state.tree = ast.parse(state.source, filename=state.path)
+        except (SyntaxError, ValueError):
+            state.tree = None
+
+    @staticmethod
+    def _propagate_dirty(states: Dict[str, _ModuleState],
+                         summaries: Dict[str, ModuleSummary]) -> Set[str]:
+        """Changed modules plus every transitive importer of one."""
+        importers: Dict[str, Set[str]] = {}
+        for module, summary in summaries.items():
+            for dep in summary.imported_modules:
+                if dep in summaries and dep != module:
+                    importers.setdefault(dep, set()).add(module)
+        dirty: Set[str] = {m for m, s in states.items() if s.changed}
+        frontier = list(dirty)
+        while frontier:
+            module = frontier.pop()
+            for importer in importers.get(module, ()):
+                if importer not in dirty:
+                    dirty.add(importer)
+                    frontier.append(importer)
+        return dirty
+
+    def _analyze_module(self, state: _ModuleState, table: SymbolTable,
+                        graph: CallGraph) -> List[Finding]:
+        assert state.summary is not None and state.tree is not None
+        summary, tree = state.summary, state.tree
+        lines = state.source.splitlines()
+        findings: List[Finding] = []
+        findings.extend(check_parallel_rng(summary, tree, lines, graph))
+        findings.extend(check_resource_paths(summary, tree, lines))
+        findings.extend(check_raise_provenance(summary, tree, lines))
+        findings.extend(check_anonymous_raises(summary, tree, lines))
+        findings.extend(check_call_edges(
+            state.display, tree, lines,
+            lambda written: self._resolve_callee(table, summary.module,
+                                                 written),
+            {name: fn.contract for name, fn in summary.functions.items()
+             if fn.contract is not None}))
+        findings.extend(check_units(summary.module, state.display, tree,
+                                    lines, self.declarations))
+        return findings
+
+    @staticmethod
+    def _resolve_callee(table: SymbolTable, module: str, written: str):
+        resolved = table.resolve(module, written)
+        if resolved is None:
+            return None
+        fn = table.function(*resolved)
+        if fn is None:
+            return None
+        defining, symbol = resolved
+        return fn, f"{defining.split('.')[-1]}.{symbol}"
+
+    @staticmethod
+    def _apply_suppressions(state: _ModuleState,
+                            stats: DeepStats) -> List[Finding]:
+        if not state.findings:
+            return []
+        table = suppressed_lines(state.source)
+        kept: List[Finding] = []
+        for finding in state.findings:
+            names = table.get(finding.line, set())
+            if "*" in names or finding.rule in names:
+                stats.suppressed += 1
+            else:
+                kept.append(finding)
+        return kept
+
+    # ------------------------------------------------------------------
+    def _load_cache(self, stats: DeepStats) -> Dict[str, Dict[str, object]]:
+        if self.cache_path is None or not os.path.isfile(self.cache_path):
+            return {}
+        try:
+            with open(self.cache_path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, UnicodeDecodeError, ValueError):
+            return {}
+        if not isinstance(document, dict) \
+                or document.get("schema") != ANALYSIS_VERSION \
+                or document.get("config") != self.config_fingerprint():
+            return {}
+        modules = document.get("modules")
+        if not isinstance(modules, dict):
+            return {}
+        stats.cache_loaded = True
+        return {str(name): entry for name, entry in modules.items()
+                if isinstance(entry, dict)}
+
+    def _write_cache(self, modules: Dict[str, Dict[str, object]]) -> None:
+        if self.cache_path is None:
+            return
+        document = {
+            "schema": ANALYSIS_VERSION,
+            "config": self.config_fingerprint(),
+            "modules": {name: modules[name] for name in sorted(modules)},
+        }
+        try:
+            with open(self.cache_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+        except OSError:
+            pass  # a read-only checkout must not break linting
+
+
+def _findings_from_cache(entry: Dict[str, object]) -> List[Finding]:
+    raw = entry.get("findings")
+    if not isinstance(raw, list):
+        return []
+    findings: List[Finding] = []
+    for item in raw:
+        if not isinstance(item, dict):
+            continue
+        try:
+            findings.append(Finding(
+                rule=str(item["rule"]), severity=str(item["severity"]),
+                path=str(item["path"]), line=int(item["line"]),
+                col=int(item["col"]), message=str(item["message"]),
+                snippet=str(item.get("snippet", ""))))
+        except (KeyError, TypeError, ValueError):
+            continue
+    return findings
+
+
+@dataclass(frozen=True)
+class DeepRuleInfo:
+    """Catalogue row of one deep rule (shape-compatible with ``Rule``)."""
+
+    name: str
+    slug: str
+    severity: str
+    summary: str
+
+
+#: The deep rules, for ``--list-rules``, ``--select`` and ``--ignore``.
+DEEP_RULE_CATALOGUE: Tuple[DeepRuleInfo, ...] = (
+    DeepRuleInfo("FLOW001", "rng-into-parallel-task", "error",
+                 "unseeded/shared RNG reaches a parallel_map task "
+                 "(cross-module)"),
+    DeepRuleInfo("FLOW002", "resource-path-leak", "warning",
+                 "Span/pool/file has a CFG path to exit that skips close"),
+    DeepRuleInfo("FLOW003", "error-without-provenance", "error",
+                 "taxonomy error raised without net/design/stage context"),
+    DeepRuleInfo("FLOW004", "anonymous-error-drops-provenance", "warning",
+                 "bare ValueError/RuntimeError raised where net/design "
+                 "provenance is in scope"),
+    DeepRuleInfo("SHAPE001", "shape-contract-mismatch", "error",
+                 "argument shape contradicts the callee's repro-shape "
+                 "contract"),
+    DeepRuleInfo("SHAPE002", "dtype-contract-mismatch", "error",
+                 "argument dtype contradicts the callee's repro-shape "
+                 "contract"),
+    DeepRuleInfo("UNIT001", "unit-mismatch", "error",
+                 "ohm/farad/second quantities combined incompatibly"),
+)
+
+DEEP_RULE_NAMES: Tuple[str, ...] = tuple(
+    info.name for info in DEEP_RULE_CATALOGUE)

@@ -29,11 +29,15 @@ import os
 import re
 import tokenize
 from dataclasses import dataclass, field
+from fnmatch import fnmatch
 from pathlib import PurePath
-from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
-                    Tuple)
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
 
 from .baseline import BaselineEntry, apply_baseline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (deep -> engine)
+    from .deep import DeepAnalyzer, DeepStats
 
 #: Directory names never descended into during file discovery.
 SKIP_DIRS = frozenset({".git", "__pycache__", ".pytest_cache", ".hypothesis",
@@ -148,6 +152,8 @@ class LintResult:
     suppressed: int = 0
     baselined: int = 0
     stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    #: Deep-tier counters when the run included ``--deep``, else ``None``.
+    deep: Optional["DeepStats"] = None
 
     @property
     def exit_code(self) -> int:
@@ -189,18 +195,52 @@ def display_path(path: str) -> str:
     return PurePath(os.path.normpath(chosen)).as_posix()
 
 
-def python_files(paths: Sequence[str]) -> List[str]:
-    """Sorted ``.py`` files under the given files/directories."""
+def _skip_dir(name: str) -> bool:
+    """Directories never descended into: the fixed set, hidden directories
+    (``.venv``, ``.tox``, ...) and setuptools ``*.egg-info`` droppings."""
+    return (name in SKIP_DIRS or name.startswith(".")
+            or name.endswith(".egg-info"))
+
+
+def excluded(path: str, patterns: Sequence[str]) -> bool:
+    """Whether a file path matches any ``--exclude`` glob.
+
+    Patterns match the POSIX display path (``src/repro/cli.py``), the
+    basename, or any trailing subpath — so ``cli.py``, ``src/repro/*.py``
+    and ``repro/cli.py`` all exclude the same file.
+    """
+    display = PurePath(os.path.normpath(path)).as_posix()
+    parts = display.split("/")
+    for pattern in patterns:
+        if fnmatch(display, pattern) or fnmatch(parts[-1], pattern):
+            return True
+        if any(fnmatch("/".join(parts[i:]), pattern)
+               for i in range(len(parts))):
+            return True
+    return False
+
+
+def python_files(paths: Sequence[str],
+                 exclude: Sequence[str] = ()) -> List[str]:
+    """Sorted ``.py`` files under the given files/directories.
+
+    ``exclude`` globs (from ``--exclude`` and ``[tool.repro-lint]``) drop
+    discovered files; paths given *explicitly* as files are kept even when
+    a glob matches — an explicit argument outranks a config default.
+    """
     found: List[str] = []
     for path in paths:
         if os.path.isfile(path):
             found.append(path)
             continue
         for dirpath, dirnames, filenames in os.walk(path):
-            dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+            dirnames[:] = sorted(d for d in dirnames if not _skip_dir(d))
             for name in sorted(filenames):
-                if name.endswith(".py"):
-                    found.append(os.path.join(dirpath, name))
+                if not name.endswith(".py"):
+                    continue
+                candidate = os.path.join(dirpath, name)
+                if not excluded(candidate, exclude):
+                    found.append(candidate)
     return sorted(found)
 
 
@@ -247,11 +287,13 @@ class LintRunner:
 
     def __init__(self, rules: Optional[Sequence[Rule]] = None,
                  select: Optional[Iterable[str]] = None,
-                 ignore: Optional[Iterable[str]] = None) -> None:
+                 ignore: Optional[Iterable[str]] = None,
+                 exclude: Sequence[str] = (),
+                 extra_rule_names: Iterable[str] = ()) -> None:
         if rules is None:
             from .rules import default_rules
             rules = default_rules()
-        known = {rule.name for rule in rules}
+        known = {rule.name for rule in rules} | set(extra_rule_names)
         selected = set(select) if select else set()
         ignored = set(ignore) if ignore else set()
         unknown = sorted((selected | ignored) - known)
@@ -261,20 +303,43 @@ class LintRunner:
                   if (not selected or rule.name in selected)
                   and rule.name not in ignored]
         self.rules: List[Rule] = active
+        self.exclude: Tuple[str, ...] = tuple(exclude)
+        self._selected = selected
+        self._ignored = ignored
+
+    def _rule_active(self, name: str) -> bool:
+        """select/ignore applied to rules not instantiated here (deep)."""
+        if self._selected and name not in self._selected:
+            return False
+        return name not in self._ignored
 
     # ------------------------------------------------------------------
     def run(self, paths: Sequence[str],
-            baseline: Sequence[BaselineEntry] = ()) -> LintResult:
-        """Lint ``paths``; subtract suppressions and ``baseline`` entries."""
+            baseline: Sequence[BaselineEntry] = (),
+            deep: Optional["DeepAnalyzer"] = None) -> LintResult:
+        """Lint ``paths``; subtract suppressions and ``baseline`` entries.
+
+        When ``deep`` is given, its whole-program findings (already
+        suppression-filtered by the analyzer) join the per-file findings
+        *before* the baseline applies, so FLOW/SHAPE/UNIT findings can be
+        grandfathered and reported exactly like the classic rules.
+        """
         ast_rules = [r for r in self.rules if not isinstance(r, ProjectRule)]
         project_rules = [r for r in self.rules if isinstance(r, ProjectRule)]
         result = LintResult()
         collected: List[Finding] = []
-        for path in python_files(paths):
+        files = python_files(paths, self.exclude)
+        for path in files:
             result.files_checked += 1
             collected.extend(self._lint_file(path, ast_rules, result))
         for rule in project_rules:
             collected.extend(rule.check_project(paths))
+        if deep is not None:
+            deep_findings, stats = deep.analyze(files)
+            collected.extend(f for f in deep_findings
+                             if self._rule_active(f.rule))
+            result.suppressed += stats.suppressed
+            result.deep = stats
         collected.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         active, baselined, stale = apply_baseline(collected, baseline)
         result.findings = active
@@ -299,6 +364,12 @@ class LintRunner:
                             path=display, line=exc.lineno or 1,
                             col=exc.offset or 0,
                             message=f"syntax error: {exc.msg}")]
+        except ValueError as exc:
+            # ast.parse raises bare ValueError (not SyntaxError) for e.g.
+            # null bytes in the source; report, don't crash the run.
+            return [Finding(rule=PARSE_RULE, severity=SEVERITY_ERROR,
+                            path=display, line=1, col=0,
+                            message=f"cannot parse file: {exc}")]
         ctx = ModuleContext(path=display, module=module_name(path),
                             tree=tree, lines=source.splitlines())
         findings: List[Finding] = []

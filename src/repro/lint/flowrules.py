@@ -1,0 +1,424 @@
+"""FLOW rule pack: dataflow/callgraph findings over the deep tier.
+
+Three rules, all built on the CFG (:mod:`.cfg`), the dataflow engine
+(:mod:`.dataflow`) and the project symbol table (:mod:`.symbols`):
+
+**FLOW001 — RNG reaching a parallel task.**  Two shapes:
+
+* *interprocedural*: the task function handed to ``parallel_map`` —
+  resolved through aliased imports and re-exports, across module
+  boundaries — reaches (transitively, through the call graph) a call that
+  creates unseeded or process-global NumPy RNG state.  This supersedes
+  PAR001's local-only view: PAR001 sees a lambda in the same file, FLOW001
+  sees ``parallel_map(fn=sim.label_net, ...)`` calling into a helper three
+  modules away that does ``np.random.default_rng()``.
+* *local taint*: a ``Generator`` constructed in the calling function flows
+  (through assignments) into the ``parallel_map`` call itself — a shared
+  generator shipped to workers, which makes results depend on the
+  item→worker assignment even when seeded.  Per-task streams must come
+  from ``SeedSequence.spawn`` material instead.
+
+**FLOW002 — resource with a close-skipping path.**  A ``Span``/pool/file
+object bound to a local has a CFG path from its creation to a *normal*
+function exit with no ``close()``/``with`` on that path.  Escaping values
+(returned, stored on an object, passed to another call) transfer ownership
+and are not reported; pure exception paths are also ignored — ``with`` is
+still better, but the rule only claims what the CFG proves.
+
+**FLOW003 — taxonomy error raised without provenance.**  A
+:mod:`repro.robustness.errors` exception is raised with no ``net=``,
+``design=``, ``sink=``, ``stage=`` or ``tier=`` keyword reaching the raise
+site — including when the error object was constructed earlier and raised
+later (resolved through reaching definitions).  ``WorkerError`` is exempt
+(it defaults its own ``stage``), as is re-raising a caught exception.
+
+**FLOW004 — anonymous error where provenance is in scope.**  A bare
+``ValueError``/``RuntimeError``/``TypeError`` raised inside a function
+that receives a ``net`` or ``design`` parameter: the provenance the
+taxonomy exists to carry was right there and got dropped.  Functions
+without such a parameter are not flagged — constructor/config validation
+with plain ``ValueError`` stays idiomatic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CallGraph, display_chain
+from .cfg import CFG, Block, EDGE_NORMAL, function_cfgs, is_control
+from .dataflow import (Env, ReachingDefinitions, TaintAnalysis, block_envs,
+                       run_forward, statement_expressions)
+from .engine import Finding, SEVERITY_ERROR, SEVERITY_WARNING
+from .symbols import ModuleSummary, canonical_name, dotted_name
+
+FLOW_RNG_RULE = "FLOW001"
+FLOW_RESOURCE_RULE = "FLOW002"
+FLOW_PROVENANCE_RULE = "FLOW003"
+FLOW_ANONYMOUS_RULE = "FLOW004"
+
+#: Taxonomy exceptions whose raise sites must carry provenance keywords.
+#: WorkerError is absent on purpose — its constructor defaults ``stage``.
+PROVENANCE_ERRORS = frozenset({
+    "EstimationError", "InputError", "NumericalError", "ModelError"})
+
+PROVENANCE_KEYS = frozenset({"net", "design", "sink", "stage", "tier"})
+
+#: Anonymous builtins FLOW004 rejects when provenance is in scope.
+ANONYMOUS_ERRORS = frozenset({"ValueError", "RuntimeError", "TypeError"})
+
+#: Parameter names that put provenance in scope for FLOW004.
+PROVENANCE_PARAMS = frozenset({"net", "design"})
+
+#: Callable tails treated as resource constructors by FLOW002.
+RESOURCE_TAILS = frozenset({
+    "open", "span", "ProcessPoolExecutor", "ThreadPoolExecutor", "Pool",
+    "Popen", "popen"})
+
+#: Method tails that release a resource.
+CLOSE_TAILS = frozenset({"close", "shutdown", "terminate", "release",
+                         "join", "__exit__"})
+
+
+def _snippet(lines: Sequence[str], lineno: int) -> str:
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+# ----------------------------------------------------------------------
+# FLOW001
+# ----------------------------------------------------------------------
+def check_parallel_rng(summary: ModuleSummary, tree: ast.Module,
+                       lines: Sequence[str],
+                       graph: CallGraph) -> Iterator[Finding]:
+    """FLOW001 findings of one module."""
+    yield from _interprocedural_rng(summary, lines, graph)
+    yield from _local_rng_taint(summary, tree, lines)
+
+
+def _interprocedural_rng(summary: ModuleSummary, lines: Sequence[str],
+                         graph: CallGraph) -> Iterator[Finding]:
+    table = graph.table
+    for fn in summary.functions.values():
+        for site in fn.parallel_maps:
+            if site.task.startswith("<"):
+                continue  # PAR001's territory (lambda / non-name exprs)
+            resolved = table.resolve(summary.module, site.task)
+            if resolved is None:
+                continue
+            chain = graph.find_path(
+                resolved, lambda _node, target: bool(target.rng_sources))
+            if chain is None:
+                continue
+            sink = graph.function(chain[-1])
+            assert sink is not None and sink.rng_sources
+            source = sink.rng_sources[0]
+            yield Finding(
+                rule=FLOW_RNG_RULE, severity=SEVERITY_ERROR,
+                path=summary.path, line=site.line, col=site.col,
+                message=(f"parallel_map task {site.task!r} reaches "
+                         f"{source.what}() (line {source.line} of "
+                         f"{chain[-1][0].split('.')[-1]} via "
+                         f"{display_chain(chain)}); workers must derive "
+                         f"RNG from SeedSequence.spawn material in the "
+                         f"task item"),
+                snippet=_snippet(lines, site.line))
+
+
+def _local_rng_taint(summary: ModuleSummary, tree: ast.Module,
+                     lines: Sequence[str]) -> Iterator[Finding]:
+    def is_generator_source(call: ast.Call) -> bool:
+        written = dotted_name(call.func)
+        if written is None:
+            return False
+        canonical = canonical_name(summary, written)
+        tail = canonical.split(".")[-1]
+        if tail in ("default_rng", "RandomState"):
+            return True
+        return canonical in ("numpy.random.Generator",)
+
+    for name, cfg in function_cfgs(tree):
+        fn = summary.functions.get(name)
+        if fn is None or not fn.parallel_maps:
+            continue
+        taint = TaintAnalysis(cfg, is_generator_source)
+        pm_lines = {site.line for site in fn.parallel_maps}
+        for block in cfg.blocks:
+            for stmt, env in block_envs(taint.states, block,
+                                        taint._transfer):
+                for call in _stmt_calls(stmt):
+                    if call.lineno not in pm_lines:
+                        continue
+                    written = dotted_name(call.func)
+                    if written is None \
+                            or written.split(".")[-1] != "parallel_map":
+                        continue
+                    facts = _call_argument_taints(taint, call, env)
+                    if not facts:
+                        continue
+                    source_line = min(fact[1] for fact in facts
+                                      if isinstance(fact, tuple))
+                    yield Finding(
+                        rule=FLOW_RNG_RULE, severity=SEVERITY_ERROR,
+                        path=summary.path, line=call.lineno,
+                        col=call.col_offset,
+                        message=(f"a NumPy Generator constructed at line "
+                                 f"{source_line} flows into this "
+                                 f"parallel_map call; ship "
+                                 f"SeedSequence.spawn children and build "
+                                 f"the generator inside the task instead "
+                                 f"of sharing one across workers"),
+                        snippet=_snippet(lines, call.lineno))
+
+
+def _call_argument_taints(taint: TaintAnalysis, call: ast.Call,
+                          env: Env) -> FrozenSet[object]:
+    facts: FrozenSet[object] = frozenset()
+    for arg in list(call.args) + [k.value for k in call.keywords]:
+        facts |= taint.expr_taints(arg, env)
+    return facts
+
+
+def _stmt_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    if is_control(stmt):
+        exprs = statement_expressions(stmt)
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    yield node
+        return
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+# ----------------------------------------------------------------------
+# FLOW002
+# ----------------------------------------------------------------------
+class _ResourceAnalysis:
+    """May-analysis: which open resources a local may hold at each point."""
+
+    def __init__(self, summary: ModuleSummary, cfg: CFG) -> None:
+        self.summary = summary
+        self.cfg = cfg
+        self.states = run_forward(cfg, self.transfer)
+
+    def _is_resource_call(self, call: ast.Call) -> bool:
+        written = dotted_name(call.func)
+        if written is None:
+            return False
+        canonical = canonical_name(self.summary, written)
+        return canonical.split(".")[-1] in RESOURCE_TAILS
+
+    def transfer(self, stmt: ast.stmt, env: Env) -> Env:
+        out = dict(env)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # `with open(...) as f` manages the resource; `with x:` closes
+            # a previously opened one.
+            for item in stmt.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Name):
+                    out.pop(expr.id, None)
+            return out
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                for name in _names_in(stmt.value):
+                    out.pop(name, None)
+            return out
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and isinstance(stmt.value, ast.Call) \
+                and self._is_resource_call(stmt.value):
+            out[stmt.targets[0].id] = frozenset(
+                {("open", stmt.value.lineno, stmt.value.col_offset)})
+            return out
+        # Escapes and closes inside arbitrary statements.
+        closed, escaped = self._closes_and_escapes(stmt)
+        for name in closed | escaped:
+            out.pop(name, None)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    out.pop(target.id, None)
+        return out
+
+    @staticmethod
+    def _closes_and_escapes(stmt: ast.stmt) -> Tuple[Set[str], Set[str]]:
+        closed: Set[str] = set()
+        escaped: Set[str] = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Attribute) \
+                        and isinstance(node.func.value, ast.Name) \
+                        and node.func.attr in CLOSE_TAILS:
+                    closed.add(node.func.value.id)
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    escaped.update(_names_in(arg))
+            elif isinstance(node, (ast.Attribute, ast.Subscript)) \
+                    and isinstance(node.ctx, ast.Store):
+                pass
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        escaped.update(_names_in(node.value))
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    escaped.update(_names_in(node.value))
+        return closed, escaped
+
+
+def _names_in(expr: ast.expr) -> Set[str]:
+    return {node.id for node in ast.walk(expr)
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)}
+
+
+def check_resource_paths(summary: ModuleSummary, tree: ast.Module,
+                         lines: Sequence[str]) -> Iterator[Finding]:
+    """FLOW002 findings of one module."""
+    for name, cfg in function_cfgs(tree):
+        analysis = _ResourceAnalysis(summary, cfg)
+        preds = cfg.predecessors()
+        leaked: Dict[Tuple[int, int], Set[str]] = {}
+        reachable = cfg.reachable()
+        for pred, kind in preds[cfg.exit]:
+            if kind != EDGE_NORMAL or pred not in reachable:
+                continue
+            _, env_out = analysis.states.get(pred, ({}, {}))
+            for var, facts in env_out.items():
+                for fact in facts:
+                    if isinstance(fact, tuple) and fact[0] == "open":
+                        leaked.setdefault((fact[1], fact[2]),
+                                          set()).add(var)
+        for (line, col), variables in sorted(leaked.items()):
+            names = ", ".join(sorted(variables))
+            yield Finding(
+                rule=FLOW_RESOURCE_RULE, severity=SEVERITY_WARNING,
+                path=summary.path, line=line, col=col,
+                message=(f"resource bound to {names!r} in {name}() has a "
+                         f"path to function exit that never closes it; use "
+                         f"a with block (or close on every path)"),
+                snippet=_snippet(lines, line))
+
+
+# ----------------------------------------------------------------------
+# FLOW003
+# ----------------------------------------------------------------------
+def check_raise_provenance(summary: ModuleSummary, tree: ast.Module,
+                           lines: Sequence[str]) -> Iterator[Finding]:
+    """FLOW003 findings of one module."""
+    for name, cfg in function_cfgs(tree):
+        rd: Optional[ReachingDefinitions] = None
+        for block in cfg.blocks:
+            for stmt in block.stmts:
+                if not isinstance(stmt, ast.Raise) or stmt.exc is None:
+                    continue
+                calls: List[ast.Call] = []
+                via = ""
+                if isinstance(stmt.exc, ast.Call):
+                    calls = [stmt.exc]
+                elif isinstance(stmt.exc, ast.Name):
+                    if rd is None:
+                        rd = ReachingDefinitions(cfg)
+                    env = _env_at(rd, block, stmt)
+                    for site in sorted(env.get(stmt.exc.id, frozenset()),
+                                       key=str):
+                        value = rd.value_at(stmt.exc.id, site)
+                        if isinstance(value, ast.Call):
+                            calls.append(value)
+                    via = f" (constructed earlier, raised as " \
+                          f"{stmt.exc.id!r})"
+                for call in calls:
+                    problem = _provenance_problem(summary, call)
+                    if problem is None:
+                        continue
+                    yield Finding(
+                        rule=FLOW_PROVENANCE_RULE, severity=SEVERITY_ERROR,
+                        path=summary.path, line=stmt.lineno,
+                        col=stmt.col_offset,
+                        message=(f"{problem} raised without provenance"
+                                 f"{via}; pass at least one of net=, "
+                                 f"design=, sink=, stage=, tier= so the "
+                                 f"failure stays traceable"),
+                        snippet=_snippet(lines, stmt.lineno))
+
+
+def check_anonymous_raises(summary: ModuleSummary, tree: ast.Module,
+                           lines: Sequence[str]) -> Iterator[Finding]:
+    """FLOW004 findings of one module."""
+    for name, fn_node in _all_functions(tree):
+        in_scope = sorted(_provenance_params(fn_node))
+        if not in_scope:
+            continue
+        for stmt in _own_statements(fn_node):
+            if not isinstance(stmt, ast.Raise) \
+                    or not isinstance(stmt.exc, ast.Call):
+                continue
+            written = dotted_name(stmt.exc.func)
+            if written is None or written not in ANONYMOUS_ERRORS:
+                continue
+            params = "/".join(f"{p}=" for p in in_scope)
+            yield Finding(
+                rule=FLOW_ANONYMOUS_RULE, severity=SEVERITY_WARNING,
+                path=summary.path, line=stmt.lineno, col=stmt.col_offset,
+                message=(f"anonymous {written} raised in {name}() while "
+                         f"provenance ({params}) is in scope; raise a "
+                         f"taxonomy error (InputError/NumericalError/"
+                         f"ModelError) carrying it instead"),
+                snippet=_snippet(lines, stmt.lineno))
+
+
+def _provenance_params(fn: ast.FunctionDef) -> Set[str]:
+    args = fn.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    return names & PROVENANCE_PARAMS
+
+
+def _all_functions(tree: ast.Module) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+
+
+def _own_statements(fn: ast.FunctionDef) -> Iterator[ast.stmt]:
+    """Statements of a function body, not descending into nested defs."""
+    stack: List[ast.stmt] = list(fn.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, ast.excepthandler):
+                stack.extend(s for s in ast.iter_child_nodes(child)
+                             if isinstance(s, ast.stmt))
+
+
+def _env_at(rd: ReachingDefinitions, block: Block,
+            target: ast.stmt) -> Env:
+    env: Env = rd.states.get(block.index, ({}, {}))[0]
+    for stmt in block.stmts:
+        if stmt is target:
+            return env
+        env = rd._transfer(stmt, env)
+    return env
+
+
+def _provenance_problem(summary: ModuleSummary,
+                        call: ast.Call) -> Optional[str]:
+    written = dotted_name(call.func)
+    if written is None:
+        return None
+    canonical = canonical_name(summary, written)
+    tail = canonical.split(".")[-1]
+    if tail not in PROVENANCE_ERRORS:
+        return None
+    for keyword in call.keywords:
+        if keyword.arg is None or keyword.arg in PROVENANCE_KEYS:
+            return None
+    return f"{tail}(...)"

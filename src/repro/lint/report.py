@@ -1,20 +1,24 @@
 """Text and JSON renderers for lint results.
 
-The JSON document (schema ``repro-lint/1``) is the machine interface CI
+The JSON document (schema ``repro-lint/2``) is the machine interface CI
 consumes and archives; it is rendered with sorted keys and a stable field
-set so reports diff cleanly across runs.  The text renderer is for humans
-at the terminal: one ``path:line:col: RULE severity: message`` row per
-finding plus a summary line.
+set so reports diff cleanly across runs.  Version 2 adds the deep-tier
+block: ``packs`` (which analysis packs exist) and ``cache`` (the
+incremental-analysis counters — how many modules were re-analyzed vs
+served from the summary cache), both ``null``-free only when ``--deep``
+ran.  The text renderer is for humans at the terminal: one
+``path:line:col: RULE severity: message`` row per finding plus a summary
+line.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .engine import LintResult, Rule
 
-REPORT_SCHEMA = "repro-lint/1"
+REPORT_SCHEMA = "repro-lint/2"
 
 
 def render_text(result: LintResult) -> str:
@@ -33,6 +37,9 @@ def render_text(result: LintResult) -> str:
         extras.append(f"{result.suppressed} suppressed inline")
     if result.baselined:
         extras.append(f"{result.baselined} baselined")
+    if result.deep is not None:
+        extras.append(f"deep: {result.deep.modules_analyzed} analyzed, "
+                      f"{result.deep.modules_cached} from cache")
     if extras:
         tail += " (" + ", ".join(extras) + ")"
     lines.append(tail if result.findings else f"clean: {tail}")
@@ -40,7 +47,13 @@ def render_text(result: LintResult) -> str:
 
 
 def report_document(result: LintResult) -> Dict[str, object]:
-    """The ``repro-lint/1`` report as a JSON-safe dict."""
+    """The ``repro-lint/2`` report as a JSON-safe dict."""
+    deep: Optional[Dict[str, object]] = None
+    packs: List[str] = []
+    if result.deep is not None:
+        stats = result.deep.as_dict()
+        packs = list(stats.pop("packs", []))
+        deep = stats
     return {
         "schema": REPORT_SCHEMA,
         "files_checked": result.files_checked,
@@ -50,6 +63,8 @@ def report_document(result: LintResult) -> Dict[str, object]:
         "baselined": result.baselined,
         "stale_baseline": [entry.as_dict()
                            for entry in result.stale_baseline],
+        "packs": packs,
+        "cache": deep,
         "exit_code": result.exit_code,
     }
 

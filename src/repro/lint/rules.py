@@ -188,9 +188,16 @@ class WallClockRule(Rule):
     slug = "wall-clock-in-pipeline"
     summary = "wall-clock read (time.time / datetime.now) in pipeline code"
     node_types = (ast.Call,)
-    #: Module segments where wall-clock reads are the *job* (telemetry,
-    #: bench stamping, user-facing CLI) rather than a determinism hazard.
-    exempt_segments: Tuple[str, ...] = ("obs", "cli", "bench", "tools")
+
+    def __init__(self,
+                 exempt_segments: Optional[Tuple[str, ...]] = None) -> None:
+        #: Module segments where wall-clock reads are the *job* (telemetry,
+        #: bench stamping, user-facing CLI) rather than a determinism
+        #: hazard.  Configured via ``[tool.repro-lint] det003-exempt``.
+        if exempt_segments is None:
+            from .config import default_config
+            exempt_segments = default_config().det003_exempt
+        self.exempt_segments: Tuple[str, ...] = exempt_segments
 
     _CLOCKS = frozenset({
         "time.time", "time.time_ns", "datetime.now", "datetime.utcnow",

@@ -1,0 +1,420 @@
+"""Tensor shape/dtype contracts and their call-edge checking (SHAPE001/002).
+
+NumPy code cannot express array shapes in the type system, so the contract
+travels in a structured comment on the annotated kernel — machine-checked
+documentation that is invisible at runtime:
+
+.. code-block:: python
+
+    def attention_scores(q, k, scale):
+        # repro-shape: q=(n, h):f64 k=(m, h):f64 -> (n, m):f64
+        ...
+
+Dims are integer literals, lowercase symbols (unified per call edge), or
+``?`` (wildcard).  ``()`` declares a scalar.  A trailing ``:dtype`` token
+(``f64``, ``f32``, ``i64``, ``i32``, ``bool``) is optional per tuple.
+
+The checker propagates shapes forward through each function — parameters
+seed the environment from the function's own contract, and assignments
+from calls to *other* annotated kernels extend it with the callee's return
+shape under that call's symbol bindings.  At every call edge into an
+annotated kernel it unifies the known argument shapes against the declared
+parameter shapes:
+
+* **SHAPE001** — rank mismatch, integer-dim conflict, or one symbol bound
+  to two different dims across the arguments of a single call;
+* **SHAPE002** — both sides declare a dtype and they differ.
+
+Unknown shapes never produce findings — the analysis only speaks when both
+ends of an edge carry a contract, which keeps it silent on unannotated
+code and makes every finding actionable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
+
+from .engine import Finding, SEVERITY_ERROR
+
+SHAPE_RULE = "SHAPE001"
+DTYPE_RULE = "SHAPE002"
+
+#: One dimension: a concrete size, a symbol to unify, or the wildcard "?".
+Dim = Union[int, str]
+
+#: Recognized dtype tokens.
+DTYPES = frozenset({"f64", "f32", "f16", "i64", "i32", "i16", "i8", "bool",
+                    "c64", "c128"})
+
+_MARKER = re.compile(r"#\s*repro-shape:\s*(?P<body>.+?)\s*$")
+_PARAM = re.compile(r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)="
+                    r"\((?P<dims>[^)]*)\)(?::(?P<dtype>[A-Za-z0-9]+))?$")
+_RET = re.compile(r"^\((?P<dims>[^)]*)\)(?::(?P<dtype>[A-Za-z0-9]+))?$")
+
+
+class ContractError(ValueError):
+    """A ``# repro-shape:`` comment that cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """Declared (or inferred) shape of one value: dims plus optional dtype."""
+
+    dims: Tuple[Dim, ...]
+    dtype: Optional[str] = None
+
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def render(self) -> str:
+        body = ", ".join(str(d) for d in self.dims)
+        suffix = f":{self.dtype}" if self.dtype else ""
+        return f"({body}){suffix}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"dims": list(self.dims), "dtype": self.dtype}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ShapeSpec":
+        dims = tuple(d if isinstance(d, int) else str(d)
+                     for d in raw.get("dims", []))
+        dtype = raw.get("dtype")
+        return cls(dims=dims, dtype=None if dtype is None else str(dtype))
+
+
+@dataclass(frozen=True)
+class ShapeContract:
+    """Parsed ``# repro-shape:`` contract of one function."""
+
+    params: Dict[str, ShapeSpec] = field(default_factory=dict)
+    ret: Optional[ShapeSpec] = None
+    line: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"params": {name: spec.as_dict()
+                           for name, spec in sorted(self.params.items())},
+                "ret": self.ret.as_dict() if self.ret else None,
+                "line": self.line}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ShapeContract":
+        ret = raw.get("ret")
+        return cls(
+            params={name: ShapeSpec.from_dict(spec)
+                    for name, spec in raw.get("params", {}).items()},
+            ret=ShapeSpec.from_dict(ret) if ret else None,
+            line=int(raw.get("line", 0)))
+
+
+def _parse_dims(body: str, where: str) -> Tuple[Dim, ...]:
+    body = body.strip()
+    if not body:
+        return ()
+    dims: List[Dim] = []
+    for token in (part.strip() for part in body.split(",")):
+        if not token:
+            continue
+        if token == "?":
+            dims.append("?")
+        elif re.fullmatch(r"\d+", token):
+            dims.append(int(token))
+        elif re.fullmatch(r"[a-z][a-z0-9_]*", token):
+            dims.append(token)
+        else:
+            raise ContractError(
+                f"bad dimension {token!r} in {where} (use ints, lowercase "
+                f"symbols, or ?)")
+    return tuple(dims)
+
+
+def parse_contract_text(body: str) -> ShapeContract:
+    """Parse the text after ``# repro-shape:`` into a contract."""
+    if "->" in body:
+        params_text, _, ret_text = body.partition("->")
+    else:
+        params_text, ret_text = body, ""
+    params: Dict[str, ShapeSpec] = {}
+    for token in _split_specs(params_text):
+        match = _PARAM.match(token)
+        if match is None:
+            raise ContractError(f"bad parameter spec {token!r} "
+                                f"(expected name=(dims)[:dtype])")
+        dtype = _check_dtype(match.group("dtype"), token)
+        params[match.group("name")] = ShapeSpec(
+            _parse_dims(match.group("dims"), token), dtype)
+    ret: Optional[ShapeSpec] = None
+    ret_text = ret_text.strip()
+    if ret_text:
+        match = _RET.match(ret_text)
+        if match is None:
+            raise ContractError(f"bad return spec {ret_text!r} "
+                                f"(expected (dims)[:dtype])")
+        ret = ShapeSpec(_parse_dims(match.group("dims"), ret_text),
+                        _check_dtype(match.group("dtype"), ret_text))
+    return ShapeContract(params=params, ret=ret)
+
+
+def _check_dtype(dtype: Optional[str], where: str) -> Optional[str]:
+    if dtype is not None and dtype not in DTYPES:
+        raise ContractError(f"unknown dtype {dtype!r} in {where} "
+                            f"(one of {', '.join(sorted(DTYPES))})")
+    return dtype
+
+
+def _split_specs(text: str) -> List[str]:
+    """Split ``x=(n, f) w=(f, h)`` into spec tokens (parens may hold spaces)."""
+    tokens: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char.isspace() and depth == 0:
+            if current:
+                tokens.append(current)
+                current = ""
+        else:
+            current += char
+    if current:
+        tokens.append(current)
+    return tokens
+
+
+def parse_contract(node: ast.FunctionDef,
+                   lines: Sequence[str]) -> Optional[ShapeContract]:
+    """The contract of a function, from a marker comment near its ``def``.
+
+    The marker may sit on the line directly above ``def``, on the ``def``
+    line itself, or on any line between ``def`` and the first statement of
+    the body (the docstring counts as a statement, so the idiomatic spot is
+    directly below ``def`` or directly below the docstring's closing
+    quotes — the parser scans up to the first *non-docstring* statement).
+    """
+    first_stmt = node.body[0] if node.body else None
+    stop = node.lineno
+    if first_stmt is not None:
+        stop = first_stmt.lineno
+        if _is_docstring(first_stmt) and len(node.body) > 1:
+            stop = node.body[1].lineno
+    start = max(1, node.lineno - 1)
+    for lineno in range(start, min(stop + 1, len(lines) + 1)):
+        match = _MARKER.search(lines[lineno - 1])
+        if match is None:
+            continue
+        try:
+            contract = parse_contract_text(match.group("body"))
+        except ContractError:
+            # Prose that merely *mentions* the marker (docstrings, docs
+            # examples) must not poison analysis; a real but malformed
+            # contract is also skipped — unknown never flags.
+            continue
+        return ShapeContract(params=contract.params, ret=contract.ret,
+                             line=lineno)
+    return None
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str))
+
+
+# ----------------------------------------------------------------------
+# Call-edge checking
+# ----------------------------------------------------------------------
+
+#: ``resolve(written_name) -> (FunctionSummary-like, qualified label)`` —
+#: injected by the deep driver so this module needs no symbol-table import.
+Resolver = Callable[[str], Optional[Tuple[Any, str]]]
+
+
+class _Bindings:
+    """Per-call-edge symbol unification state."""
+
+    def __init__(self) -> None:
+        self.map: Dict[str, Dim] = {}
+
+    def unify(self, declared: Dim, actual: Dim) -> Optional[str]:
+        """Unify one declared dim against one known dim; error text or None."""
+        if declared == "?" or actual == "?":
+            return None
+        if isinstance(declared, int):
+            if isinstance(actual, int) and declared != actual:
+                return f"expected dim {declared}, got {actual}"
+            return None
+        bound = self.map.get(declared)
+        if bound is None:
+            self.map[declared] = actual
+            return None
+        if bound != actual:
+            return (f"symbol {declared!r} bound to {bound} and {actual} "
+                    f"in the same call")
+        return None
+
+
+def check_call_edges(module_path: str, tree: ast.Module,
+                     lines: Sequence[str], resolve: Resolver,
+                     own_contracts: Dict[str, ShapeContract]
+                     ) -> Iterator[Finding]:
+    """SHAPE001/SHAPE002 findings for one module.
+
+    ``own_contracts`` maps this module's function qualnames to their
+    contracts (seeds each function's shape environment); ``resolve`` maps a
+    written callee name to its summary (with ``.contract`` and ``.params``)
+    and a printable qualified label.
+    """
+    for qualname, fn_node in _walk_functions(tree):
+        contract = own_contracts.get(qualname)
+        env: Dict[str, ShapeSpec] = dict(contract.params) if contract else {}
+        for stmt_call, assign_target in _calls_in_order(fn_node):
+            resolved = resolve_call(stmt_call, resolve)
+            if resolved is None:
+                # Unknown callee: an assignment from it wipes any stale
+                # shape knowledge about the target name.
+                if assign_target is not None:
+                    env.pop(assign_target, None)
+                continue
+            callee, label = resolved
+            callee_contract: Optional[ShapeContract] = callee.contract
+            if callee_contract is None:
+                if assign_target is not None:
+                    env.pop(assign_target, None)
+                continue
+            bindings = _Bindings()
+            for param, arg, spec in _edge_pairs(stmt_call, callee,
+                                                callee_contract):
+                actual = _expr_shape(arg, env)
+                if actual is None:
+                    continue
+                problem = _unify_shapes(bindings, spec, actual)
+                if problem is not None:
+                    yield Finding(
+                        rule=SHAPE_RULE, severity=SEVERITY_ERROR,
+                        path=module_path, line=stmt_call.lineno,
+                        col=stmt_call.col_offset,
+                        message=(f"shape mismatch calling {label}: argument "
+                                 f"{param!r} has shape {actual.render()} but "
+                                 f"the contract declares {spec.render()} "
+                                 f"({problem})"),
+                        snippet=_snippet(lines, stmt_call.lineno))
+                elif spec.dtype and actual.dtype \
+                        and spec.dtype != actual.dtype:
+                    yield Finding(
+                        rule=DTYPE_RULE, severity=SEVERITY_ERROR,
+                        path=module_path, line=stmt_call.lineno,
+                        col=stmt_call.col_offset,
+                        message=(f"dtype mismatch calling {label}: argument "
+                                 f"{param!r} is {actual.dtype} but the "
+                                 f"contract declares {spec.dtype}"),
+                        snippet=_snippet(lines, stmt_call.lineno))
+            if assign_target is not None:
+                ret = callee_contract.ret
+                if ret is not None:
+                    env[assign_target] = ShapeSpec(
+                        tuple(bindings.map.get(d, d) if isinstance(d, str)
+                              else d for d in ret.dims), ret.dtype)
+                else:
+                    env.pop(assign_target, None)
+
+
+def resolve_call(call: ast.Call, resolve: Resolver
+                 ) -> Optional[Tuple[Any, str]]:
+    from .symbols import dotted_name  # local import: no cycle at load time
+
+    written = dotted_name(call.func)
+    if written is None:
+        return None
+    return resolve(written)
+
+
+def _unify_shapes(bindings: _Bindings, declared: ShapeSpec,
+                  actual: ShapeSpec) -> Optional[str]:
+    if declared.rank() != actual.rank():
+        return f"rank {actual.rank()} != declared rank {declared.rank()}"
+    for want, got in zip(declared.dims, actual.dims):
+        problem = bindings.unify(want, got)
+        if problem is not None:
+            return problem
+    return None
+
+
+def _edge_pairs(call: ast.Call, callee: Any, contract: ShapeContract
+                ) -> Iterator[Tuple[str, ast.expr, ShapeSpec]]:
+    """(param name, argument expr, declared spec) for one call edge.
+
+    Positional arguments map onto the callee's parameter list; a leading
+    ``self``/``cls`` parameter is skipped for attribute calls (method
+    invocation through an instance).  ``*args``/``**kwargs`` at the call
+    site end positional matching — alignment past them is guesswork.
+    """
+    params: List[str] = list(getattr(callee, "params", []) or [])
+    if params and params[0] in ("self", "cls") \
+            and isinstance(call.func, ast.Attribute):
+        params = params[1:]
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred) or index >= len(params):
+            break
+        name = params[index]
+        spec = contract.params.get(name)
+        if spec is not None:
+            yield name, arg, spec
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            continue
+        spec = contract.params.get(keyword.arg)
+        if spec is not None:
+            yield keyword.arg, keyword.value, spec
+
+
+def _expr_shape(expr: ast.expr, env: Dict[str, ShapeSpec]
+                ) -> Optional[ShapeSpec]:
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if isinstance(expr, ast.Constant) \
+            and isinstance(expr.value, (int, float)) \
+            and not isinstance(expr.value, bool):
+        return ShapeSpec(())
+    return None
+
+
+def _walk_functions(tree: ast.Module
+                    ) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{item.name}", item
+
+
+def _calls_in_order(fn: ast.FunctionDef
+                    ) -> Iterator[Tuple[ast.Call, Optional[str]]]:
+    """Calls of a function body in source order, with assignment targets.
+
+    Yields ``(call, name)`` when the call is the whole right-hand side of a
+    single-name assignment (so the callee's return shape can flow into the
+    environment), else ``(call, None)``.
+    """
+    assigned: Dict[int, str] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Call):
+            assigned[id(node.value)] = node.targets[0].id
+    calls = [node for node in ast.walk(fn) if isinstance(node, ast.Call)]
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    for call in calls:
+        yield call, assigned.get(id(call))
+
+
+def _snippet(lines: Sequence[str], lineno: int) -> str:
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""

@@ -1,0 +1,281 @@
+"""UNIT001: physical-unit inference over RC-timing code.
+
+Wire timing code mixes three physical quantities — resistance (ohm),
+capacitance (farad) and time (second) — and the classic silent bug is an
+addition or assignment that mixes them (adding a raw ``resistance`` into a
+``delay`` accumulator instead of ``resistance * cap``).  Python cannot see
+the difference; this pass can, because the repo's naming is disciplined.
+
+Units are exponent vectors over the (ohm, farad) basis, which makes the
+algebra exact and tiny: ``ohm = (1, 0)``, ``farad = (0, 1)`` and — the
+Elmore identity — ``second = ohm * farad = (1, 1)``.  Multiplication adds
+vectors, division subtracts, addition/subtraction/assignment require equal
+vectors.  A *declarations file* (JSON, path configured via
+``[tool.repro-lint] unit-declarations``) maps variable/attribute names and
+name suffixes to units; anything undeclared infers to *unknown*, and
+unknown never flags — silence over noise, as everywhere in this linter.
+
+The pass is scoped to modules whose dotted name contains one of the
+declared ``scopes`` segments (default: ``analysis``, ``liberty``) so a
+variable called ``resistance`` in unrelated code costs nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .engine import Finding, SEVERITY_ERROR
+
+UNIT_RULE = "UNIT001"
+
+#: Exponent vectors over the (ohm, farad) basis.
+Unit = Tuple[int, int]
+
+BASE_UNITS: Dict[str, Unit] = {
+    "ohm": (1, 0),
+    "farad": (0, 1),
+    "second": (1, 1),   # ohm * farad — the Elmore delay identity
+    "scalar": (0, 0),
+}
+
+DEFAULT_DECLARATIONS: Dict[str, object] = {
+    "scopes": ["analysis", "liberty"],
+    "names": {
+        "resistance": "ohm", "resistances": "ohm", "res": "ohm",
+        "cap": "farad", "caps": "farad", "capacitance": "farad",
+        "capacitances": "farad", "downstream_cap": "farad",
+        "delay": "second", "delays": "second", "slew": "second",
+        "slews": "second", "elmore": "second", "arrival": "second",
+        "transition": "second",
+    },
+    "suffixes": {
+        "_ohm": "ohm", "_ohms": "ohm", "_res": "ohm", "_resistance": "ohm",
+        "_farad": "farad", "_farads": "farad", "_cap": "farad",
+        "_caps": "farad", "_capacitance": "farad",
+        "_second": "second", "_seconds": "second", "_delay": "second",
+        "_delays": "second", "_slew": "second", "_time": "second",
+        "_ps": "second", "_ns": "second",
+    },
+}
+
+#: Call tails whose result carries the unit of their first argument.
+_PASS_THROUGH_TAILS = frozenset({
+    "sum", "abs", "max", "min", "amax", "amin", "maximum", "minimum",
+    "mean", "median", "cumsum", "sort", "sorted", "copy", "asarray",
+    "array", "float", "zeros_like", "full_like", "ravel", "flatten"})
+
+
+class DeclarationError(ValueError):
+    """The unit-declarations file exists but cannot be used."""
+
+
+class UnitDeclarations:
+    """Resolved name→unit tables plus the scoping rule."""
+
+    def __init__(self, raw: Dict[str, object]) -> None:
+        self.scopes: Tuple[str, ...] = tuple(
+            str(s) for s in raw.get("scopes", []))  # type: ignore[union-attr]
+        self.names: Dict[str, Unit] = {}
+        self.suffixes: Dict[str, Unit] = {}
+        for table, attr in (("names", self.names),
+                            ("suffixes", self.suffixes)):
+            entries = raw.get(table, {})
+            if not isinstance(entries, dict):
+                raise DeclarationError(f"{table!r} must be an object")
+            for name, unit_name in entries.items():
+                unit = BASE_UNITS.get(str(unit_name))
+                if unit is None:
+                    known = ", ".join(sorted(BASE_UNITS))
+                    raise DeclarationError(
+                        f"unknown unit {unit_name!r} for {name!r} "
+                        f"(known: {known})")
+                attr[str(name)] = unit
+
+    def applies_to(self, module: str) -> bool:
+        segments = set(module.split("."))
+        return any(scope in segments for scope in self.scopes)
+
+    def lookup(self, name: str) -> Optional[Unit]:
+        """Unit of a bare identifier, by exact name then longest suffix."""
+        unit = self.names.get(name)
+        if unit is not None:
+            return unit
+        if name.endswith("s"):
+            unit = self.names.get(name[:-1])
+            if unit is not None:
+                return unit
+        best: Optional[Tuple[int, Unit]] = None
+        for suffix, suffix_unit in self.suffixes.items():
+            if name.endswith(suffix) and len(name) > len(suffix):
+                if best is None or len(suffix) > best[0]:
+                    best = (len(suffix), suffix_unit)
+        return best[1] if best else None
+
+
+def default_declarations() -> UnitDeclarations:
+    return UnitDeclarations(dict(DEFAULT_DECLARATIONS))
+
+
+def load_declarations(path: Optional[str]) -> UnitDeclarations:
+    """Declarations from a JSON file, or the built-in defaults."""
+    if path is None:
+        return default_declarations()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise DeclarationError(
+            f"cannot load unit declarations {path!r}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise DeclarationError(f"{path!r} must hold a JSON object")
+    return UnitDeclarations(raw)
+
+
+def unit_name(unit: Unit) -> str:
+    """Human name of an exponent vector (``ohm^2*farad`` when composite)."""
+    for name, vector in BASE_UNITS.items():
+        if vector == unit and name != "scalar":
+            return name
+    if unit == (0, 0):
+        return "scalar"
+    parts = []
+    for exponent, base in zip(unit, ("ohm", "farad")):
+        if exponent == 1:
+            parts.append(base)
+        elif exponent:
+            parts.append(f"{base}^{exponent}")
+    return "*".join(parts) if parts else "scalar"
+
+
+class _Inferencer:
+    """Bottom-up unit inference; records mismatches as it goes."""
+
+    def __init__(self, declarations: UnitDeclarations, path: str,
+                 lines: Sequence[str]) -> None:
+        self.declarations = declarations
+        self.path = path
+        self.lines = lines
+        self.findings: List[Finding] = []
+
+    def _snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=UNIT_RULE, severity=SEVERITY_ERROR, path=self.path,
+            line=node.lineno, col=node.col_offset, message=message,
+            snippet=self._snippet(node.lineno)))
+
+    # ------------------------------------------------------------------
+    def infer(self, expr: ast.expr) -> Optional[Unit]:
+        if isinstance(expr, ast.Name):
+            return self.declarations.lookup(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return self.declarations.lookup(expr.attr)
+        if isinstance(expr, ast.Subscript):
+            return self.infer(expr.value)
+        if isinstance(expr, ast.UnaryOp):
+            return self.infer(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.IfExp):
+            return self._merge(expr, self.infer(expr.body),
+                               self.infer(expr.orelse), "conditional")
+        return None
+
+    def _binop(self, expr: ast.BinOp) -> Optional[Unit]:
+        left = self.infer(expr.left)
+        right = self.infer(expr.right)
+        if isinstance(expr.op, ast.Mult):
+            if left is None or right is None:
+                return None
+            return (left[0] + right[0], left[1] + right[1])
+        if isinstance(expr.op, (ast.Div, ast.FloorDiv)):
+            if left is None or right is None:
+                return None
+            return (left[0] - right[0], left[1] - right[1])
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            op = "+" if isinstance(expr.op, ast.Add) else "-"
+            return self._merge(expr, left, right, op)
+        return None
+
+    def _merge(self, node: ast.AST, left: Optional[Unit],
+               right: Optional[Unit], op: str) -> Optional[Unit]:
+        if left is not None and right is not None and left != right:
+            self._flag(node, f"unit mismatch: {unit_name(left)} {op} "
+                             f"{unit_name(right)}; these quantities cannot "
+                             f"be combined directly")
+            return None
+        return left if left is not None else right
+
+    def _call(self, expr: ast.Call) -> Optional[Unit]:
+        tail = None
+        func = expr.func
+        if isinstance(func, ast.Name):
+            tail = func.id
+        elif isinstance(func, ast.Attribute):
+            tail = func.attr
+        if tail in _PASS_THROUGH_TAILS and expr.args:
+            return self.infer(expr.args[0])
+        return None
+
+    # ------------------------------------------------------------------
+    def check_statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_unit = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._check_target(target, value_unit, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._check_target(stmt.target, self.infer(stmt.value), stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            target_unit = self.infer(stmt.target)
+            value_unit = self.infer(stmt.value)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)) \
+                    and target_unit is not None and value_unit is not None \
+                    and target_unit != value_unit:
+                self._flag(stmt, f"unit mismatch: accumulating "
+                                 f"{unit_name(value_unit)} into a "
+                                 f"{unit_name(target_unit)} quantity")
+        elif isinstance(stmt, (ast.Expr, ast.Return)) \
+                and stmt.value is not None:
+            self.infer(stmt.value)
+
+    def _check_target(self, target: ast.expr, value_unit: Optional[Unit],
+                      stmt: ast.stmt) -> None:
+        target_unit = self.infer(target) if isinstance(
+            target, (ast.Name, ast.Attribute, ast.Subscript)) else None
+        if target_unit is not None and value_unit is not None \
+                and target_unit != value_unit:
+            self._flag(stmt, f"unit mismatch: assigning "
+                             f"{unit_name(value_unit)} to a "
+                             f"{unit_name(target_unit)} name")
+
+
+def check_units(module: str, path: str, tree: ast.Module,
+                lines: Sequence[str],
+                declarations: UnitDeclarations) -> Iterator[Finding]:
+    """UNIT001 findings of one module (empty when out of scope)."""
+    if not declarations.applies_to(module):
+        return
+    inferencer = _Inferencer(declarations, path, lines)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            inferencer.check_statement(node)
+        elif isinstance(node, ast.BinOp) \
+                and isinstance(node.op, (ast.Add, ast.Sub)):
+            # Bare additions inside larger expressions (call args, returns).
+            inferencer._merge(node, inferencer.infer(node.left),
+                              inferencer.infer(node.right),
+                              "+" if isinstance(node.op, ast.Add) else "-")
+    seen = set()
+    for finding in inferencer.findings:
+        key = (finding.line, finding.col, finding.message)
+        if key not in seen:
+            seen.add(key)
+            yield finding

@@ -189,6 +189,7 @@ class Linear(Module):
         self.bias = Parameter(zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        # repro-shape: x=(n, i):f64 -> (n, o):f64
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -218,6 +219,7 @@ class MLP(Module):
         self.dropout = Dropout(dropout, rng) if dropout > 0.0 else None
 
     def forward(self, x: Tensor) -> Tensor:
+        # repro-shape: x=(n, i):f64 -> (n, o):f64
         for i, layer in enumerate(self.layers):
             x = layer(x)
             if i < len(self.layers) - 1:
@@ -242,6 +244,7 @@ class LayerNorm(Module):
         self.beta = Parameter(zeros((features,)))
 
     def forward(self, x: Tensor) -> Tensor:
+        # repro-shape: x=(n, f):f64 -> (n, f):f64
         mu = x.mean(axis=-1, keepdims=True)
         centered = x - mu
         var = (centered * centered).mean(axis=-1, keepdims=True)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .export import dump_json, observability_document
 from .metrics import get_metrics
@@ -103,7 +103,7 @@ class _StageClock:
     def __init__(self) -> None:
         self.stages: List[StageTiming] = []
 
-    def run(self, name: str, fn):
+    def run(self, name: str, fn: Callable[[], Any]) -> Any:
         tracer = get_tracer()
         start_wall = time.perf_counter()
         start_cpu = time.process_time()
@@ -172,7 +172,7 @@ def run_bench(workload: BenchWorkload = DEFAULT_WORKLOAD,
                                      dataset.test, jobs=workload.jobs))
         throughput = estimator.throughput(dataset.test)
 
-        def _sta():
+        def _sta() -> Tuple[Any, Any]:
             library = make_default_library()
             netlist = generate_benchmark(workload.test_names[0], library,
                                          workload.scale)

@@ -32,7 +32,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, TextIO
+from typing import Any, Dict, List, Optional, TextIO, Union
 
 #: Environment variable that, when set to a path, enables the global tracer
 #: at import time and streams finished spans to that path as JSONL.
@@ -199,7 +199,7 @@ class Tracer:
         self._jsonl_file: Optional[TextIO] = None
 
     # ------------------------------------------------------------------
-    def span(self, name: str, **attrs: Any):
+    def span(self, name: str, **attrs: Any) -> Union[_NullSpan, _LiveSpan]:
         """Open a timed region; use as a context manager.
 
         On a disabled tracer this returns the shared no-op span, costing a
@@ -219,6 +219,8 @@ class Tracer:
             self._write_jsonl(span)
 
     def _write_jsonl(self, span: Span) -> None:
+        if self._jsonl_path is None:
+            return
         if self._jsonl_file is None:
             self._jsonl_file = open(self._jsonl_path, "a")
         json.dump(span.to_dict(), self._jsonl_file)

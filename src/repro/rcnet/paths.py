@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .graph import RCNet, RCNetError
+from ..robustness.errors import InputError
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,8 @@ def shortest_path_tree(net: RCNet, weight: str = "resistance"
     ``"hops"`` for unweighted BFS-style distances.
     """
     if weight not in ("resistance", "hops"):
-        raise ValueError(f"unknown weight {weight!r}")
+        raise InputError(f"unknown weight {weight!r}",
+                         net=net.name, stage="paths")
     n = net.num_nodes
     dist = [float("inf")] * n
     parent: List[int] = [-1] * n

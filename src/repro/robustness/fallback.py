@@ -29,6 +29,7 @@ from ..design.sta import (AWEWireModel, D2MWireModel, ElmoreWireModel,
 from ..features.path_features import NetContext
 from ..obs import get_metrics
 from ..rcnet.graph import RCNet
+from .errors import EstimationError, ModelError, NumericalError
 
 _LN2 = math.log(2.0)
 _LN9 = math.log(9.0)
@@ -268,9 +269,10 @@ class FallbackChain(WireTimingModel):
             self.last_record = record
             return np.asarray(delays, dtype=np.float64), \
                 np.asarray(slews, dtype=np.float64), record
-        raise RuntimeError(
+        raise EstimationError(
             f"every tier failed for net {net.name!r} and no last resort is "
-            f"configured: {[f.reason for f in failures]}")
+            f"configured: {[f.reason for f in failures]}",
+            net=net.name, stage="fallback")
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -279,13 +281,16 @@ class FallbackChain(WireTimingModel):
         slews = np.asarray(slews, dtype=np.float64)
         expected = (net.num_sinks,)
         if delays.shape != expected or slews.shape != expected:
-            raise ValueError(
+            raise ModelError(
                 f"tier returned shapes {delays.shape}/{slews.shape}, "
-                f"expected {expected}")
+                f"expected {expected}", net=net.name, stage="tier-validate")
         if not (np.all(np.isfinite(delays)) and np.all(np.isfinite(slews))):
-            raise ValueError("tier returned non-finite timing")
+            raise NumericalError("tier returned non-finite timing",
+                                 net=net.name, stage="tier-validate")
         if np.any(delays < 0.0) or np.any(slews <= 0.0):
-            raise ValueError("tier returned negative delay or non-positive slew")
+            raise NumericalError(
+                "tier returned negative delay or non-positive slew",
+                net=net.name, stage="tier-validate")
 
     def _record_failure(self, stats: TierStats, breaker: _CircuitBreaker,
                         failures: List[TierFailure], name: str,

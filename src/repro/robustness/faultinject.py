@@ -16,6 +16,7 @@ import numpy as np
 
 from ..rcnet.builder import RCNetBuilder
 from ..rcnet.graph import CouplingCap, RCEdge, RCNet, RCNode
+from .errors import InputError
 
 RC_FAULT_MODES = ("nan_resistance", "zero_resistance", "negative_resistance",
                   "nan_cap", "inf_cap")
@@ -75,8 +76,9 @@ class FaultInjector:
         drawn from this injector's rng, so campaigns are reproducible.
         """
         if mode not in RC_FAULT_MODES:
-            raise ValueError(f"unknown RC fault mode {mode!r}; "
-                             f"choose from {RC_FAULT_MODES}")
+            raise InputError(f"unknown RC fault mode {mode!r}; "
+                             f"choose from {RC_FAULT_MODES}",
+                             net=net.name, stage="fault-inject")
         nodes = list(net.nodes)
         edges = list(net.edges)
         if mode in ("nan_cap", "inf_cap"):

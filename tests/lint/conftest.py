@@ -4,7 +4,7 @@ import textwrap
 
 import pytest
 
-from repro.lint import LintRunner
+from repro.lint import DeepAnalyzer, LintConfig, LintRunner
 
 
 @pytest.fixture
@@ -24,6 +24,29 @@ def lint_snippet(tmp_path):
         return runner.run([str(path)])
 
     return lint
+
+
+@pytest.fixture
+def deep_lint(tmp_path, monkeypatch):
+    """Write a package of snippets and run the deep tier over it.
+
+    Returns ``deep(files, cache_path=None, config=None)`` ->
+    ``(findings, stats)`` where ``files`` maps relative paths (package
+    layout, e.g. ``"pkg/tasks.py"``) to source text.  Re-invoking with the
+    same ``cache_path`` exercises the incremental cache.
+    """
+    monkeypatch.chdir(tmp_path)
+
+    def deep(files, cache_path=None, config=None):
+        for name, source in files.items():
+            path = tmp_path / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        analyzer = DeepAnalyzer(config=config or LintConfig(),
+                                cache_path=cache_path)
+        return analyzer.analyze(sorted(files))
+
+    return deep
 
 
 def rule_names(result):

@@ -1,0 +1,90 @@
+"""CFG construction goldens: stable dumps for representative shapes."""
+
+import ast
+import textwrap
+
+from repro.lint import build_cfg, dump_cfg
+from repro.lint.cfg import EDGE_EXCEPT, EDGE_NORMAL, function_cfgs
+
+BRANCH = textwrap.dedent('''\
+    def classify(x):
+        if x < 0:
+            sign = -1
+        else:
+            sign = 1
+        return sign
+''')
+
+BRANCH_GOLDEN = """\
+cfg classify entry=B0 exit=B1
+B0 (entry): If@2 -> B3, B4
+B1 (exit): - -> -
+B2: Return@6 -> B1
+B3: Assign@3 -> B2
+B4: Assign@5 -> B2"""
+
+LOOP_TRY = textwrap.dedent('''\
+    def drain(items):
+        total = 0
+        for item in items:
+            try:
+                total += item.cost()
+            except AttributeError:
+                continue
+            if total > 100:
+                break
+        return total
+''')
+
+LOOP_TRY_GOLDEN = """\
+cfg drain entry=B0 exit=B1
+B0 (entry): Assign@2 -> B2
+B1 (exit): - -> -
+B2: For@3 -> B4, B3
+B3: Return@10 -> B1
+B4: - -> B5
+B5: AugAssign@5 -> B7!, B6
+B6: If@8 -> B9, B8
+B7: Continue@7 -> B2
+B8: - -> B2
+B9: Break@9 -> B3"""
+
+
+def _cfg(source):
+    tree = ast.parse(source)
+    return build_cfg(tree.body[0])
+
+
+def test_branch_golden():
+    assert dump_cfg(_cfg(BRANCH)) == BRANCH_GOLDEN
+
+
+def test_loop_try_golden():
+    assert dump_cfg(_cfg(LOOP_TRY)) == LOOP_TRY_GOLDEN
+
+
+def test_dump_is_deterministic():
+    assert dump_cfg(_cfg(LOOP_TRY)) == dump_cfg(_cfg(LOOP_TRY))
+
+
+def test_try_body_has_exception_edge_into_handler():
+    cfg = _cfg(LOOP_TRY)
+    kinds = {kind for block in cfg.blocks for _, kind in block.succs}
+    assert EDGE_EXCEPT in kinds and EDGE_NORMAL in kinds
+
+
+def test_every_reachable_block_reaches_exit_or_loops():
+    cfg = _cfg(LOOP_TRY)
+    reachable = cfg.reachable()
+    assert cfg.entry in reachable and cfg.exit in reachable
+
+
+def test_function_cfgs_covers_methods():
+    tree = ast.parse(textwrap.dedent('''\
+        def top(): pass
+
+        class Box:
+            def get(self): return 1
+    '''))
+    names = [name for name, _ in function_cfgs(tree)]
+    assert names == ["top", "Box.get"]

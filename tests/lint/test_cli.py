@@ -30,7 +30,7 @@ def test_json_format(tmp_path, capsys):
     path = _write(tmp_path, "bad.py", DIRTY)
     assert main(["lint", path, "--format", "json"]) == 1
     document = json.loads(capsys.readouterr().out)
-    assert document["schema"] == "repro-lint/1"
+    assert document["schema"] == "repro-lint/2"
     assert document["counts"] == {"DET002": 1}
 
 
@@ -100,3 +100,88 @@ def test_list_rules(capsys):
                  "NUM002", "ERR001", "ERR002", "PAR001", "PAR002",
                  "DOC001"):
         assert name in out
+
+
+def test_list_rules_includes_deep_tier(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in ("FLOW001", "FLOW002", "FLOW003", "FLOW004",
+                 "SHAPE001", "SHAPE002", "UNIT001"):
+        assert name in out
+
+
+FLOW_DIRTY = '''\
+from repro.robustness.errors import NumericalError
+
+
+def solve(matrix):
+    raise NumericalError("matrix is singular")
+'''
+
+
+def test_deep_tier_flags_flow_findings(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "sim.py", FLOW_DIRTY)
+    assert main(["lint", "sim.py", "--deep", "--cache", "off"]) == 1
+    assert "FLOW003" in capsys.readouterr().out
+
+
+def test_deep_tier_off_by_default(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "sim.py", FLOW_DIRTY)
+    assert main(["lint", "sim.py"]) == 0
+    capsys.readouterr()
+
+
+def test_deep_cache_file_round_trip(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "sim.py", FLOW_DIRTY)
+    cache = tmp_path / "lint-cache.json"
+    argv = ["lint", "sim.py", "--deep", "--cache", str(cache),
+            "--format", "json"]
+    assert main(argv) == 1
+    cold = json.loads(capsys.readouterr().out)
+    assert cache.is_file()
+    assert main(argv) == 1
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["counts"] == cold["counts"] == {"FLOW003": 1}
+
+
+def test_exclude_flag_skips_files(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "bad.py", DIRTY)
+    assert main(["lint", ".", "--exclude", "bad.py"]) == 0
+    capsys.readouterr()
+
+
+def _git(tmp_path, *argv):
+    import subprocess
+    subprocess.run(["git", "-C", str(tmp_path),
+                    "-c", "user.email=lint@example.com",
+                    "-c", "user.name=lint", *argv],
+                   check=True, capture_output=True)
+
+
+def test_changed_mode_restricts_to_git_diff(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "steady.py", DIRTY)   # dirty but untouched since commit
+    _write(tmp_path, "edited.py", CLEAN)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    _write(tmp_path, "edited.py", DIRTY)   # the only change since HEAD
+    assert main(["lint", ".", "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "edited.py" in out
+    assert "steady.py" not in out
+
+
+def test_changed_mode_with_no_changes_is_clean(tmp_path, capsys,
+                                               monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "steady.py", DIRTY)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    assert main(["lint", ".", "--changed"]) == 0
+    assert "no changed python files" in capsys.readouterr().out

@@ -86,6 +86,52 @@ class TestParseErrors:
         assert [f.rule for f in result.findings] == ["LINT000"]
         assert result.findings[0].severity == "error"
 
+    def test_null_byte_reports_lint000(self, tmp_path):
+        path = tmp_path / "nulls.py"
+        path.write_bytes(b"x = 1\x00\n")
+        result = LintRunner().run([str(path)])
+        assert [f.rule for f in result.findings] == ["LINT000"]
+        assert "null bytes" in result.findings[0].message
+
+    def test_undecodable_bytes_report_lint000(self, tmp_path):
+        path = tmp_path / "latin.py"
+        path.write_bytes(b"name = '\xff\xfe'\n")
+        result = LintRunner().run([str(path)])
+        assert [f.rule for f in result.findings] == ["LINT000"]
+        assert "cannot read file" in result.findings[0].message
+
+
+class TestDiscovery:
+    def test_exclude_glob_drops_file(self, tmp_path):
+        (tmp_path / "keep.py").write_text("import random\n",
+                                          encoding="utf-8")
+        (tmp_path / "scratch_gen.py").write_text("import random\n",
+                                                 encoding="utf-8")
+        result = LintRunner(select=["DET002"],
+                            exclude=["scratch_*.py"]).run([str(tmp_path)])
+        assert {f.path.rsplit("/", 1)[-1] for f in result.findings} \
+            == {"keep.py"}
+
+    def test_skip_dirs_are_never_walked(self, tmp_path):
+        for skipped in (".hidden", "__pycache__", "demo.egg-info"):
+            sub = tmp_path / skipped
+            sub.mkdir()
+            (sub / "junk.py").write_text("import random\n", encoding="utf-8")
+        (tmp_path / "real.py").write_text("import random\n",
+                                          encoding="utf-8")
+        result = LintRunner(select=["DET002"]).run([str(tmp_path)])
+        assert result.files_checked == 1
+        assert len(result.findings) == 1
+
+    def test_explicit_file_beats_exclude_dir_walk(self, tmp_path):
+        # An explicitly named file is linted even when a directory walk
+        # would have excluded it.
+        path = tmp_path / "scratch_gen.py"
+        path.write_text("import random\n", encoding="utf-8")
+        result = LintRunner(select=["DET002"],
+                            exclude=["other_*.py"]).run([str(path)])
+        assert len(result.findings) == 1
+
 
 class TestOrdering:
     def test_findings_sorted_by_location(self, tmp_path):

@@ -1,0 +1,271 @@
+"""FLOW rule pack fixtures: positive and negative cases per rule."""
+
+
+def _rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+PKG_INIT = "from .tasks import label_net\n"
+
+TASKS = '''\
+    from .helpers import noisy
+
+
+    def label_net(item):
+        return noisy(item)
+'''
+
+NOISY_HELPERS = '''\
+    import numpy as np
+
+
+    def noisy(item):
+        rng = np.random.default_rng()
+        return rng.normal() + item
+'''
+
+SEEDED_HELPERS = '''\
+    import numpy as np
+
+
+    def noisy(item):
+        seed, value = item
+        rng = np.random.default_rng(seed)
+        return rng.normal() + value
+'''
+
+
+class TestFlow001Interprocedural:
+    def test_unseeded_rng_across_modules(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": PKG_INIT,
+            "pkg/tasks.py": TASKS,
+            "pkg/helpers.py": NOISY_HELPERS,
+            "pkg/driver.py": '''\
+                from repro.parallel import parallel_map
+
+                from . import label_net
+
+
+                def run(items):
+                    return parallel_map(label_net, items)
+            ''',
+        })
+        flow = [f for f in findings if f.rule == "FLOW001"]
+        assert len(flow) == 1
+        assert "pkg/driver.py" in flow[0].path
+        # The chain through the aliased re-export is spelled out.
+        assert "label_net" in flow[0].message
+        assert "noisy" in flow[0].message
+
+    def test_seeded_per_item_rng_is_clean(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": PKG_INIT,
+            "pkg/tasks.py": TASKS,
+            "pkg/helpers.py": SEEDED_HELPERS,
+            "pkg/driver.py": '''\
+                from repro.parallel import parallel_map
+
+                from . import label_net
+
+
+                def run(items):
+                    return parallel_map(label_net, items)
+            ''',
+        })
+        assert _rules(findings) == []
+
+
+class TestFlow001LocalTaint:
+    def test_shared_generator_flows_into_call(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/driver.py": '''\
+                import numpy as np
+
+                from repro.parallel import parallel_map
+
+
+                def shared(items, task):
+                    rng = np.random.default_rng(7)
+                    return parallel_map(task, [(i, rng) for i in items])
+            ''',
+        })
+        flow = [f for f in findings if f.rule == "FLOW001"]
+        assert len(flow) == 1
+        assert "SeedSequence.spawn" in flow[0].message
+
+    def test_spawned_seed_material_is_clean(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/driver.py": '''\
+                import numpy as np
+
+                from repro.parallel import parallel_map
+
+
+                def spawned(items, task):
+                    seeds = np.random.SeedSequence(7).spawn(len(items))
+                    return parallel_map(task, list(zip(items, seeds)))
+            ''',
+        })
+        assert _rules(findings) == []
+
+
+class TestFlow002:
+    def test_close_skipping_path_flags(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/io.py": '''\
+                def leaky(path):
+                    handle = open(path)
+                    data = handle.read()
+                    if not data:
+                        return None
+                    handle.close()
+                    return data
+            ''',
+        })
+        flow = [f for f in findings if f.rule == "FLOW002"]
+        assert len(flow) == 1
+        assert "handle" in flow[0].message
+        assert flow[0].severity == "warning"
+
+    def test_with_block_is_clean(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/io.py": '''\
+                def safe(path):
+                    with open(path) as handle:
+                        return handle.read()
+            ''',
+        })
+        assert _rules(findings) == []
+
+    def test_closed_on_every_path_is_clean(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/io.py": '''\
+                def diligent(path):
+                    handle = open(path)
+                    data = handle.read()
+                    handle.close()
+                    if not data:
+                        return None
+                    return data
+            ''',
+        })
+        assert _rules(findings) == []
+
+    def test_returned_resource_transfers_ownership(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/io.py": '''\
+                def make(path):
+                    handle = open(path)
+                    return handle
+            ''',
+        })
+        assert _rules(findings) == []
+
+
+class TestFlow003:
+    def test_direct_raise_without_provenance(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/sim.py": '''\
+                from repro.robustness.errors import NumericalError
+
+
+                def solve(matrix):
+                    raise NumericalError("matrix is singular")
+            ''',
+        })
+        flow = [f for f in findings if f.rule == "FLOW003"]
+        assert len(flow) == 1
+        assert "NumericalError" in flow[0].message
+
+    def test_constructed_then_raised_without_provenance(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/sim.py": '''\
+                from repro.robustness.errors import NumericalError
+
+
+                def solve(matrix):
+                    err = NumericalError("matrix is singular")
+                    raise err
+            ''',
+        })
+        flow = [f for f in findings if f.rule == "FLOW003"]
+        assert len(flow) == 1
+        assert "constructed earlier" in flow[0].message
+
+    def test_provenance_keyword_is_clean(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/sim.py": '''\
+                from repro.robustness.errors import NumericalError
+
+
+                def solve(matrix, net):
+                    raise NumericalError("matrix is singular", net=net.name)
+            ''',
+        })
+        assert _rules(findings) == []
+
+
+class TestFlow004:
+    def test_anonymous_valueerror_with_net_in_scope(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/sim.py": '''\
+                def analyze(net, mode):
+                    if mode not in ("rise", "fall"):
+                        raise ValueError(f"unknown mode {mode!r}")
+                    return net
+            ''',
+        })
+        flow = [f for f in findings if f.rule == "FLOW004"]
+        assert len(flow) == 1
+        assert "net=" in flow[0].message
+        assert flow[0].severity == "warning"
+
+    def test_no_provenance_parameter_is_clean(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/config.py": '''\
+                def validate(jobs):
+                    if jobs < 0:
+                        raise ValueError("jobs must be >= 0")
+            ''',
+        })
+        assert _rules(findings) == []
+
+    def test_taxonomy_error_with_provenance_is_clean(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/sim.py": '''\
+                from repro.robustness.errors import InputError
+
+
+                def analyze(net, mode):
+                    if mode not in ("rise", "fall"):
+                        raise InputError(f"unknown mode {mode!r}",
+                                         net=net.name, stage="simulate")
+                    return net
+            ''',
+        })
+        assert _rules(findings) == []
+
+    def test_nested_function_without_net_is_not_flagged(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/sim.py": '''\
+                def analyze(net):
+                    def helper(x):
+                        raise ValueError("bad x")
+                    return helper(net)
+            ''',
+        })
+        assert _rules(findings) == []

@@ -17,7 +17,7 @@ def run(task):
 """
 
 GOLDEN = {
-    "schema": "repro-lint/1",
+    "schema": "repro-lint/2",
     "files_checked": 1,
     "findings": [
         {
@@ -45,6 +45,8 @@ GOLDEN = {
     "suppressed": 0,
     "baselined": 0,
     "stale_baseline": [],
+    "packs": [],
+    "cache": None,
     "exit_code": 1,
 }
 

@@ -9,7 +9,8 @@ root, empty today).
 import os
 from pathlib import Path
 
-from repro.lint import DEFAULT_BASELINE, LintRunner, load_baseline
+from repro.lint import (DEFAULT_BASELINE, DeepAnalyzer, LintRunner,
+                        load_baseline, load_config)
 
 REPO = Path(__file__).resolve().parents[2]
 
@@ -25,6 +26,21 @@ def test_repo_is_lint_clean(monkeypatch):
     # the debt was paid and the entry should be deleted.
     assert result.stale_baseline == []
     assert result.files_checked > 50
+
+
+def test_repo_is_deep_clean(monkeypatch):
+    """The whole-program tier (FLOW/SHAPE/UNIT) must also stay clean."""
+    monkeypatch.chdir(REPO)
+    config = load_config(str(REPO))
+    deep = DeepAnalyzer(config=config, cache_path=None)
+    runner = LintRunner(exclude=config.exclude)
+    result = runner.run(["src", "tools"],
+                        baseline=load_baseline(DEFAULT_BASELINE), deep=deep)
+    details = "\n".join(
+        f"{f.location()}: {f.rule}: {f.message}" for f in result.findings)
+    assert result.exit_code == 0, f"deep lint findings:\n{details}"
+    assert result.deep is not None
+    assert result.deep.modules_analyzed > 50
 
 
 def test_committed_baseline_is_well_formed():

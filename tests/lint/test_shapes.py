@@ -1,0 +1,188 @@
+"""Shape contract parsing and SHAPE001/002 call-edge checking."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint.shapes import (ContractError, ShapeSpec, parse_contract,
+                               parse_contract_text)
+
+
+class TestContractParsing:
+    def test_params_ret_and_dtypes(self):
+        contract = parse_contract_text("q=(n, h):f64 k=(m, h):f64 -> (n, m)")
+        assert contract.params["q"] == ShapeSpec(("n", "h"), "f64")
+        assert contract.params["k"] == ShapeSpec(("m", "h"), "f64")
+        assert contract.ret == ShapeSpec(("n", "m"), None)
+
+    def test_ints_wildcards_and_scalars(self):
+        contract = parse_contract_text("x=(?, 8) bias=() -> (4,):f32")
+        assert contract.params["x"] == ShapeSpec(("?", 8), None)
+        assert contract.params["bias"] == ShapeSpec((), None)
+        assert contract.ret == ShapeSpec((4,), "f32")
+
+    def test_bad_dimension_raises(self):
+        with pytest.raises(ContractError, match="bad dimension"):
+            parse_contract_text("x=(N,)")
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(ContractError, match="unknown dtype"):
+            parse_contract_text("x=(n,):f99")
+
+    def test_malformed_param_spec_raises(self):
+        with pytest.raises(ContractError, match="bad parameter spec"):
+            parse_contract_text("x=[n]")
+
+
+class TestContractPlacement:
+    def _contract(self, source):
+        source = textwrap.dedent(source)
+        tree = ast.parse(source)
+        return parse_contract(tree.body[0], source.splitlines())
+
+    def test_marker_above_def(self):
+        contract = self._contract('''\
+            # repro-shape: x=(n,) -> (n,)
+            def f(x):
+                return x
+        ''')
+        assert contract is not None and contract.line == 1
+
+    def test_marker_below_docstring(self):
+        contract = self._contract('''\
+            def f(x):
+                """Identity."""
+                # repro-shape: x=(n,) -> (n,)
+                return x
+        ''')
+        assert contract is not None and contract.params["x"].dims == ("n",)
+
+    def test_marker_too_deep_is_ignored(self):
+        contract = self._contract('''\
+            def f(x):
+                y = x + 1
+                # repro-shape: x=(n,) -> (n,)
+                return y
+        ''')
+        assert contract is None
+
+    def test_prose_mention_does_not_poison(self):
+        contract = self._contract('''\
+            def f(x):
+                """Docs mention the # repro-shape: marker syntax here."""
+                return x
+        ''')
+        assert contract is None
+
+
+class TestShapeCallEdges:
+    def test_integer_dim_conflict_flags(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/kern.py": '''\
+                def kernel(a):
+                    # repro-shape: a=(n, 8):f64 -> (n,):f64
+                    return a.sum(axis=1)
+
+
+                def caller(feats):
+                    # repro-shape: feats=(n, 4):f64
+                    return kernel(feats)
+            ''',
+        })
+        shape = [f for f in findings if f.rule == "SHAPE001"]
+        assert len(shape) == 1
+        assert "expected dim 8, got 4" in shape[0].message
+        assert shape[0].severity == "error"
+
+    def test_symbol_bound_twice_in_one_call_flags(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/kern.py": '''\
+                def matmul(a, b):
+                    # repro-shape: a=(n, k) b=(k, m) -> (n, m)
+                    return a @ b
+
+
+                def caller(x, y):
+                    # repro-shape: x=(p, 3) y=(4, q)
+                    return matmul(x, y)
+            ''',
+        })
+        shape = [f for f in findings if f.rule == "SHAPE001"]
+        assert len(shape) == 1
+        assert "symbol 'k' bound to 3 and 4" in shape[0].message
+
+    def test_dtype_mismatch_flags_shape002(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/kern.py": '''\
+                def kernel(a):
+                    # repro-shape: a=(n, 8):f64 -> (n,):f64
+                    return a.sum(axis=1)
+
+
+                def caller(feats):
+                    # repro-shape: feats=(n, 8):f32
+                    return kernel(feats)
+            ''',
+        })
+        assert [f.rule for f in findings] == ["SHAPE002"]
+        assert "f32" in findings[0].message
+
+    def test_matching_call_is_clean(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/kern.py": '''\
+                def kernel(a):
+                    # repro-shape: a=(n, 8):f64 -> (n,):f64
+                    return a.sum(axis=1)
+
+
+                def caller(feats):
+                    # repro-shape: feats=(m, 8):f64
+                    return kernel(feats)
+            ''',
+        })
+        assert findings == []
+
+    def test_return_shape_propagates_to_next_edge(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/kern.py": '''\
+                def first(a):
+                    # repro-shape: a=(n, 8) -> (n, 4)
+                    return a[:, :4]
+
+
+                def second(b):
+                    # repro-shape: b=(n, 5) -> (n,)
+                    return b.sum(axis=1)
+
+
+                def chain(feats):
+                    # repro-shape: feats=(n, 8)
+                    mid = first(feats)
+                    return second(mid)
+            ''',
+        })
+        shape = [f for f in findings if f.rule == "SHAPE001"]
+        assert len(shape) == 1
+        assert "'b'" in shape[0].message
+        assert "expected dim 5, got 4" in shape[0].message
+
+    def test_unannotated_callee_stays_silent(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/kern.py": '''\
+                def mystery(a):
+                    return a
+
+
+                def caller(feats):
+                    # repro-shape: feats=(n, 4)
+                    return mystery(feats)
+            ''',
+        })
+        assert findings == []

@@ -1,0 +1,142 @@
+"""UNIT001 unit inference: declarations, algebra, scoping."""
+
+import json
+
+import pytest
+
+from repro.lint import LintConfig
+from repro.lint.units import (DeclarationError, UnitDeclarations,
+                              default_declarations, load_declarations,
+                              unit_name)
+
+
+class TestDeclarations:
+    def test_defaults_cover_rc_vocabulary(self):
+        decls = default_declarations()
+        assert decls.lookup("resistance") == (1, 0)
+        assert decls.lookup("cap") == (0, 1)
+        assert decls.lookup("delay") == (1, 1)
+
+    def test_plural_falls_back_to_singular(self):
+        decls = default_declarations()
+        assert decls.lookup("elmores") == (1, 1)
+
+    def test_longest_suffix_wins(self):
+        decls = default_declarations()
+        assert decls.lookup("wire_delay") == (1, 1)
+        assert decls.lookup("total_res") == (1, 0)
+
+    def test_undeclared_name_is_unknown(self):
+        assert default_declarations().lookup("weights") is None
+
+    def test_scope_segments(self):
+        decls = default_declarations()
+        assert decls.applies_to("repro.analysis.elmore")
+        assert not decls.applies_to("repro.nn.layers")
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(DeclarationError, match="unknown unit"):
+            UnitDeclarations({"names": {"x": "volt"}})
+
+    def test_non_dict_table_raises(self):
+        with pytest.raises(DeclarationError, match="must be an object"):
+            UnitDeclarations({"suffixes": ["_ohm"]})
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(DeclarationError, match="cannot load"):
+            load_declarations(str(tmp_path / "nope.json"))
+
+
+class TestUnitNames:
+    def test_base_names(self):
+        assert unit_name((1, 0)) == "ohm"
+        assert unit_name((1, 1)) == "second"
+        assert unit_name((0, 0)) == "scalar"
+
+    def test_composite_renders_exponents(self):
+        assert unit_name((2, 1)) == "ohm^2*farad"
+
+
+class TestUnitChecking:
+    def test_adding_ohm_into_seconds_flags(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/analysis/__init__.py": "",
+            "pkg/analysis/calc.py": '''\
+                def total(delays, resistance):
+                    return delays[0] + resistance
+            ''',
+        })
+        unit = [f for f in findings if f.rule == "UNIT001"]
+        assert len(unit) == 1
+        assert "second + ohm" in unit[0].message
+
+    def test_elmore_product_is_seconds(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/analysis/__init__.py": "",
+            "pkg/analysis/calc.py": '''\
+                def stage(resistance, cap, delays):
+                    delay = resistance * cap
+                    return delays[0] + delay
+            ''',
+        })
+        assert [f for f in findings if f.rule == "UNIT001"] == []
+
+    def test_assigning_ohm_to_delay_flags(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/analysis/__init__.py": "",
+            "pkg/analysis/calc.py": '''\
+                def broken(resistance):
+                    delay = resistance
+                    return delay
+            ''',
+        })
+        unit = [f for f in findings if f.rule == "UNIT001"]
+        assert len(unit) == 1
+        assert "assigning ohm to a second name" in unit[0].message
+
+    def test_accumulating_mismatch_flags(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/analysis/__init__.py": "",
+            "pkg/analysis/calc.py": '''\
+                def accumulate(delay, cap):
+                    delay += cap
+                    return delay
+            ''',
+        })
+        unit = [f for f in findings if f.rule == "UNIT001"]
+        assert len(unit) == 1
+        assert "accumulating farad into a second quantity" in unit[0].message
+
+    def test_out_of_scope_module_is_silent(self, deep_lint):
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/core/__init__.py": "",
+            "pkg/core/calc.py": '''\
+                def total(delays, resistance):
+                    return delays[0] + resistance
+            ''',
+        })
+        assert [f for f in findings if f.rule == "UNIT001"] == []
+
+    def test_custom_declarations_file(self, deep_lint, tmp_path):
+        (tmp_path / "units.json").write_text(json.dumps({
+            "scopes": ["kernels"],
+            "names": {"latency": "second", "r": "ohm"},
+        }), encoding="utf-8")
+        config = LintConfig(unit_declarations="units.json")
+        findings, _ = deep_lint({
+            "pkg/__init__.py": "",
+            "pkg/kernels/__init__.py": "",
+            "pkg/kernels/calc.py": '''\
+                def broken(r):
+                    latency = r
+                    return latency
+            ''',
+        }, config=config)
+        unit = [f for f in findings if f.rule == "UNIT001"]
+        assert len(unit) == 1
+        assert "assigning ohm to a second name" in unit[0].message

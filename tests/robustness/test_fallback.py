@@ -8,8 +8,9 @@ import pytest
 from repro.design import ElmoreWireModel
 from repro.design.sta import WireTimingModel
 from repro.rcnet import chain_net
-from repro.robustness import (LAST_RESORT_TIER, FallbackChain,
-                              LumpedRCWireModel, default_fallback_chain)
+from repro.robustness import (LAST_RESORT_TIER, EstimationError,
+                              FallbackChain, LumpedRCWireModel,
+                              default_fallback_chain)
 from repro.robustness.faultinject import FaultInjector, RC_FAULT_MODES
 
 LOADS = np.array([2e-15])
@@ -130,8 +131,9 @@ class TestDegradation:
 
     def test_no_last_resort_raises_when_all_fail(self):
         chain = FallbackChain([("bad", _Stub("raise"))], last_resort=False)
-        with pytest.raises(RuntimeError, match="every tier failed"):
+        with pytest.raises(EstimationError, match="every tier failed") as exc:
             chain.wire_timing(chain_net(5), 20e-12, LOADS, 100.0)
+        assert exc.value.stage == "fallback"
 
 
 class TestCircuitBreaker:
