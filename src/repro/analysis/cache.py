@@ -39,13 +39,25 @@ from ..rcnet.graph import RCNet
 #: ``0`` disables caching entirely.
 CACHE_SIZE_ENV = "REPRO_SOLVE_CACHE"
 
+#: Environment variable naming a directory for the optional disk tier;
+#: unset (the default) keeps the cache memory-only.
+CACHE_DIR_ENV = "REPRO_SOLVE_CACHE_DIR"
+
 #: Default LRU capacity.  Solves are O(N^2) floats each; at the pipeline's
 #: typical 10-60 node nets this bounds the cache well under ~100 MB.
 DEFAULT_CACHE_SIZE = 512
 
+#: Version tag written into every persisted solve file; bump whenever the
+#: :class:`~repro.analysis.simulator.EigenSolve` layout (or the meaning of
+#: :func:`solve_key`) changes, so stale files self-invalidate on load —
+#: the same idiom as the lint summary cache's ``ANALYSIS_VERSION``.
+PERSIST_SCHEMA = "repro-solve-cache/1"
+
 _HITS = get_metrics().counter("simulator.cache_hits")
 _MISSES = get_metrics().counter("simulator.cache_misses")
 _EVICTIONS = get_metrics().counter("simulator.cache_evictions")
+_PERSIST_HITS = get_metrics().counter("simulator.cache_persist_hits")
+_PERSIST_MISSES = get_metrics().counter("simulator.cache_persist_misses")
 
 
 def solve_key(net: RCNet, caps: np.ndarray, drive_resistance: float) -> bytes:
@@ -69,13 +81,29 @@ def solve_key(net: RCNet, caps: np.ndarray, drive_resistance: float) -> bytes:
 
 
 class SolveCache:
-    """Size-bounded LRU cache from :func:`solve_key` to an eigensolve."""
+    """Size-bounded LRU cache from :func:`solve_key` to an eigensolve.
 
-    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+    With ``persist_dir`` set, the LRU gains a disk tier: every insert is
+    also written as ``<key-hex>.npz`` under that directory, and a memory
+    miss falls back to loading the file before recomputing — so a
+    restarted server warm-starts from its predecessor's solves instead of
+    cold-solving.  Files carry :data:`PERSIST_SCHEMA`; any unreadable,
+    corrupted or version-mismatched file is treated as a miss (never an
+    error), and a read-only directory degrades to memory-only writes.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE,
+                 persist_dir: Optional[str] = None) -> None:
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
+        self.persist_dir = persist_dir
         self._entries: "OrderedDict[bytes, Any]" = OrderedDict()
+        if persist_dir is not None:
+            try:
+                os.makedirs(persist_dir, exist_ok=True)
+            except OSError:
+                self.persist_dir = None  # unusable directory: memory-only
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -91,12 +119,17 @@ class SolveCache:
         entry = self._entries.get(key)
         if entry is None:
             _MISSES.inc()
-            return None
+            entry = self._disk_get(key)
+            if entry is not None:
+                # Promote the warm-started solve into the memory LRU so
+                # subsequent queries skip the file system entirely.
+                self.put(key, entry, _persist=False)
+            return entry
         self._entries.move_to_end(key)
         _HITS.inc()
         return entry
 
-    def put(self, key: bytes, solve: Any) -> None:
+    def put(self, key: bytes, solve: Any, _persist: bool = True) -> None:
         """Insert ``solve``, evicting least-recently-used entries if full."""
         if not self.enabled:
             return
@@ -105,6 +138,8 @@ class SolveCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             _EVICTIONS.inc()
+        if _persist:
+            self._disk_put(key, solve)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -113,7 +148,61 @@ class SolveCache:
         """Current counter values plus occupancy (JSON-safe)."""
         return {"entries": len(self._entries), "maxsize": self.maxsize,
                 "hits": _HITS.value, "misses": _MISSES.value,
-                "evictions": _EVICTIONS.value}
+                "evictions": _EVICTIONS.value,
+                "persist_hits": _PERSIST_HITS.value,
+                "persist_misses": _PERSIST_MISSES.value}
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: bytes) -> str:
+        assert self.persist_dir is not None
+        return os.path.join(self.persist_dir, key.hex() + ".npz")
+
+    def _disk_get(self, key: bytes) -> Optional[Any]:
+        if self.persist_dir is None:
+            return None
+        from .simulator import EigenSolve  # deferred: simulator imports us
+
+        try:
+            with np.load(self._disk_path(key), allow_pickle=False) as data:
+                if str(data["schema"]) != PERSIST_SCHEMA:
+                    _PERSIST_MISSES.inc()
+                    return None
+                solve = EigenSolve(
+                    caps=np.asarray(data["caps"], dtype=np.float64),
+                    inv_sqrt_c=np.asarray(data["inv_sqrt_c"],
+                                          dtype=np.float64),
+                    eigenvalues=np.asarray(data["eigenvalues"],
+                                           dtype=np.float64),
+                    q=np.asarray(data["q"], dtype=np.float64))
+        except (OSError, KeyError, ValueError, EOFError):
+            # Missing file is the common case; a corrupted or truncated
+            # one (crash mid-write by an older numpy, disk fault) must
+            # degrade to a recompute, never break the query.
+            _PERSIST_MISSES.inc()
+            return None
+        _PERSIST_HITS.inc()
+        return solve
+
+    def _disk_put(self, key: bytes, solve: Any) -> None:
+        if self.persist_dir is None:
+            return
+        path = self._disk_path(key)
+        if os.path.exists(path):
+            return
+        tmp = path + f".tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(handle, schema=np.str_(PERSIST_SCHEMA),
+                         caps=solve.caps, inv_sqrt_c=solve.inv_sqrt_c,
+                         eigenvalues=solve.eigenvalues, q=solve.q)
+            os.replace(tmp, path)  # atomic: readers never see a torn file
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 def _default_size() -> int:
@@ -127,7 +216,12 @@ def _default_size() -> int:
     return max(0, size)
 
 
-_GLOBAL_CACHE = SolveCache(_default_size())
+def _default_persist_dir() -> Optional[str]:
+    raw = os.environ.get(CACHE_DIR_ENV)
+    return raw if raw else None
+
+
+_GLOBAL_CACHE = SolveCache(_default_size(), persist_dir=_default_persist_dir())
 
 
 def get_solve_cache() -> SolveCache:
@@ -135,12 +229,14 @@ def get_solve_cache() -> SolveCache:
     return _GLOBAL_CACHE
 
 
-def configure_solve_cache(maxsize: int) -> SolveCache:
+def configure_solve_cache(maxsize: int,
+                          persist_dir: Optional[str] = None) -> SolveCache:
     """Replace the global cache with a fresh one of ``maxsize`` entries.
 
-    ``0`` disables memoization (every solve recomputes).  Returns the new
-    cache so tests can assert on it directly.
+    ``0`` disables memoization (every solve recomputes).  ``persist_dir``
+    adds the disk tier (see :class:`SolveCache`).  Returns the new cache
+    so tests can assert on it directly.
     """
     global _GLOBAL_CACHE
-    _GLOBAL_CACHE = SolveCache(maxsize)
+    _GLOBAL_CACHE = SolveCache(maxsize, persist_dir=persist_dir)
     return _GLOBAL_CACHE

@@ -9,6 +9,7 @@ user workflow without writing Python:
 ``repro spef-timing``  golden wire timing for every net of a SPEF file
 ``repro benchmarks``   list the Table II benchmark suite
 ``repro bench``        run the pinned perf workload, write ``BENCH_<date>.json``
+``repro serve``        run the fault-tolerant timing service (docs/SERVING.md)
 ``repro lint``         run the repo's AST invariant linter (docs/LINTING.md)
 
 Example session::
@@ -148,6 +149,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the pinned end-to-end perf workload, write BENCH_<date>.json")
     p.add_argument("--quick", action="store_true",
                    help="CI-sized workload (seconds instead of minutes)")
+    p.add_argument("--serve", action="store_true",
+                   help="load-generate against the timing service instead "
+                        "of the pipeline workload; reports p50/p99 latency "
+                        "and nets/s (see docs/SERVING.md)")
+    p.add_argument("--host", default=None,
+                   help="with --serve: target an already-running server "
+                        "instead of an in-process one")
+    p.add_argument("--port", type=int, default=None,
+                   help="with --serve: port of the external server")
     p.add_argument("-o", "--outdir", default=".",
                    help="directory for BENCH_<date>.json (default: cwd, "
                         "i.e. the repo root when run from it)")
@@ -158,6 +168,33 @@ def _build_parser() -> argparse.ArgumentParser:
                         "cores; capped at core count); recorded in the "
                         "report's workload block")
     p.set_defaults(handler=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the timing-estimation service (see docs/SERVING.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8731,
+                   help="TCP port (0 = ephemeral, printed at startup)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="estimation worker threads")
+    p.add_argument("-m", "--model", default=None,
+                   help="trained estimator .npz to serve as the first tier "
+                        "(requires --dataset for the feature scaler)")
+    p.add_argument("-d", "--dataset", default=None,
+                   help="dataset .npz the model was trained on (restores "
+                        "the feature scaler)")
+    p.add_argument("--plan", choices=sorted(PLANS), default="PlanB",
+                   help="plan the model was trained with")
+    p.add_argument("--net-timeout", type=float, default=0.25,
+                   help="per-net tier timeout in seconds")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="admission queue bound (backpressure beyond it)")
+    p.add_argument("--default-deadline", type=float, default=2.0,
+                   help="seconds granted to requests that name no deadline")
+    p.add_argument("--persist-cache",
+                   help="directory for the disk-persistent eigensolve cache "
+                        "(also REPRO_SOLVE_CACHE_DIR)")
+    p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser(
         "lint",
@@ -421,6 +458,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .obs import (DEFAULT_WORKLOAD, QUICK_WORKLOAD, format_bench_summary,
                       run_bench, write_bench_report)
 
+    if args.serve:
+        return _cmd_bench_serve(args)
     workload = QUICK_WORKLOAD if args.quick else DEFAULT_WORKLOAD
     jobs = _cli_jobs(args.jobs)
     if jobs != workload.jobs:
@@ -435,6 +474,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(format_bench_summary(document))
     print(f"wrote {path}")
     return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .obs import write_bench_report
+    from .serve import (QUICK_SERVE_WORKLOAD, THROUGHPUT_SERVE_WORKLOAD,
+                        format_serve_summary, run_serve_bench)
+
+    workload = QUICK_SERVE_WORKLOAD if args.quick \
+        else THROUGHPUT_SERVE_WORKLOAD
+    document = run_serve_bench(workload, host=args.host, port=args.port)
+    try:
+        path = write_bench_report(document, out_dir=args.outdir,
+                                  date=args.date)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_serve_summary(document))
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, run_server
+    from .serve.admission import AdmissionConfig
+
+    learned = None
+    if args.model:
+        if not args.dataset:
+            print("error: --model needs --dataset (the dataset .npz "
+                  "carries the feature scaler)", file=sys.stderr)
+            return 2
+        from .core import WireTimingEstimator
+        from .core.estimator import LearnedWireModel
+        from .data import load_dataset
+        from .features import NUM_NODE_FEATURES, NUM_PATH_FEATURES
+
+        try:
+            dataset = load_dataset(args.dataset)
+            estimator = WireTimingEstimator(PLANS[args.plan])
+            estimator.load(args.model, NUM_NODE_FEATURES, NUM_PATH_FEATURES)
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"error: cannot load model/dataset: {exc}",
+                  file=sys.stderr)
+            return 1
+        if dataset.scaler is None:
+            print("error: dataset carries no feature scaler",
+                  file=sys.stderr)
+            return 1
+        learned = LearnedWireModel(estimator, dataset.scaler)
+    admission = AdmissionConfig(max_queue=args.max_queue,
+                                default_deadline_s=args.default_deadline)
+    config = ServeConfig(host=args.host, port=args.port,
+                         workers=args.workers,
+                         net_timeout_s=args.net_timeout,
+                         persist_cache_dir=args.persist_cache,
+                         admission=admission)
+    return run_server(config, learned=learned)
 
 
 def _git_changed_files() -> Optional[List[str]]:

@@ -107,8 +107,9 @@ class AWEWireModel(WireTimingModel):
                     sink_loads: np.ndarray, drive_resistance: float,
                     context: Optional[NetContext] = None
                     ) -> Tuple[np.ndarray, np.ndarray]:
-        delays, step_slews = awe2_timing(net, sink_loads=sink_loads)
         sinks = list(net.sinks)
+        delays, step_slews = awe2_timing(net, sink_loads=sink_loads,
+                                         nodes=sinks)
         slews = np.sqrt(input_slew ** 2 + step_slews[sinks] ** 2)
         return delays[sinks], slews
 

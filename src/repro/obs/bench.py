@@ -31,6 +31,14 @@ BENCH_SCHEMA = "repro-bench/1"
 #: Stage names every schema-valid report must time, in pipeline order.
 REQUIRED_STAGES = ("dataset", "train", "evaluate", "sta")
 
+#: Required stages/results per workload mode.  ``workload.mode`` is
+#: ``"pipeline"`` (implied when absent, so pre-serve reports stay valid)
+#: or ``"serve"`` (``repro bench --serve`` load-generation reports).
+MODE_REQUIRED_STAGES = {
+    "pipeline": REQUIRED_STAGES,
+    "serve": ("serve",),
+}
+
 
 @dataclass(frozen=True)
 class BenchWorkload:
@@ -201,6 +209,8 @@ def run_bench(workload: BenchWorkload = DEFAULT_WORKLOAD,
 
         import platform
 
+        from ..parallel import worker_context
+
         document: Dict[str, Any] = {
             "schema": BENCH_SCHEMA,
             "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -208,6 +218,12 @@ def run_bench(workload: BenchWorkload = DEFAULT_WORKLOAD,
                 "python": sys.version.split()[0],
                 "platform": platform.platform(),
                 "numpy": np.__version__,
+                # Resolved multiprocessing start method (REPRO_MP_CONTEXT)
+                # and job count: timings are only comparable between runs
+                # that used the same execution configuration, and the
+                # compare tool checks this block.
+                "mp_start_method": worker_context().get_start_method(),
+                "jobs": workload.jobs,
             },
             "workload": workload.to_dict(),
             "stages": [stage.to_dict() for stage in clock.stages],
@@ -282,6 +298,16 @@ def validate_bench_report(document: Any) -> List[str]:
                   "observability"):
         if block not in document:
             problems.append(f"missing top-level block {block!r}")
+    workload = document.get("workload")
+    if workload is not None and not isinstance(workload, dict):
+        problems.append("'workload' must be an object")
+    mode = "pipeline"
+    if isinstance(workload, dict):
+        mode = str(workload.get("mode", "pipeline"))
+        if mode not in MODE_REQUIRED_STAGES:
+            problems.append(f"unknown workload mode {mode!r}")
+            mode = "pipeline"
+    required_stages = MODE_REQUIRED_STAGES[mode]
     stages = document.get("stages")
     if isinstance(stages, list):
         timed: Dict[str, Dict[str, Any]] = {}
@@ -290,7 +316,7 @@ def validate_bench_report(document: Any) -> List[str]:
                 problems.append(f"malformed stage entry: {entry!r}")
                 continue
             timed[entry["name"]] = entry
-        for name in REQUIRED_STAGES:
+        for name in required_stages:
             entry = timed.get(name)
             if entry is None:
                 problems.append(f"missing required stage {name!r}")
@@ -306,14 +332,22 @@ def validate_bench_report(document: Any) -> List[str]:
                         f"stage {name!r} has invalid {clock}: {value!r}")
     elif "stages" in document:
         problems.append("'stages' must be a list")
-    workload = document.get("workload")
-    if workload is not None and not isinstance(workload, dict):
-        problems.append("'workload' must be an object")
     results = document.get("results")
     if isinstance(results, dict):
-        for section in ("dataset", "train", "evaluate", "sta"):
+        for section in required_stages if mode == "serve" \
+                else ("dataset", "train", "evaluate", "sta"):
             if section not in results:
                 problems.append(f"missing results section {section!r}")
+        if mode == "serve":
+            serve = results.get("serve")
+            if isinstance(serve, dict):
+                for field_name in ("requests_sent", "lost_requests",
+                                   "throughput_nets_per_s", "latency_ms"):
+                    if field_name not in serve:
+                        problems.append(
+                            f"serve results missing {field_name!r}")
+            elif serve is not None:
+                problems.append("'results.serve' must be an object")
     elif "results" in document:
         problems.append("'results' must be an object")
     return problems

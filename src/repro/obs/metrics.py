@@ -95,6 +95,40 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (0-100) from the log2 buckets.
+
+        Exact ``min``/``max`` anchor the tails; interior quantiles
+        interpolate geometrically inside the covering power-of-two bucket,
+        which bounds the relative error at sqrt(2).  That is the precision
+        contract of this digest: good enough for p50/p99 latency
+        reporting without storing samples.  NaN when empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not self.count:
+            return float("nan")
+        target = q / 100.0 * self.count
+        # Buckets in ascending value order: "<=0" first, then by exponent.
+        ordered = sorted(self.buckets.items(),
+                         key=lambda kv: -math.inf if kv[0] == "<=0"
+                         else int(kv[0]))
+        seen = 0
+        for key, count in ordered:
+            seen += count
+            if seen >= target:
+                if key == "<=0":
+                    return min(self.min, 0.0)
+                exponent = int(key)
+                low = max(2.0 ** (exponent - 1), self.min)
+                high = min(2.0 ** exponent, self.max)
+                if high <= low:
+                    return high
+                # Position of the target inside this bucket, 0..1.
+                frac = 1.0 - (seen - target) / count
+                return low * (high / low) ** frac
+        return self.max
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0

@@ -13,8 +13,9 @@ error taxonomy from here, and an eager import of the chain — which itself
 builds on ``design.sta`` — would be circular.
 """
 
-from .errors import (EstimationError, InputError, ModelError, NumericalError,
-                     TrainingDiverged, WorkerError)
+from .errors import (DeadlineError, EstimationError, InputError, ModelError,
+                     NumericalError, OverloadError, TrainingDiverged,
+                     WorkerError)
 from .guards import (MAX_CONDITION, check_conditioning, guarded_eigh,
                      require_finite, symmetric_condition)
 
@@ -27,6 +28,7 @@ _LAZY = {
     "LAST_RESORT_TIER": "fallback",
     "default_fallback_chain": "fallback",
     "FaultInjector": "faultinject",
+    "SlowTierModel": "faultinject",
     "RC_FAULT_MODES": "faultinject",
     "coupling_only_sink_net": "faultinject",
     "crashing_task": "faultinject",
@@ -38,7 +40,7 @@ _LAZY = {
 
 __all__ = [
     "EstimationError", "InputError", "NumericalError", "ModelError",
-    "TrainingDiverged", "WorkerError",
+    "TrainingDiverged", "WorkerError", "OverloadError", "DeadlineError",
     "MAX_CONDITION", "require_finite", "check_conditioning",
     "guarded_eigh", "symmetric_condition",
     *sorted(_LAZY),

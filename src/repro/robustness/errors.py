@@ -97,6 +97,37 @@ class WorkerError(EstimationError):
         self.task_index = task_index
 
 
+class OverloadError(EstimationError):
+    """The serving layer refused a request because its queue is full.
+
+    Explicit backpressure, not failure: the service is healthy but
+    saturated, and the client should retry after :attr:`retry_after_s`
+    (seconds).  ``stage`` is always ``"admission"``.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 0.05,
+                 **kwargs) -> None:
+        kwargs.setdefault("stage", "admission")
+        super().__init__(message, **kwargs)
+        self.retry_after_s = float(retry_after_s)
+
+
+class DeadlineError(EstimationError):
+    """A request ran out of its per-request time budget before completing.
+
+    Carries the budget and how far past it the request was when cancelled,
+    so clients can distinguish "queued too long" from "computed too long"
+    via ``stage`` (``"admission"`` vs ``"serve"``).
+    """
+
+    def __init__(self, message: str, *, budget_s: Optional[float] = None,
+                 elapsed_s: Optional[float] = None, **kwargs) -> None:
+        kwargs.setdefault("stage", "serve")
+        super().__init__(message, **kwargs)
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
 @dataclass
 class TrainingDiverged:
     """Record of a training run stopped by the divergence guard.

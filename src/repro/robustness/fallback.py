@@ -18,6 +18,7 @@ so ``wire_timing`` never raises on any net the caller can construct.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -168,13 +169,23 @@ class FallbackChain(WireTimingModel):
     last_resort:
         When ``True`` (default) a :class:`LumpedRCWireModel` terminal tier
         guarantees ``wire_timing`` always returns.
+    keep_records:
+        When ``True`` (default) every served net appends a
+        :class:`NetServeRecord` to :attr:`records`.  Long-lived callers
+        (the ``repro serve`` workers) pass ``False`` so memory stays
+        bounded; :attr:`last_record` and the counters are kept either way.
+
+    Counter and breaker bookkeeping is lock-guarded, so one chain may be
+    shared by several threads: :meth:`counters` totals stay consistent
+    under concurrent serving.  The tier models themselves must then be
+    thread-safe too (the analytic tiers are stateless and qualify).
     """
 
     def __init__(self, tiers: Sequence[Union[WireTimingModel,
                                              Tuple[str, WireTimingModel]]],
                  net_timeout: Optional[float] = None,
                  breaker_threshold: int = 5, breaker_cooldown: int = 25,
-                 last_resort: bool = True) -> None:
+                 last_resort: bool = True, keep_records: bool = True) -> None:
         if not tiers and not last_resort:
             raise ValueError("FallbackChain needs at least one tier")
         if net_timeout is not None and net_timeout <= 0.0:
@@ -198,8 +209,10 @@ class FallbackChain(WireTimingModel):
         self._breakers: Dict[str, _CircuitBreaker] = {
             name: _CircuitBreaker(breaker_threshold, breaker_cooldown)
             for name, _ in self._tiers}
+        self.keep_records = keep_records
         self.records: List[NetServeRecord] = []
         self.last_record: Optional[NetServeRecord] = None
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -229,8 +242,11 @@ class FallbackChain(WireTimingModel):
         for name, model in self._tiers:
             stats = self.stats[name]
             breaker = self._breakers[name]
-            if not breaker.allow():
-                stats.skipped_open += 1
+            with self._lock:
+                allowed = breaker.allow()
+                if not allowed:
+                    stats.skipped_open += 1
+            if not allowed:
                 failures.append(TierFailure(name, "circuit breaker open"))
                 continue
             tier_start = time.perf_counter()
@@ -253,20 +269,23 @@ class FallbackChain(WireTimingModel):
             get_metrics().histogram(f"fallback.tier_seconds.{name}").observe(
                 elapsed)
             if self.net_timeout is not None and elapsed > self.net_timeout:
-                stats.timeouts += 1
+                with self._lock:
+                    stats.timeouts += 1
                 self._record_failure(
                     stats, breaker, failures, name,
                     f"exceeded net budget ({elapsed:.3g}s > {self.net_timeout:.3g}s)")
                 continue
-            breaker.record_success()
-            stats.served += 1
+            record = NetServeRecord(net.name, name,
+                                    time.perf_counter() - start, failures)
+            with self._lock:
+                breaker.record_success()
+                stats.served += 1
+                if self.keep_records:
+                    self.records.append(record)
+                self.last_record = record
             get_metrics().counter(f"fallback.served.{name}").inc()
             if failures:
                 get_metrics().counter("fallback.degraded_nets").inc()
-            record = NetServeRecord(net.name, name,
-                                    time.perf_counter() - start, failures)
-            self.records.append(record)
-            self.last_record = record
             return np.asarray(delays, dtype=np.float64), \
                 np.asarray(slews, dtype=np.float64), record
         raise EstimationError(
@@ -295,10 +314,11 @@ class FallbackChain(WireTimingModel):
     def _record_failure(self, stats: TierStats, breaker: _CircuitBreaker,
                         failures: List[TierFailure], name: str,
                         reason: str) -> None:
-        stats.failed += 1
+        with self._lock:
+            stats.failed += 1
+            if breaker.record_failure():
+                stats.breaker_trips += 1
         get_metrics().counter(f"fallback.failures.{name}").inc()
-        if breaker.record_failure():
-            stats.breaker_trips += 1
         failures.append(TierFailure(name, reason))
 
     # ------------------------------------------------------------------
@@ -306,7 +326,8 @@ class FallbackChain(WireTimingModel):
     # ------------------------------------------------------------------
     @property
     def total_served(self) -> int:
-        return sum(s.served for s in self.stats.values())
+        with self._lock:
+            return sum(s.served for s in self.stats.values())
 
     @property
     def degraded_count(self) -> int:
@@ -315,14 +336,20 @@ class FallbackChain(WireTimingModel):
         return self.total_served - self.stats[first].served
 
     def counters(self) -> Dict[str, int]:
-        """Nets served per tier; values sum to :attr:`total_served`."""
-        return {name: self.stats[name].served for name in self.tier_names}
+        """Nets served per tier; values sum to :attr:`total_served`.
+
+        Taken under the chain's lock, so the snapshot is internally
+        consistent even while other threads are serving nets.
+        """
+        with self._lock:
+            return {name: self.stats[name].served for name in self.tier_names}
 
     def reset_counters(self) -> None:
-        for name in self.tier_names:
-            self.stats[name] = TierStats(name)
-        self.records.clear()
-        self.last_record = None
+        with self._lock:
+            for name in self.tier_names:
+                self.stats[name] = TierStats(name)
+            self.records.clear()
+            self.last_record = None
 
     def degradation_report(self) -> str:
         """Human-readable counter table (printed by the CLI)."""

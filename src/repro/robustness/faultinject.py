@@ -10,7 +10,8 @@ fault case reproduces bit-identically.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -161,6 +162,68 @@ class FaultInjector:
             flat[where] = float("nan")
             poisoned += hits
         return poisoned
+
+
+    # ------------------------------------------------------------------
+    # Latency injection (slow tiers)
+    # ------------------------------------------------------------------
+    def slow_tier(self, model, delay_s: float, jitter_s: float = 0.0,
+                  every: int = 1,
+                  sleep: Callable[[float], None] = time.sleep
+                  ) -> "SlowTierModel":
+        """Wrap a wire-timing model so some calls stall before answering.
+
+        Delays are drawn from this injector's rng, so a campaign's latency
+        pattern is reproducible.  ``sleep`` is injectable: production chaos
+        runs keep ``time.sleep``, unit tests pass a recording fake so
+        timeout and hedging paths are exercised without real clocks.
+        """
+        return SlowTierModel(model, delay_s, jitter_s=jitter_s, every=every,
+                             rng=self.rng, sleep=sleep)
+
+
+class SlowTierModel:
+    """A :class:`~repro.design.sta.WireTimingModel` with injected latency.
+
+    Every ``every``-th call sleeps ``delay_s`` plus a seeded uniform jitter
+    in ``[0, jitter_s)`` before delegating to the wrapped model; the answer
+    itself is untouched.  This is the deterministic stand-in for a tier
+    that has gone slow (cold cache, swapping, contended accelerator), used
+    to drive :class:`~repro.robustness.fallback.FallbackChain` budgets and
+    the serve layer's deadline/hedging paths.
+    """
+
+    def __init__(self, model, delay_s: float, jitter_s: float = 0.0,
+                 every: int = 1, rng: Optional[np.random.Generator] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if delay_s < 0.0 or jitter_s < 0.0:
+            raise ValueError("delay_s and jitter_s must be non-negative")
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.model = model
+        self.delay_s = float(delay_s)
+        self.jitter_s = float(jitter_s)
+        self.every = int(every)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.sleep = sleep
+        self.calls = 0
+        self.delays_injected: List[float] = []
+
+    def wire_timing(self, net, input_slew, sink_loads, drive_resistance,
+                    context=None):
+        self.calls += 1
+        if self.calls % self.every == 0:
+            delay = self.delay_s
+            if self.jitter_s:
+                delay += float(self.rng.uniform(0.0, self.jitter_s))
+            self.delays_injected.append(delay)
+            self.sleep(delay)
+        return self.model.wire_timing(net, input_slew, sink_loads,
+                                      drive_resistance, context=context)
+
+    @property
+    def name(self) -> str:
+        return f"slow({getattr(self.model, 'name', type(self.model).__name__)})"
 
 
 # ----------------------------------------------------------------------

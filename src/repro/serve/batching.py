@@ -1,0 +1,108 @@
+"""Request coalescing: many concurrent queries, one model pass.
+
+The estimator's cost is dominated by per-call fixed overhead at serving
+batch sizes (queue hops, chain dispatch, feature assembly), so the service
+batches: a collector pulls admitted tickets and groups them into a
+:class:`Batch` bounded by *size* (``max_batch_nets``) and *time*
+(``max_wait_s`` — the µs-scale window a first request waits for company).
+A batch never waits past the earliest member deadline: the window is
+clipped so batching can delay a request but never kill it.
+
+The clock and the admission source are injectable; the unit tests drive
+the collector with a virtual clock and a scripted queue.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..obs import get_metrics
+from .admission import AdmissionController, Ticket
+
+_BATCHES = get_metrics().counter("serve.batches")
+_BATCH_NETS = get_metrics().histogram("serve.batch_nets")
+_BATCH_REQUESTS = get_metrics().histogram("serve.batch_requests")
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Size/time window of the coalescer."""
+
+    max_batch_nets: int = 64       # net queries per forward pass
+    max_batch_requests: int = 32   # tickets per batch (bounds fan-in)
+    max_wait_s: float = 0.002      # 2000 µs window after the first ticket
+
+    def __post_init__(self) -> None:
+        if self.max_batch_nets < 1 or self.max_batch_requests < 1:
+            raise ValueError("batch limits must be >= 1")
+        if self.max_wait_s < 0.0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclass
+class Batch:
+    """One coalesced unit of work: tickets sharing a forward pass."""
+
+    tickets: List[Ticket] = field(default_factory=list)
+    formed_at: float = 0.0
+
+    @property
+    def num_nets(self) -> int:
+        return sum(t.request.num_nets for t in self.tickets)
+
+    def __len__(self) -> int:
+        return len(self.tickets)
+
+
+class BatchCollector:
+    """Forms batches from the admission queue under the configured window."""
+
+    def __init__(self, admission: AdmissionController,
+                 config: BatchingConfig = BatchingConfig(),
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.admission = admission
+        self.config = config
+        self.clock = clock
+
+    def collect(self, poll_s: float = 0.05) -> Optional[Batch]:
+        """Block for the next batch; None when draining and drained.
+
+        The first ticket opens the window; more tickets join until the
+        batch is full, the window closes, or waiting longer would push the
+        earliest member past its deadline.
+        """
+        first = self.admission.pop(timeout=poll_s)
+        if first is None:
+            return None
+        tickets = [first]
+        nets = first.request.num_nets
+        window_end = self.clock() + self.config.max_wait_s
+        # Never let the window eat a member's whole remaining budget: cap
+        # the wait at half the tightest deadline still on the table.
+        remaining = first.remaining(self.clock())
+        if remaining is not None:
+            window_end = min(window_end, self.clock() + remaining / 2.0)
+        while (len(tickets) < self.config.max_batch_requests
+               and nets < self.config.max_batch_nets):
+            now = self.clock()
+            if now >= window_end:
+                break
+            ticket = self.admission.pop(timeout=window_end - now)
+            if ticket is None:
+                break
+            tickets.append(ticket)
+            nets += ticket.request.num_nets
+            remaining = ticket.remaining(self.clock())
+            if remaining is not None:
+                window_end = min(window_end,
+                                 self.clock() + remaining / 2.0)
+        batch = Batch(tickets, formed_at=self.clock())
+        _BATCHES.inc()
+        _BATCH_NETS.observe(batch.num_nets)
+        _BATCH_REQUESTS.observe(len(batch))
+        return batch
+
+
+__all__ = ["Batch", "BatchCollector", "BatchingConfig"]

@@ -104,3 +104,70 @@ class TestAWEWireModel:
         awe = STAEngine(design, AWEWireModel()).analyze_design()
         golden = STAEngine(design, GoldenWireModel()).analyze_design()
         assert np.corrcoef(awe.arrivals(), golden.arrivals())[0, 1] > 0.95
+
+
+class TestNodesRestriction:
+    """The serving-path fast path: crossings solved only at listed nodes."""
+
+    def test_sink_rows_match_the_full_solve(self, rng):
+        for seed in range(5):
+            net = random_net(np.random.default_rng(seed), name=f"n{seed}",
+                             n_nodes_range=(6, 20), n_sinks_range=(1, 4))
+            sinks = list(net.sinks)
+            full_d, full_s = awe2_timing(net)
+            part_d, part_s = awe2_timing(net, nodes=sinks)
+            np.testing.assert_allclose(part_d[sinks], full_d[sinks],
+                                       rtol=1e-9)
+            np.testing.assert_allclose(part_s[sinks], full_s[sinks],
+                                       rtol=1e-9)
+
+    def test_unlisted_rows_stay_zero(self):
+        net = chain_net(8)
+        delays, slews = awe2_timing(net, nodes=[net.sinks[0]])
+        others = [n for n in range(net.num_nodes)
+                  if n != net.source and n not in net.sinks]
+        assert all(delays[n] == 0.0 and slews[n] == 0.0 for n in others)
+        assert delays[net.sinks[0]] > 0.0
+
+    def test_source_is_always_excluded(self):
+        net = chain_net(6)
+        delays, _ = awe2_timing(net, nodes=[net.source, net.sinks[0]])
+        assert delays[net.source] == 0.0
+
+    def test_sink_loads_respected_under_restriction(self):
+        net = chain_net(8)
+        loads = np.array([5e-15])
+        bare_d, _ = awe2_timing(net, nodes=net.sinks)
+        loaded_d, _ = awe2_timing(net, sink_loads=loads, nodes=net.sinks)
+        assert loaded_d[net.sinks[0]] > bare_d[net.sinks[0]]
+
+
+class TestVectorizedCrossings:
+    """The batched bisection agrees with the scalar two-pole model."""
+
+    def test_matches_scalar_crossing_solver(self):
+        from repro.analysis.awe import _first_crossings, fit_two_pole
+
+        rng = np.random.default_rng(17)
+        fits, scalars = [], []
+        while len(fits) < 12:
+            net = random_net(rng, name="v", n_nodes_range=(6, 18),
+                             n_sinks_range=(1, 3))
+            from repro.analysis.moments import moments
+
+            m = moments(net, order=3)
+            for node in net.sinks:
+                model = fit_two_pole(m[0, node], m[1, node], m[2, node])
+                if model is not None:
+                    fits.append(model)
+        p1 = np.array([f.p1 for f in fits])
+        p2 = np.array([f.p2 for f in fits])
+        r1 = np.array([f.r1 for f in fits])
+        r2 = np.array([f.r2 for f in fits])
+        guesses = np.array([-1.0 / f.p1 for f in fits])
+        levels = np.array([0.1, 0.5, 0.9])
+        table = _first_crossings(p1, p2, r1, r2, guesses, levels)
+        for i, fit in enumerate(fits):
+            for j, level in enumerate(levels):
+                scalar = fit.crossing(float(level), guesses[i])
+                assert table[i, j] == pytest.approx(scalar, rel=1e-9)

@@ -157,3 +157,58 @@ class TestCachedEquivalence:
         second = timer.analyze(net, input_slew=20e-12)  # served from cache
         np.testing.assert_array_equal(first.delays(), second.delays())
         np.testing.assert_array_equal(first.slews(), second.slews())
+
+
+class TestPersistence:
+    """The disk tier: warm restarts, corruption tolerance, schema pinning."""
+
+    def _analyze(self, tmp_path, maxsize=8):
+        configure_solve_cache(maxsize, persist_dir=str(tmp_path))
+        timer = GoldenTimer(si_mode=False)
+        return timer.analyze(chain_net(7), input_slew=20e-12)
+
+    def test_inserts_write_npz_files(self, tmp_path):
+        self._analyze(tmp_path)
+        files = list(tmp_path.glob("*.npz"))
+        assert files, "persistent cache wrote no solve files"
+
+    def test_fresh_cache_warm_starts_from_disk(self, tmp_path):
+        first = self._analyze(tmp_path)
+        registry = get_metrics()
+        before = registry.counter("simulator.cache_persist_hits").value
+        # A brand-new cache (fresh process stand-in) over the same dir:
+        # the solve comes off disk, not from a recompute.
+        second = self._analyze(tmp_path)
+        after = registry.counter("simulator.cache_persist_hits").value
+        assert after > before
+        np.testing.assert_array_equal(first.delays(), second.delays())
+        np.testing.assert_array_equal(first.slews(), second.slews())
+
+    def test_corrupted_file_degrades_to_recompute(self, tmp_path):
+        result = self._analyze(tmp_path)
+        for path in tmp_path.glob("*.npz"):
+            path.write_bytes(b"garbage, not a zip archive")
+        again = self._analyze(tmp_path)
+        np.testing.assert_array_equal(result.delays(), again.delays())
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        self._analyze(tmp_path)
+        [path] = list(tmp_path.glob("*.npz"))
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["schema"] = np.str_("solve-cache/0")
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        registry = get_metrics()
+        before = registry.counter("simulator.cache_persist_misses").value
+        self._analyze(tmp_path)
+        after = registry.counter("simulator.cache_persist_misses").value
+        assert after > before
+
+    def test_unwritable_dir_degrades_to_memory_only(self, tmp_path):
+        from repro.analysis.cache import SolveCache
+
+        target = tmp_path / "file-not-dir"
+        target.write_text("occupied")
+        cache = SolveCache(4, persist_dir=str(target))
+        assert cache.persist_dir is None       # degraded, not raised

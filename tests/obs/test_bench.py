@@ -118,3 +118,59 @@ class TestBenchCliSmoke:
         assert counters["trainer.epochs_run"] == QUICK_WORKLOAD.epochs
         out = capsys.readouterr().out
         assert "wrote" in out and "BENCH_2026-08-05.json" in out
+
+
+def _minimal_serve_document():
+    from repro.serve.loadgen import QUICK_SERVE_WORKLOAD
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_utc": "2026-08-08T00:00:00Z",
+        "environment": {"python": "3.12", "platform": "linux",
+                        "numpy": "1.0", "mp_start_method": "fork",
+                        "jobs": 1},
+        "workload": QUICK_SERVE_WORKLOAD.to_dict(),
+        "stages": [{"name": "serve", "wall_s": 1.0, "cpu_s": 1.0}],
+        "results": {"serve": {
+            "requests_sent": 24, "lost_requests": 0,
+            "throughput_nets_per_s": 1000.0,
+            "latency_ms": {"p50": 5.0, "p99": 20.0}}},
+        "observability": {},
+    }
+
+
+class TestServeModeValidator:
+    def test_serve_document_is_valid(self):
+        assert validate_bench_report(_minimal_serve_document()) == []
+
+    def test_serve_mode_requires_the_serve_stage(self):
+        document = _minimal_serve_document()
+        document["stages"] = [{"name": "dataset", "wall_s": 1.0,
+                               "cpu_s": 1.0}]
+        problems = validate_bench_report(document)
+        assert any("serve" in p for p in problems)
+
+    def test_serve_mode_does_not_require_pipeline_stages(self):
+        # A serve report has no dataset/train/evaluate stages; the
+        # pipeline requirements must not leak across modes.
+        assert validate_bench_report(_minimal_serve_document()) == []
+
+    @pytest.mark.parametrize("missing", [
+        "requests_sent", "lost_requests", "throughput_nets_per_s",
+        "latency_ms"])
+    def test_missing_serve_result_field_rejected(self, missing):
+        document = _minimal_serve_document()
+        del document["results"]["serve"][missing]
+        problems = validate_bench_report(document)
+        assert any(missing in p for p in problems)
+
+    def test_unknown_mode_rejected(self):
+        document = _minimal_serve_document()
+        document["workload"]["mode"] = "interpretive-dance"
+        problems = validate_bench_report(document)
+        assert any("mode" in p for p in problems)
+
+    def test_pipeline_documents_keep_validating_without_mode_key(self):
+        document = _minimal_document()
+        assert "mode" not in document["workload"]
+        assert validate_bench_report(document) == []

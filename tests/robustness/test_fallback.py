@@ -211,3 +211,68 @@ class TestLumpedRC:
             net, float("nan"), np.array([float("inf")]), float("nan"))
         assert np.all(np.isfinite(delays))
         assert np.all(np.isfinite(slews)) and np.all(slews > 0.0)
+
+
+class TestBreakerCooldownSemantics:
+    """Direct unit coverage of the breaker arithmetic the serve layer
+    leans on (admission shedding reuses this exact class)."""
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        from repro.robustness.fallback import _CircuitBreaker
+
+        breaker = _CircuitBreaker(threshold=3, cooldown=2)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True     # this one trips it
+        assert breaker.open
+
+    def test_cooldown_counts_down_to_a_half_open_trial(self):
+        from repro.robustness.fallback import _CircuitBreaker
+
+        breaker = _CircuitBreaker(threshold=1, cooldown=3)
+        breaker.record_failure()
+        assert [breaker.allow() for _ in range(3)] == [False, False, True]
+        breaker.record_success()                    # trial succeeded
+        assert not breaker.open
+        assert breaker.allow()
+
+    def test_interleaved_success_resets_the_streak(self):
+        from repro.robustness.fallback import _CircuitBreaker
+
+        breaker = _CircuitBreaker(threshold=2, cooldown=5)
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_success()
+        assert not breaker.open and breaker.allow()
+
+
+class TestCounterThreadConsistency:
+    def test_concurrent_serving_conserves_counters(self):
+        import threading
+
+        flaky = _Stub("raise")
+        chain = FallbackChain([flaky, _Stub("ok")], last_resort=True,
+                              keep_records=False)
+        nets = [chain_net(n) for n in (4, 5, 6, 7)]
+        per_thread, threads_n = 50, 8
+        errors = []
+
+        def worker(index):
+            try:
+                serve(chain, n=per_thread, net=nets[index % len(nets)])
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        total = per_thread * threads_n
+        counters = chain.counters()
+        assert sum(counters.values()) == chain.total_served == total
+        # The flaky first tier served nothing; every net degraded past it.
+        assert counters[chain.tier_names[0]] == 0
+        assert chain.degraded_count == total

@@ -151,3 +151,69 @@ class TestCLIEntryPoints:
         assert code == 0
         assert "degradation counters" in captured.out
         assert "AWEWireModel" in captured.out
+
+
+class TestSlowTier:
+    def _model(self):
+        from repro.design import ElmoreWireModel
+
+        return ElmoreWireModel()
+
+    def test_answers_are_untouched(self):
+        import numpy as np
+
+        from repro.rcnet import chain_net
+
+        net = chain_net(6)
+        loads = np.array([2e-15])
+        injector = FaultInjector(seed=4)
+        slow = injector.slow_tier(self._model(), delay_s=0.0,
+                                  sleep=lambda s: None)
+        direct = self._model().wire_timing(net, 20e-12, loads, 100.0)
+        wrapped = slow.wire_timing(net, 20e-12, loads, 100.0)
+        np.testing.assert_array_equal(direct[0], wrapped[0])
+        np.testing.assert_array_equal(direct[1], wrapped[1])
+
+    def test_only_every_nth_call_stalls(self):
+        import numpy as np
+
+        from repro.rcnet import chain_net
+
+        net = chain_net(5)
+        loads = np.array([2e-15])
+        slept = []
+        injector = FaultInjector(seed=4)
+        slow = injector.slow_tier(self._model(), delay_s=0.01, every=3,
+                                  sleep=slept.append)
+        for _ in range(9):
+            slow.wire_timing(net, 20e-12, loads, 100.0)
+        assert slow.calls == 9
+        assert len(slept) == 3 == len(slow.delays_injected)
+
+    def test_jittered_delays_are_seed_deterministic(self):
+        import numpy as np
+
+        from repro.rcnet import chain_net
+
+        net = chain_net(5)
+        loads = np.array([2e-15])
+
+        def campaign():
+            slept = []
+            slow = FaultInjector(seed=21).slow_tier(
+                self._model(), delay_s=0.005, jitter_s=0.01,
+                sleep=slept.append)
+            for _ in range(6):
+                slow.wire_timing(net, 20e-12, loads, 100.0)
+            return slept
+
+        first, second = campaign(), campaign()
+        assert first == second
+        assert all(0.005 <= delay < 0.015 for delay in first)
+
+    def test_invalid_parameters_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.slow_tier(self._model(), delay_s=-1.0)
+        with pytest.raises(ValueError):
+            injector.slow_tier(self._model(), delay_s=0.1, every=0)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the serving-layer suite.
+
+The chaos tests run against a *live* service (real worker threads, real
+HTTP front on an ephemeral port); the unit tests drive the admission /
+batching / engine layers directly, mostly with fake clocks so nothing
+here depends on wall-clock sleeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rcnet.topology import random_net
+from repro.serve.protocol import ServeRequest, TimingQuery
+
+
+class FakeClock:
+    """Deterministic monotonic clock for deadline/window tests."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+def make_queries(n: int = 3, seed: int = 11, nodes=(5, 12)):
+    """Deterministic small-net queries (the standard test payload)."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for j in range(n):
+        net = random_net(rng, name=f"q{j}", n_nodes_range=nodes,
+                         n_sinks_range=(1, 3))
+        queries.append(TimingQuery(
+            net=net, input_slew_s=float(rng.uniform(1e-11, 5e-11)),
+            drive_resistance_ohm=float(rng.uniform(50.0, 300.0))))
+    return queries
+
+
+def make_request(n: int = 3, seed: int = 11, deadline_ms=None,
+                 request_id=None) -> ServeRequest:
+    return ServeRequest(queries=make_queries(n, seed=seed),
+                        deadline_ms=deadline_ms, request_id=request_id)
+
+
+@pytest.fixture
+def queries():
+    return make_queries()
+
+
+@pytest.fixture
+def request_payload():
+    return make_request()
+
+
+@pytest.fixture
+def live_server():
+    """A started service + HTTP front on an ephemeral port."""
+    from repro.serve.server import ServeConfig, start_server
+
+    handle = start_server(ServeConfig(port=0, workers=2))
+    yield handle
+    handle.stop(drain=False, timeout=5.0)

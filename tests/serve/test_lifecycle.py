@@ -1,0 +1,116 @@
+"""Lifecycle: probe semantics, drain transitions, supervised respawn."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.lifecycle import (DRAINING, READY, STARTING, STOPPED,
+                                   Lifecycle, WorkerSupervisor,
+                                   install_sigterm_drain)
+
+
+class TestProbes:
+    def test_starting_is_healthy_but_not_ready(self):
+        lifecycle = Lifecycle()
+        assert lifecycle.state == STARTING
+        assert lifecycle.healthy() and not lifecycle.ready()
+
+    def test_ready_after_mark(self):
+        lifecycle = Lifecycle()
+        lifecycle.mark_ready()
+        assert lifecycle.state == READY
+        assert lifecycle.ready() and lifecycle.healthy()
+
+    def test_drain_revokes_readiness_keeps_liveness(self):
+        lifecycle = Lifecycle()
+        lifecycle.mark_ready()
+        lifecycle.begin_drain()
+        assert lifecycle.state == DRAINING
+        assert not lifecycle.ready()
+        assert lifecycle.healthy()      # keep the process, stop routing
+
+    def test_stopped_is_neither(self):
+        lifecycle = Lifecycle()
+        lifecycle.mark_stopped()
+        assert not lifecycle.ready() and not lifecycle.healthy()
+        lifecycle.begin_drain()          # drain after stop is a no-op
+        assert lifecycle.state == STOPPED
+
+    def test_dead_workers_make_ready_service_unhealthy(self):
+        lifecycle = Lifecycle()
+        lifecycle.mark_ready()
+        assert not lifecycle.healthy(workers_alive=False)
+
+    def test_snapshot_reports_state_and_age(self):
+        lifecycle = Lifecycle()
+        snap = lifecycle.snapshot()
+        assert snap["state"] == STARTING and snap["since_s"] >= 0.0
+
+
+class TestSigterm:
+    def test_installs_in_main_thread_and_reports_elsewhere(self):
+        # Installing from a non-main thread must *report* failure, never
+        # raise — embedders without signal access still get a server.
+        outcome = {}
+
+        def attempt():
+            outcome["ok"] = install_sigterm_drain(lambda: None)
+
+        thread = threading.Thread(target=attempt)
+        thread.start()
+        thread.join()
+        assert outcome["ok"] is False
+
+
+class TestSupervisor:
+    def test_spawns_requested_workers(self):
+        started = []
+        release = threading.Event()
+
+        def loop(worker_id):
+            started.append(worker_id)
+            release.wait(5.0)
+
+        supervisor = WorkerSupervisor(loop, workers=3)
+        supervisor.start()
+        deadline = time.monotonic() + 2.0
+        while len(started) < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert sorted(started) == [0, 1, 2]
+        assert supervisor.alive_count() == 3
+        release.set()
+        supervisor.stop(join_timeout=2.0)
+        assert supervisor.restarts == 0
+
+    def test_crash_respawns_until_budget_exhausted(self):
+        lives = []
+
+        def loop(worker_id):
+            lives.append(worker_id)
+            if supervisor.report_crash(worker_id, "synthetic"):
+                return
+            return
+
+        supervisor = WorkerSupervisor(loop, workers=1, max_restarts=3)
+        supervisor.start()
+        deadline = time.monotonic() + 2.0
+        while supervisor.restarts < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        supervisor.stop(join_timeout=2.0)
+        assert supervisor.restarts == 3          # budget fully consumed
+        assert len(lives) == 4                   # original + 3 respawns
+        # Post-stop crash reports must not spawn.
+        assert supervisor.report_crash(99, "late") is False
+        assert supervisor.restarts == 3
+
+    def test_snapshot_shape(self):
+        supervisor = WorkerSupervisor(lambda worker_id: None, workers=2,
+                                      max_restarts=5)
+        snap = supervisor.snapshot()
+        assert snap == {"workers": 2, "alive": 0, "restarts": 0,
+                        "max_restarts": 5}
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerSupervisor(lambda worker_id: None, workers=0)

@@ -1,0 +1,161 @@
+"""Wire format: strict parsing, typed errors, cache keys, HTTP mapping."""
+
+import json
+
+import pytest
+
+from repro.robustness.errors import InputError
+from repro.serve.protocol import (HTTP_STATUS, MAX_QUERIES_PER_REQUEST,
+                                  PROTOCOL_SCHEMA, QueryResult, ServeRequest,
+                                  ServeResponse, decode_response,
+                                  error_document, error_response,
+                                  http_status_for, net_from_dict, net_to_dict,
+                                  parse_request)
+
+from .conftest import make_queries, make_request
+
+
+class TestRoundTrip:
+    def test_request_encode_parse_identity(self):
+        request = make_request(n=4, deadline_ms=150.0, request_id="rt-1")
+        parsed = parse_request(request.encode())
+        assert parsed.request_id == "rt-1"
+        assert parsed.deadline_ms == 150.0
+        assert parsed.num_nets == 4
+        for original, decoded in zip(request.queries, parsed.queries):
+            assert decoded.net.name == original.net.name
+            assert decoded.net.num_nodes == original.net.num_nodes
+            assert decoded.input_slew_s == original.input_slew_s
+            assert (decoded.drive_resistance_ohm
+                    == original.drive_resistance_ohm)
+
+    def test_net_dict_round_trip_preserves_structure(self, queries):
+        net = queries[0].net
+        again = net_from_dict(net_to_dict(net))
+        assert again.name == net.name
+        assert again.num_nodes == net.num_nodes
+        assert again.num_edges == net.num_edges
+        assert list(again.sinks) == list(net.sinks)
+        assert [n.cap for n in again.nodes] == [n.cap for n in net.nodes]
+
+    def test_response_round_trip_keeps_cached_flag(self):
+        response = ServeResponse(ok=True, results=[QueryResult(
+            ok=True, net="n", tier="awe", delays_s=[1e-12],
+            slews_s=[2e-12], cached=True)], shed_level=1)
+        decoded = decode_response(response.encode())
+        assert decoded.ok and decoded.shed_level == 1
+        assert decoded.results[0].cached is True
+        assert decoded.results[0].delays_s == [1e-12]
+
+
+class TestStrictParsing:
+    @pytest.mark.parametrize("body", [
+        b"not json",
+        b"[]",
+        b'{"schema": "repro-serve/0", "queries": []}',
+        b'{"schema": "repro-serve/1"}',
+        b'{"schema": "repro-serve/1", "queries": []}',
+        b'{"schema": "repro-serve/1", "queries": [5]}',
+        b'{"schema": "repro-serve/1", "queries": [{"net": null}]}',
+    ])
+    def test_malformed_bodies_raise_typed_input_error(self, body):
+        with pytest.raises(InputError) as excinfo:
+            parse_request(body)
+        assert excinfo.value.stage == "protocol"
+
+    def test_query_cap_enforced(self):
+        query = make_queries(1)[0].to_dict()
+        raw = {"schema": PROTOCOL_SCHEMA, "queries": [query] * 3}
+        with pytest.raises(InputError, match="cap is 2"):
+            parse_request(raw, max_queries=2)
+        assert MAX_QUERIES_PER_REQUEST >= 64
+
+    @pytest.mark.parametrize("field,value", [
+        ("input_slew_s", 0.0), ("input_slew_s", "fast"),
+        ("drive_resistance_ohm", -5.0),
+    ])
+    def test_invalid_operating_point_rejected(self, field, value):
+        query = make_queries(1)[0].to_dict()
+        query[field] = value
+        with pytest.raises(InputError):
+            parse_request({"schema": PROTOCOL_SCHEMA, "queries": [query]})
+
+    def test_sink_load_count_must_match_sinks(self):
+        query = make_queries(1)[0]
+        doc = query.to_dict()
+        doc["sink_loads_f"] = [1e-15] * (query.net.num_sinks + 1)
+        with pytest.raises(InputError, match="sink loads"):
+            parse_request({"schema": PROTOCOL_SCHEMA, "queries": [doc]})
+
+    def test_negative_deadline_rejected(self):
+        request = make_request(1)
+        raw = request.to_dict()
+        raw["deadline_ms"] = -1.0
+        with pytest.raises(InputError, match="deadline_ms"):
+            parse_request(raw)
+
+
+class TestCacheKey:
+    def test_identical_content_shares_key_despite_names(self):
+        a, b = make_queries(1, seed=3)[0], make_queries(1, seed=3)[0]
+        renamed = net_to_dict(b.net)
+        renamed["name"] = "renamed"
+        for i, node in enumerate(renamed["nodes"]):
+            node["name"] = f"other{i}"
+        b.net = net_from_dict(renamed)
+        assert a.cache_key() == b.cache_key()
+
+    def test_key_changes_with_parasitics_and_operating_point(self):
+        base = make_queries(1, seed=3)[0]
+        key = base.cache_key()
+        bumped_cap = make_queries(1, seed=3)[0]
+        doc = net_to_dict(bumped_cap.net)
+        doc["nodes"][1]["cap"] *= 1.5
+        bumped_cap.net = net_from_dict(doc)
+        assert bumped_cap.cache_key() != key
+        bumped_slew = make_queries(1, seed=3)[0]
+        bumped_slew.input_slew_s *= 2.0
+        assert bumped_slew.cache_key() != key
+        bumped_drive = make_queries(1, seed=3)[0]
+        bumped_drive.drive_resistance_ohm += 1.0
+        assert bumped_drive.cache_key() != key
+
+    def test_sink_loads_participate_in_key(self):
+        bare = make_queries(1, seed=3)[0]
+        loaded = make_queries(1, seed=3)[0]
+        loaded.sink_loads_f = [1e-15] * loaded.net.num_sinks
+        assert bare.cache_key() != loaded.cache_key()
+
+
+class TestErrorsAndStatus:
+    def test_error_document_carries_taxonomy_provenance(self):
+        doc = error_document(InputError("bad", net="n1", stage="protocol"))
+        assert doc["type"] == "InputError"
+        assert doc["provenance"]["net"] == "n1"
+
+    def test_foreign_exception_becomes_internal_error(self):
+        doc = error_document(RuntimeError("boom"))
+        assert doc["type"] == "InternalError"
+        assert "boom" in doc["message"]
+
+    def test_http_status_mapping(self):
+        from repro.robustness.errors import (DeadlineError, OverloadError)
+
+        assert http_status_for(ServeResponse(ok=True)) == 200
+        assert http_status_for(error_response(
+            InputError("x", stage="protocol"))) == 400
+        assert http_status_for(error_response(
+            OverloadError("full", retry_after_s=0.1))) == 429
+        assert http_status_for(error_response(
+            DeadlineError("late"))) == 504
+        assert http_status_for(error_response(RuntimeError("?"))) == 500
+        assert set(HTTP_STATUS) == {"InputError", "OverloadError",
+                                    "DeadlineError", "InternalError"}
+
+    def test_overload_error_carries_retry_after_ms(self):
+        from repro.robustness.errors import OverloadError
+
+        response = error_response(OverloadError("full", retry_after_s=0.25))
+        assert response.error["retry_after_ms"] == pytest.approx(250.0)
+        body = json.loads(response.encode())
+        assert body["ok"] is False and body["schema"] == PROTOCOL_SCHEMA

@@ -1,0 +1,104 @@
+"""The live HTTP front: endpoints, typed wire errors, drain behavior."""
+
+import http.client
+import json
+
+from repro.serve.protocol import PROTOCOL_SCHEMA, decode_response
+
+from .conftest import make_request
+
+
+def _get(handle, path):
+    connection = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                            timeout=10.0)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def _post(handle, path, body, headers=None):
+    connection = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                            timeout=10.0)
+    try:
+        connection.request("POST", path, body=body,
+                           headers=headers
+                           or {"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, response.read(), dict(response.getheaders())
+    finally:
+        connection.close()
+
+
+class TestProbesOverHTTP:
+    def test_health_and_ready_on_fresh_server(self, live_server):
+        status, document = _get(live_server, "/healthz")
+        assert status == 200 and document["healthy"] is True
+        assert document["schema"] == PROTOCOL_SCHEMA
+        status, document = _get(live_server, "/readyz")
+        assert status == 200 and document["ready"] is True
+
+    def test_metrics_endpoint_returns_snapshot(self, live_server):
+        status, snapshot = _get(live_server, "/metrics")
+        assert status == 200 and isinstance(snapshot, dict)
+
+    def test_unknown_paths_are_404(self, live_server):
+        status, _ = _get(live_server, "/nope")
+        assert status == 404
+        status, _, _ = _post(live_server, "/nope", b"{}")
+        assert status == 404
+
+
+class TestTimingEndpoint:
+    def test_round_trip_serves_every_query(self, live_server):
+        request = make_request(3, deadline_ms=5000.0, request_id="http-1")
+        status, body, _ = _post(live_server, "/v1/timing", request.encode())
+        assert status == 200
+        response = decode_response(body)
+        assert response.ok and response.request_id == "http-1"
+        assert len(response.results) == 3
+        assert all(r.ok for r in response.results)
+
+    def test_malformed_body_is_typed_400(self, live_server):
+        status, body, _ = _post(live_server, "/v1/timing", b"not json")
+        assert status == 400
+        response = decode_response(body)
+        assert response.error["type"] == "InputError"
+        assert response.error["provenance"]["stage"] == "protocol"
+
+    def test_wrong_schema_version_is_typed_400(self, live_server):
+        payload = json.dumps({"schema": "repro-serve/999",
+                              "queries": []}).encode()
+        status, body, _ = _post(live_server, "/v1/timing", payload)
+        assert status == 400
+        assert b"repro-serve/1" in body
+
+    def test_oversized_body_rejected_without_reading(self, live_server):
+        status, body, _ = _post(
+            live_server, "/v1/timing", b"",
+            headers={"Content-Type": "application/json",
+                     "Content-Length": str(512 * 1024 * 1024)})
+        assert status == 413
+        response = decode_response(body)
+        assert response.error["type"] == "OverloadError"
+
+
+class TestDrain:
+    def test_drain_endpoint_flips_readiness_and_rejects(self, live_server):
+        status, document = _post(live_server, "/drain", b"")[0:2], None
+        assert status[0] == 202
+        status, document = _get(live_server, "/readyz")
+        assert status == 503 and document["ready"] is False
+        # Still healthy (the process should live through the drain)...
+        status, document = _get(live_server, "/healthz")
+        assert status == 200 and document["healthy"] is True
+        # ...but new work gets typed backpressure, not silence.
+        request = make_request(1)
+        status, body, headers = _post(live_server, "/v1/timing",
+                                      request.encode())
+        assert status == 429
+        response = decode_response(body)
+        assert response.error["type"] == "OverloadError"
+        assert "Retry-After" in headers

@@ -13,6 +13,16 @@ machine, not the pipeline:
 * ``evaluate.throughput_nets_per_s``
 * ``sta.gate_seconds`` / ``sta.wire_seconds``
 
+Serve-mode reports (``repro bench --serve``; ``workload.mode ==
+"serve"``) are load measurements, so two reports are comparable only
+when their *configuration* matches: same mode, identical workload
+block, and the same resolved execution environment (multiprocessing
+start method, job count).  A cross-config pair is rejected with exit 2
+— comparing a fork/jobs=1 run against a spawn/jobs=4 run measures the
+configuration, not the change under test.  Within a comparable serve
+pair, only the deterministic census keys are diffed (request counts and
+the zero-lost invariant); latency and throughput are reported FYI.
+
 Usage::
 
     python tools/compare_bench_results.py BENCH_a.json BENCH_b.json
@@ -31,6 +41,25 @@ TIMING_KEYS = {
     ("sta", "wire_seconds"),
 }
 
+#: serve-mode results keys that are deterministic across runs of the same
+#: workload; everything else in ``results.serve`` measures the machine.
+SERVE_CENSUS_KEYS = {
+    ("serve", "requests_sent"),
+    ("serve", "lost_requests"),
+    ("serve", "nets_requested"),
+    ("serve", "single_shot_baseline_nets_per_s"),
+}
+
+#: environment keys that define a serve run's execution configuration.
+ENV_CONFIG_KEYS = ("mp_start_method", "jobs")
+
+
+def _mode(document: Dict[str, Any]) -> str:
+    workload = document.get("workload")
+    if isinstance(workload, dict):
+        return str(workload.get("mode", "pipeline"))
+    return "pipeline"
+
 
 def _flatten(block: Dict[str, Any], prefix: tuple = ()) -> Dict[tuple, Any]:
     flat: Dict[tuple, Any] = {}
@@ -43,10 +72,48 @@ def _flatten(block: Dict[str, Any], prefix: tuple = ()) -> Dict[tuple, Any]:
     return flat
 
 
-def compare_results(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+def check_comparable(a: Dict[str, Any],
+                     b: Dict[str, Any]) -> List[str]:
+    """Config mismatches that make two *documents* incomparable.
+
+    Pipeline reports stay comparable across jobs settings (that is the
+    jobs-invariance contract); serve reports additionally pin the whole
+    workload block and the execution environment.
+    """
+    problems: List[str] = []
+    mode_a, mode_b = _mode(a), _mode(b)
+    if mode_a != mode_b:
+        problems.append(f"workload mode mismatch: {mode_a!r} vs {mode_b!r}")
+        return problems
+    if mode_a != "serve":
+        return problems
+    workload_a = a.get("workload") or {}
+    workload_b = b.get("workload") or {}
+    for key in sorted(set(workload_a) | set(workload_b)):
+        if workload_a.get(key) != workload_b.get(key):
+            problems.append(
+                f"serve workload differs at {key!r}: "
+                f"{workload_a.get(key)!r} vs {workload_b.get(key)!r}")
+    env_a = a.get("environment") or {}
+    env_b = b.get("environment") or {}
+    for key in ENV_CONFIG_KEYS:
+        if env_a.get(key) != env_b.get(key):
+            problems.append(
+                f"execution config differs at environment.{key}: "
+                f"{env_a.get(key)!r} vs {env_b.get(key)!r}")
+    return problems
+
+
+def compare_results(a: Dict[str, Any], b: Dict[str, Any],
+                    mode: str = "pipeline") -> List[str]:
     """Human-readable mismatch lines between two ``results`` blocks."""
-    flat_a = {k: v for k, v in _flatten(a).items() if k not in TIMING_KEYS}
-    flat_b = {k: v for k, v in _flatten(b).items() if k not in TIMING_KEYS}
+    flat_a, flat_b = _flatten(a), _flatten(b)
+    if mode == "serve":
+        flat_a = {k: v for k, v in flat_a.items() if k in SERVE_CENSUS_KEYS}
+        flat_b = {k: v for k, v in flat_b.items() if k in SERVE_CENSUS_KEYS}
+    else:
+        flat_a = {k: v for k, v in flat_a.items() if k not in TIMING_KEYS}
+        flat_b = {k: v for k, v in flat_b.items() if k not in TIMING_KEYS}
     lines = []
     for path in sorted(set(flat_a) | set(flat_b), key=".".join):
         dotted = ".".join(path)
@@ -59,13 +126,24 @@ def compare_results(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _serve_fyi(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+    """Side-by-side measurement lines for a comparable serve pair."""
+    lines = []
+    for key in ("throughput_nets_per_s", "speedup_vs_single_shot"):
+        va = (a.get("serve") or {}).get(key)
+        vb = (b.get("serve") or {}).get(key)
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            lines.append(f"  {key}: {va:.1f} -> {vb:.1f}")
+    return lines
+
+
 def main(argv: List[str]) -> int:
     if len(argv) != 2:
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
         print("usage: compare_bench_results.py A.json B.json",
               file=sys.stderr)
         return 2
-    reports = []
+    documents: List[Dict[str, Any]] = []
     for path in argv:
         try:
             with open(path) as handle:
@@ -76,14 +154,28 @@ def main(argv: List[str]) -> int:
         if "results" not in document:
             print(f"error: {path} has no 'results' block", file=sys.stderr)
             return 2
-        reports.append(document["results"])
-    mismatches = compare_results(reports[0], reports[1])
+        documents.append(document)
+    config_problems = check_comparable(documents[0], documents[1])
+    if config_problems:
+        print("reports are not comparable:", file=sys.stderr)
+        for line in config_problems:
+            print(f"  {line}", file=sys.stderr)
+        return 2
+    mode = _mode(documents[0])
+    mismatches = compare_results(documents[0]["results"],
+                                 documents[1]["results"], mode=mode)
     if mismatches:
         print(f"results blocks differ ({len(mismatches)} mismatches):")
         for line in mismatches:
             print(f"  {line}")
         return 1
-    print("results blocks match (timing keys excluded)")
+    if mode == "serve":
+        print("serve census matches (zero-lost invariant + request counts)")
+        for line in _serve_fyi(documents[0]["results"],
+                               documents[1]["results"]):
+            print(line)
+    else:
+        print("results blocks match (timing keys excluded)")
     return 0
 
 
