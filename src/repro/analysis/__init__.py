@@ -3,30 +3,39 @@
 This subpackage provides both the *feature generators* (Elmore downstream
 capacitance, stage delays, D2M — the engineered quantities of Table I) and
 the *golden reference* (an exact transient solver standing in for PrimeTime
-SI, see DESIGN.md for the substitution argument).
+SI, see DESIGN.md for the substitution argument).  The batched spectral
+solver in :mod:`repro.analysis.batch` runs the same computations over
+size-grouped stacks of nets, bitwise identically to the scalar paths
+(docs/PERFORMANCE.md).
 """
 
 from .mna import (ReducedSystem, capacitance_vector, conductance_matrix,
                   reduce_source, transfer_resistance_matrix)
 from .elmore import (downstream_caps, elmore_delay_to_sink, elmore_delays,
                      path_elmore_delay, stage_delays)
-from .moments import moments
-from .d2m import d2m_delay_to_sink, d2m_delays
+from .moments import moments, reduced_moments, stacked_moments
+from .d2m import d2m_delay_to_sink, d2m_delays, d2m_from_moments
 from .awe import TwoPoleModel, awe2_delays, awe2_timing, fit_two_pole
 from .cache import (SolveCache, configure_solve_cache, get_solve_cache,
                     solve_key)
 from .simulator import (EigenSolve, GoldenTimer, SinkTiming,
                         TransientSolution, WireTimingResult, eigendecompose)
+from .batch import (BatchedEigenEngine, GoldenNetJob, SolveRequest,
+                    WirePrimeRequest, golden_analyze_many, prime_awe,
+                    prime_solve_cache)
 
 __all__ = [
     "conductance_matrix", "capacitance_vector", "reduce_source",
     "transfer_resistance_matrix", "ReducedSystem",
     "elmore_delays", "elmore_delay_to_sink", "downstream_caps",
     "stage_delays", "path_elmore_delay",
-    "moments",
-    "d2m_delays", "d2m_delay_to_sink",
+    "moments", "reduced_moments", "stacked_moments",
+    "d2m_delays", "d2m_delay_to_sink", "d2m_from_moments",
     "awe2_delays", "awe2_timing", "fit_two_pole", "TwoPoleModel",
     "GoldenTimer", "TransientSolution", "WireTimingResult", "SinkTiming",
     "EigenSolve", "eigendecompose",
     "SolveCache", "get_solve_cache", "configure_solve_cache", "solve_key",
+    "BatchedEigenEngine", "SolveRequest", "GoldenNetJob",
+    "golden_analyze_many", "WirePrimeRequest", "prime_awe",
+    "prime_solve_cache",
 ]

@@ -15,20 +15,50 @@ of one extra linear solve for the third moment.
 When the Padé poles degenerate (complex or positive, which only happens
 through numerical noise on near-source nodes), the metric falls back to a
 single-pole model with the Elmore time constant.
+
+Units: resistances in ohm, capacitances in farad, all returned delays and
+slews in seconds.
+
+The step response depends only on (net content, sink loads, thresholds,
+node selection) — not on the input slew — so :func:`awe2_timing` results
+are memoized in a process-wide content-addressed LRU
+(:func:`get_awe_cache`).
+STA runs re-query the same net once per crossing path, and the batched
+prime pass of :mod:`repro.analysis.batch` fills the same cache in bulk, so
+single-net lookups hit either way.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_metrics
 from ..rcnet.graph import RCNet
+from .cache import solve_key
+from .mna import capacitance_vector
 from .moments import moments
 
+__all__ = ["TwoPoleModel", "fit_two_pole", "awe2_timing", "awe2_delays",
+           "AWEStepCache", "get_awe_cache", "configure_awe_cache"]
+
 _LN2 = math.log(2.0)
+
+#: Relative bracket width at which one (fit, level) pair's bisection is
+#: frozen.  Convergence is tracked *per element*, so each pair's result
+#: depends only on its own trajectory — never on what else shares the
+#: batch — which is what makes batched and scalar crossings bitwise equal.
+_BRACKET_RTOL = 1e-12
+
+_CACHE_HITS = get_metrics().counter("awe.cache_hits")
+_CACHE_MISSES = get_metrics().counter("awe.cache_misses")
 
 
 @dataclass(frozen=True)
@@ -58,6 +88,8 @@ class TwoPoleModel:
                 hi = mid
             else:
                 lo = mid
+            if hi - lo <= _BRACKET_RTOL * hi:
+                break
         return 0.5 * (lo + hi)
 
 
@@ -88,14 +120,19 @@ def fit_two_pole(m1: float, m2: float, m3: float) -> Optional[TwoPoleModel]:
     return TwoPoleModel(p1, p2, r1, r2)
 
 
-def _first_crossings(p1: np.ndarray, p2: np.ndarray, r1: np.ndarray,
-                     r2: np.ndarray, guesses: np.ndarray,
-                     levels: np.ndarray) -> np.ndarray:
-    """First crossing times for many two-pole fits at once, shape (k, L).
+def _first_crossings_masked(p1: np.ndarray, p2: np.ndarray, r1: np.ndarray,
+                            r2: np.ndarray, guesses: np.ndarray,
+                            levels: np.ndarray
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+    """Crossing times plus a per-pair success mask, shapes (k, L).
 
     The same bracketed bisection as :meth:`TwoPoleModel.crossing`, run on
-    every (fit, level) pair simultaneously — the scalar loop was the hot
-    path of the whole AWE metric (hundreds of ``math.exp`` calls per net).
+    every (fit, level) pair simultaneously.  Pairs whose response never
+    settles are reported in the mask instead of raising, so one degenerate
+    fit cannot poison a batch that spans many nets.  Every pair converges
+    (or fails) on its own trajectory — results are independent of which
+    other pairs share the call, the invariant behind the batched prime
+    pass of :mod:`repro.analysis.batch`.
     """
     p1 = p1[:, None]
     p2 = p2[:, None]
@@ -109,46 +146,58 @@ def _first_crossings(p1: np.ndarray, p2: np.ndarray, r1: np.ndarray,
     def value(t: np.ndarray) -> np.ndarray:
         return 1.0 + r1 * np.exp(p1 * t) + r2 * np.exp(p2 * t)
 
+    ok = np.ones(hi.shape, dtype=bool)
     pending = value(hi) < wanted
     while np.any(pending):
         hi = np.where(pending, hi * 2.0, hi)
-        if np.any(hi > cap):
-            raise RuntimeError("two-pole response never settles")
-        pending = value(hi) < wanted
+        failed = pending & (hi > cap)
+        if np.any(failed):
+            ok &= ~failed
+            pending &= ~failed
+        pending &= value(hi) < wanted
     lo = np.zeros_like(hi)
+    active = ok.copy()
     for _ in range(200):
+        if not np.any(active):
+            break
         mid = 0.5 * (lo + hi)
         above = value(mid) >= wanted
-        hi = np.where(above, mid, hi)
-        lo = np.where(above, lo, mid)
-        # The scalar loop ran all 200 halvings; by this tolerance the
-        # bracket is orders of magnitude below any timing resolution, so
-        # stopping early changes nothing observable.
-        if np.all(hi - lo <= 1e-12 * hi):
-            break
-    return 0.5 * (lo + hi)
+        take = active & above
+        keep = active & ~above
+        hi = np.where(take, mid, hi)
+        lo = np.where(keep, mid, lo)
+        active &= (hi - lo) > _BRACKET_RTOL * hi
+    return 0.5 * (lo + hi), ok
 
 
-def awe2_timing(net: RCNet, sink_loads: Optional[np.ndarray] = None,
-                slew_low: float = 0.1, slew_high: float = 0.9,
-                nodes: Optional[Sequence[int]] = None
-                ) -> Tuple[np.ndarray, np.ndarray]:
-    """Two-pole AWE step delay (50%) and slew (10-90) per node, seconds.
+def _first_crossings(p1: np.ndarray, p2: np.ndarray, r1: np.ndarray,
+                     r2: np.ndarray, guesses: np.ndarray,
+                     levels: np.ndarray) -> np.ndarray:
+    """First crossing times for many two-pole fits at once, shape (k, L).
 
-    The source row is zero (its voltage is the input).  ``nodes`` limits
-    the (comparatively expensive) threshold-crossing solves to the listed
-    nodes — rows outside it are left zero; serving paths that only read
-    sink rows pass ``net.sinks`` and skip the internal nodes entirely.
+    Raising wrapper over :func:`_first_crossings_masked`, for callers that
+    treat a non-settling response as a whole-net failure (the AWE tier
+    contract: fail loudly, let the fallback ladder degrade).
     """
-    m = moments(net, order=3, sink_loads=sink_loads)
-    delays = np.zeros(net.num_nodes)
-    slews = np.zeros(net.num_nodes)
-    if nodes is None:
-        wanted = [n for n in range(net.num_nodes) if n != net.source]
-    else:
-        wanted = [int(n) for n in nodes if int(n) != net.source]
-    fitted: list = []
-    params: list = []
+    times, ok = _first_crossings_masked(p1, p2, r1, r2, guesses, levels)
+    if not np.all(ok):
+        raise RuntimeError("two-pole response never settles")
+    return times
+
+
+def fit_step_params(m: np.ndarray, wanted: Sequence[int], slew_low: float,
+                    slew_high: float, delays: np.ndarray, slews: np.ndarray
+                    ) -> Tuple[List[int], List[Tuple[float, ...]]]:
+    """Padé-fit every node in ``wanted`` from the moment matrix ``m``.
+
+    Nodes whose fit degenerates get the single-pole fallback written into
+    ``delays``/``slews`` in place; the rest are returned as
+    ``(fitted_nodes, (p1, p2, r1, r2, guess) params)`` for the (scalar or
+    batched) crossing solver.  Shared by :func:`awe2_timing` and the
+    batched prime pass so both produce identical fits.
+    """
+    fitted: List[int] = []
+    params: List[Tuple[float, ...]] = []
     for node in wanted:
         m1, m2, m3 = m[0, node], m[1, node], m[2, node]
         tau = -m1  # Elmore time constant (positive)
@@ -163,6 +212,141 @@ def awe2_timing(net: RCNet, sink_loads: Optional[np.ndarray] = None,
         fitted.append(node)
         params.append((model.p1, model.p2, model.r1, model.r2,
                        max(tau, 1e-18)))
+    return fitted, params
+
+
+# ----------------------------------------------------------------------
+# Step-response memo cache
+# ----------------------------------------------------------------------
+class AWEStepCache:
+    """Thread-safe LRU from step-response content keys to (delays, slews).
+
+    Keys come from :func:`step_key`; values are the full per-node arrays of
+    :func:`awe2_timing`, stored read-only because hits hand out the same
+    objects to every caller.  Serving threads share one instance, hence the
+    lock (contrast :class:`~repro.analysis.cache.SolveCache`, which is
+    per-process single-threaded).
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[bytes, Tuple[np.ndarray, np.ndarray]]" \
+            = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def contains(self, key: bytes) -> bool:
+        """Metrics-free membership peek (no hit/miss counters, no LRU move).
+
+        The batched prime pass uses this to skip already-cached nets
+        without skewing the ``awe.cache_*`` counters that describe real
+        lookups.
+        """
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: bytes) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                _CACHE_MISSES.inc()
+                return None
+            self._entries.move_to_end(key)
+            _CACHE_HITS.inc()
+            return entry
+
+    def put(self, key: bytes, delays: np.ndarray, slews: np.ndarray) -> None:
+        if not self.enabled:
+            return
+        delays.setflags(write=False)
+        slews.setflags(write=False)
+        with self._lock:
+            self._entries[key] = (delays, slews)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+_AWE_CACHE = AWEStepCache()
+
+
+def get_awe_cache() -> AWEStepCache:
+    """The process-wide AWE step-response cache."""
+    return _AWE_CACHE
+
+
+def configure_awe_cache(maxsize: int) -> AWEStepCache:
+    """Replace the global step cache (``0`` disables memoization)."""
+    global _AWE_CACHE
+    _AWE_CACHE = AWEStepCache(maxsize)
+    return _AWE_CACHE
+
+
+def step_key(net: RCNet, sink_loads: Optional[np.ndarray], slew_low: float,
+             slew_high: float, wanted: Sequence[int]) -> bytes:
+    """Content hash of one step-response computation's inputs.
+
+    Everything :func:`awe2_timing` depends on: net topology/R/C with
+    coupling caps grounded and sink loads folded in (via the same
+    capacitance vector the moment recursion consumes), the two slew
+    thresholds, and which node rows are solved.
+    """
+    caps = capacitance_vector(net, miller_factor=None, sink_loads=sink_loads)
+    digest = solve_key(net, caps, 0.0)
+    tail = struct.pack(f"<dd{len(wanted)}q", slew_low, slew_high,
+                       *[int(n) for n in wanted])
+    return hashlib.blake2b(digest + tail, digest_size=16).digest()
+
+
+def _wanted_nodes(net: RCNet, nodes: Optional[Sequence[int]]) -> List[int]:
+    if nodes is None:
+        return [n for n in range(net.num_nodes) if n != net.source]
+    return [int(n) for n in nodes if int(n) != net.source]
+
+
+def awe2_timing(net: RCNet, sink_loads: Optional[np.ndarray] = None,
+                slew_low: float = 0.1, slew_high: float = 0.9,
+                nodes: Optional[Sequence[int]] = None
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Two-pole AWE step delay (50%) and slew (10-90) per node, seconds.
+
+    The source row is zero (its voltage is the input).  ``nodes`` limits
+    the (comparatively expensive) threshold-crossing solves to the listed
+    nodes — rows outside it are left zero; serving paths that only read
+    sink rows pass ``net.sinks`` and skip the internal nodes entirely.
+
+    Results are memoized in :func:`get_awe_cache` (they depend only on the
+    step-response content, not the input slew); the returned arrays are
+    read-only for that reason.
+    """
+    wanted = _wanted_nodes(net, nodes)
+    cache = get_awe_cache()
+    key = step_key(net, sink_loads, slew_low, slew_high, wanted) \
+        if cache.enabled else None
+    if key is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    m = moments(net, order=3, sink_loads=sink_loads)
+    delays = np.zeros(net.num_nodes)
+    slews = np.zeros(net.num_nodes)
+    fitted, params = fit_step_params(m, wanted, slew_low, slew_high,
+                                     delays, slews)
     if fitted:
         p1, p2, r1, r2, guesses = (np.array(column)
                                    for column in zip(*params))
@@ -170,6 +354,8 @@ def awe2_timing(net: RCNet, sink_loads: Optional[np.ndarray] = None,
                                  np.array([0.5, slew_low, slew_high]))
         delays[fitted] = times[:, 0]
         slews[fitted] = times[:, 2] - times[:, 1]
+    if key is not None:
+        cache.put(key, delays, slews)
     return delays, slews
 
 

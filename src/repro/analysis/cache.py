@@ -35,6 +35,10 @@ import numpy as np
 from ..obs import get_metrics
 from ..rcnet.graph import RCNet
 
+__all__ = ["solve_key", "SolveCache", "get_solve_cache",
+           "configure_solve_cache", "CACHE_SIZE_ENV", "CACHE_DIR_ENV",
+           "DEFAULT_CACHE_SIZE", "PERSIST_SCHEMA"]
+
 #: Environment variable overriding the default cache capacity (entries);
 #: ``0`` disables caching entirely.
 CACHE_SIZE_ENV = "REPRO_SOLVE_CACHE"

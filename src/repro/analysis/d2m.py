@@ -18,7 +18,27 @@ import numpy as np
 from ..rcnet.graph import RCNet
 from .moments import moments
 
+__all__ = ["d2m_from_moments", "d2m_delays", "d2m_delay_to_sink"]
+
 _LN2 = float(np.log(2.0))
+
+
+def d2m_from_moments(m: np.ndarray) -> np.ndarray:
+    """D2M metric from a precomputed (signed) moment matrix.
+
+    ``m`` is the ``(order >= 2, num_nodes)`` output of
+    :func:`~repro.analysis.moments.moments`; callers that already hold the
+    moments (unified feature extraction, the batched engine) skip the
+    redundant solves that :func:`d2m_delays` would repeat.
+    """
+    # repro-shape: -> (n,):f64
+    m1 = -m[0]          # Elmore delay (positive).
+    m2 = m[1]           # Second moment (positive for RC nets).
+    out = np.zeros_like(m1)
+    valid = m2 > 0.0
+    out[valid] = _LN2 * (m1[valid] ** 2) / np.sqrt(m2[valid])
+    out[~valid] = _LN2 * m1[~valid]
+    return out
 
 
 def d2m_delays(net: RCNet, miller_factor: Optional[float] = None,
@@ -31,13 +51,7 @@ def d2m_delays(net: RCNet, miller_factor: Optional[float] = None,
     """
     # repro-shape: sink_loads=(s,):f64 -> (n,):f64
     m = moments(net, order=2, miller_factor=miller_factor, sink_loads=sink_loads)
-    m1 = -m[0]          # Elmore delay (positive).
-    m2 = m[1]           # Second moment (positive for RC nets).
-    out = np.zeros_like(m1)
-    valid = m2 > 0.0
-    out[valid] = _LN2 * (m1[valid] ** 2) / np.sqrt(m2[valid])
-    out[~valid] = _LN2 * m1[~valid]
-    return out
+    return d2m_from_moments(m)
 
 
 def d2m_delay_to_sink(net: RCNet, sink: int,

@@ -22,6 +22,9 @@ from ..rcnet.graph import RCNet
 from ..rcnet.paths import WirePath, shortest_path_tree
 from .mna import ReducedSystem, capacitance_vector, reduce_source
 
+__all__ = ["elmore_delays", "elmore_delay_to_sink", "downstream_caps",
+           "stage_delays", "path_elmore_delay"]
+
 
 def elmore_delays(net: RCNet, miller_factor: Optional[float] = None,
                   sink_loads: Optional[np.ndarray] = None) -> np.ndarray:
@@ -70,16 +73,22 @@ def downstream_caps(net: RCNet,
 
 
 def stage_delays(net: RCNet, path: WirePath,
-                 sink_loads: Optional[np.ndarray] = None) -> np.ndarray:
+                 sink_loads: Optional[np.ndarray] = None,
+                 downstream: Optional[np.ndarray] = None) -> np.ndarray:
     """Elmore stage delay of each stage along ``path``, in seconds.
 
     A stage is an edge plus its downstream node (Section II-B); its delay is
     the edge resistance times the capacitance downstream of the edge's far
     node.  Summing stage delays over a tree path recovers the path Elmore
     delay when the path is the whole route to the capacitances it shields.
+
+    ``downstream`` optionally supplies a precomputed
+    :func:`downstream_caps` vector — callers iterating many paths of one
+    net (feature extraction) hoist the spanning-tree walk out of the loop.
     """
     # repro-shape: sink_loads=(s,):f64 -> (e,):f64
-    downstream = downstream_caps(net, sink_loads)
+    if downstream is None:
+        downstream = downstream_caps(net, sink_loads)
     delays = np.empty(len(path.edges), dtype=np.float64)
     for i, (edge_index, node) in enumerate(zip(path.edges, path.nodes[1:])):
         delays[i] = net.edges[edge_index].resistance * downstream[node]

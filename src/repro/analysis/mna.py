@@ -24,6 +24,9 @@ from ..rcnet.graph import RCNet
 from ..robustness.errors import InputError, NumericalError
 from ..robustness.guards import MAX_CONDITION, check_conditioning
 
+__all__ = ["conductance_matrix", "capacitance_vector", "ReducedSystem",
+           "reduce_source", "transfer_resistance_matrix"]
+
 # Always-on health counters; MNA assembly sits under every analysis engine,
 # so these stay counter-cheap (see repro.obs.metrics).
 _ASSEMBLIES = get_metrics().counter("mna.assemblies")
@@ -41,6 +44,7 @@ def conductance_matrix(net: RCNet) -> np.ndarray:
     non-positive) resistance values, which would otherwise poison every
     downstream engine silently.
     """
+    # repro-shape: -> (n, n):f64
     _ASSEMBLIES.inc()
     n = net.num_nodes
     g = np.zeros((n, n), dtype=np.float64)
@@ -177,6 +181,7 @@ def transfer_resistance_matrix(system: ReducedSystem,
     :class:`~repro.robustness.errors.NumericalError` instead of returning
     garbage.
     """
+    # repro-shape: -> (m, m):f64
     _INVERSIONS.inc()
     _SOLVE_SIZE.observe(system.g.shape[0])
     check_conditioning(system.g, what="reduced conductance matrix",

@@ -8,6 +8,14 @@ The transfer function from source to node ``k`` expands as
 yields each moment vector with one linear solve.  The first moment is the
 negated Elmore delay; the second feeds the D2M metric (Table I's "D2M
 delay" feature).
+
+Units: ``G`` entries are siemens (1/ohm), ``C`` entries are farads, so the
+``i``-th moment vector carries seconds^i.
+
+The solves run through ``numpy.linalg.solve`` — the same gufunc the batched
+engine (:mod:`repro.analysis.batch`) applies to size-grouped stacks of
+reduced systems, so a scalar call is literally a batch of one and the two
+paths agree bitwise.
 """
 
 from __future__ import annotations
@@ -18,16 +26,9 @@ import numpy as np
 
 from ..rcnet.graph import RCNet
 from ..robustness.errors import InputError
-from .mna import reduce_source
+from .mna import ReducedSystem, reduce_source
 
-# Imported at module load so the (substantial) scipy import cost lands at
-# startup rather than inside the first timed moment computation.  Gated: a
-# scipy-free install falls back to a dense solve against the plain matrix.
-try:
-    from scipy.linalg import lu_factor, lu_solve
-except ImportError:  # pragma: no cover - scipy is present in CI
-    lu_factor = None
-    lu_solve = None
+__all__ = ["moments", "reduced_moments", "stacked_moments"]
 
 
 def moments(net: RCNet, order: int = 2, miller_factor: Optional[float] = None,
@@ -44,23 +45,41 @@ def moments(net: RCNet, order: int = 2, miller_factor: Optional[float] = None,
         raise InputError(f"order must be >= 1, got {order}",
                          net=net.name, stage="moments")
     system = reduce_source(net, miller_factor, sink_loads)
-    # Pre-factorize the reduced conductance matrix for repeated solves.
-    lu_piv = _factorize(system.g)
-    current = np.ones(len(system.nodes), dtype=np.float64)  # m^(0): DC gain 1.
     out = np.zeros((order, net.num_nodes), dtype=np.float64)
-    for k in range(order):
-        current = -_solve(lu_piv, system.caps * current)
-        out[k, system.nodes] = current
+    out[:, system.nodes] = reduced_moments(system, order)
     return out
 
 
-def _factorize(matrix: np.ndarray):
-    if lu_factor is None:
-        return matrix
-    return lu_factor(matrix)
+def reduced_moments(system: ReducedSystem, order: int) -> np.ndarray:
+    """Moment recursion on one reduced system — shape ``(order, n-1)``.
+
+    Split out of :func:`moments` so the batched engine can run the same
+    recursion on stacked systems; see :func:`stacked_moments`.
+    """
+    current = np.ones(len(system.nodes), dtype=np.float64)  # m^(0): DC gain 1.
+    out = np.empty((order, len(system.nodes)), dtype=np.float64)
+    for k in range(order):
+        current = -np.linalg.solve(system.g, system.caps * current)
+        out[k] = current
+    return out
 
 
-def _solve(lu_piv, rhs: np.ndarray) -> np.ndarray:
-    if lu_solve is None:
-        return np.linalg.solve(lu_piv, rhs)
-    return lu_solve(lu_piv, rhs)
+def stacked_moments(g_stack: np.ndarray, caps_stack: np.ndarray,
+                    order: int) -> np.ndarray:
+    """Moment recursion over a stack of same-size reduced systems.
+
+    ``g_stack`` has shape ``(k, n, n)`` and ``caps_stack`` ``(k, n)``; the
+    result has shape ``(k, order, n)``.  ``numpy.linalg.solve`` loops LAPACK
+    over the leading axis, so slice ``i`` of the result is bitwise equal to
+    ``reduced_moments`` on system ``i`` alone — the invariant the
+    batched-vs-scalar property tests pin down.
+    """
+    # repro-shape: g_stack=(k, n, n):f64 caps_stack=(k, n):f64 -> (k, o, n):f64
+    count, n = caps_stack.shape
+    current = np.ones((count, n), dtype=np.float64)
+    out = np.empty((count, order, n), dtype=np.float64)
+    for k in range(order):
+        rhs = (caps_stack * current)[..., None]
+        current = -np.linalg.solve(g_stack, rhs)[..., 0]
+        out[:, k, :] = current
+    return out

@@ -19,11 +19,21 @@ system driven by the driver output waveform; we compute that solution
 Because the response is evaluated in closed form, the resulting delays and
 slews are exact for the modelled circuit — a true golden reference, free of
 integration error.
+
+Units: resistances are ohms, capacitances farads, voltages volts, and every
+time quantity (input slew, ramp time, horizon, delays, slews) is seconds —
+matching the ``lint-units.json`` vocabulary.  Eigenvalues of the
+symmetrized operator are 1/seconds.
+
+The crossing search is shared with the batched engine
+(:mod:`repro.analysis.batch`): :meth:`TransientSolution.bracket_crossings`
+scans one net, and :func:`lockstep_crossings` bisects any number of nets'
+bracketed pairs in one flat vectorized loop with per-pair freeze masks, so
+a batch of one is bitwise identical to a batch of many.
 """
 
 from __future__ import annotations
 
-import bisect
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -32,7 +42,6 @@ import numpy as np
 
 from ..obs import get_metrics, get_tracer
 from ..rcnet.graph import OHM, RCNet
-from ..rcnet.paths import extract_wire_paths
 from ..robustness.errors import InputError, NumericalError
 from ..robustness.guards import require_finite, symmetric_condition
 from .cache import get_solve_cache, solve_key
@@ -283,19 +292,20 @@ class TransientSolution:
         return (z @ self._q[nodes].T) * self._inv_sqrt_c[nodes]
 
     # -- crossing search ---------------------------------------------------
-    def crossing_times(self, nodes: Sequence[int], levels: Sequence[float],
-                       horizon: float, tol: float = 1e-18) -> np.ndarray:
-        """First times each ``(node, level)`` pair crosses, batched.
+    def bracket_crossings(self, nodes: Sequence[int],
+                          levels: Sequence[float],
+                          horizon: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Bracket every ``(node, level)`` crossing with one coarse scan.
 
-        A coarse 256-point forward scan brackets every (monotone-in-
-        practice) crossing in one vectorized sweep, then all pairs bisect
-        in lockstep to ``tol`` seconds.  Raises a typed
+        A 256-point forward sweep over ``[0, horizon]`` finds, for each
+        pair, the first grid interval whose right edge is at or above the
+        level; returns ``(lo, hi)`` bracket arrays for
+        :func:`lockstep_crossings`.  Raises a typed
         :class:`~repro.robustness.errors.NumericalError` for the first
         pair whose voltage never reaches its level within ``horizon``.
         """
         nodes = np.asarray(nodes, dtype=np.intp)
         levels = np.asarray(levels, dtype=np.float64)
-        _CROSSINGS.inc(int(nodes.size))
         samples = 256
         ts = np.linspace(0.0, horizon, samples + 1)
         scan = self.voltages_at(nodes, ts[1:]) >= levels
@@ -307,20 +317,26 @@ class TransientSolution:
                 f"{horizon:.3e} s",
                 net=self.net.name, sink=int(nodes[bad]), stage="simulate")
         first = scan.argmax(axis=0)
-        hi = ts[1:][first]
-        lo = ts[first]  # grid point before the first crossing (0.0 at idx 0)
-        rows = self._q[nodes]
-        scale = self._inv_sqrt_c[nodes]
-        active = (hi - lo) > tol
-        while np.any(active):
-            mid = 0.5 * (lo[active] + hi[active])
-            z = self._modal_at(mid)
-            v = np.einsum("an,an->a", z, rows[active]) * scale[active]
-            ge = v >= levels[active]
-            hi[active] = np.where(ge, mid, hi[active])
-            lo[active] = np.where(ge, lo[active], mid)
-            active = (hi - lo) > tol
-        return 0.5 * (lo + hi)
+        # Grid point before the first crossing (0.0 at index 0) and the
+        # crossing grid point itself.
+        return ts[first], ts[1:][first]
+
+    def crossing_times(self, nodes: Sequence[int], levels: Sequence[float],
+                       horizon: float, tol: float = 1e-18) -> np.ndarray:
+        """First times each ``(node, level)`` pair crosses, batched.
+
+        :meth:`bracket_crossings` brackets every (monotone-in-practice)
+        crossing in one vectorized sweep, then all pairs bisect in
+        lockstep to ``tol`` seconds through :func:`lockstep_crossings` —
+        the same primitive the batched engine runs across many nets, so
+        the scalar path is literally a batch of one.
+        """
+        nodes = np.asarray(nodes, dtype=np.intp)
+        levels = np.asarray(levels, dtype=np.float64)
+        _CROSSINGS.inc(int(nodes.size))
+        lo, hi = self.bracket_crossings(nodes, levels, horizon)
+        return lockstep_crossings(
+            [CrossingWork(self, nodes, levels, lo, hi)], tol=tol)[0]
 
     def crossing_time(self, node: int, level: float, horizon: float,
                       tol: float = 1e-18) -> float:
@@ -329,6 +345,104 @@ class TransientSolution:
         Single-pair convenience wrapper over :meth:`crossing_times`.
         """
         return float(self.crossing_times([node], [level], horizon, tol)[0])
+
+
+@dataclass(frozen=True)
+class CrossingWork:
+    """One solution's bracketed ``(node, level)`` pairs, ready to bisect."""
+
+    solution: TransientSolution
+    nodes: np.ndarray    # (p,) node indices
+    levels: np.ndarray   # (p,) threshold voltages, volts
+    lo: np.ndarray       # (p,) bracket left edges, seconds
+    hi: np.ndarray       # (p,) bracket right edges, seconds
+
+
+def lockstep_crossings(work: Sequence[CrossingWork],
+                       tol: float = 1e-18) -> List[np.ndarray]:
+    """Bisect all bracketed crossings of all work items in one flat loop.
+
+    Every (node, level) pair refines independently — per-pair freeze masks
+    instead of shared early stops — so each answer depends only on its own
+    bracket, never on what else shares the batch.  The modal dot products
+    run through ``np.add.reduceat`` over ragged per-pair mode segments:
+    the one reduction primitive whose per-segment sums are independent of
+    neighbouring segments.  A batch of one is therefore bitwise identical
+    to any larger batch, which is exactly the invariance the
+    batched-vs-scalar property tests pin down.
+
+    Returns one times array per work item, aligned with its pairs.
+    """
+    counts = [int(item.nodes.size) for item in work]
+    if sum(counts) == 0:
+        return [np.empty(0) for _ in work]
+    # Flatten the (pair, mode) structure: per-mode arrays hold each pair's
+    # modal constants back to back; ``offsets`` marks the segment starts.
+    lam_p, lam2_p, bs_p, gamma_p, steady_p, zre_p = [], [], [], [], [], []
+    rows_p, rt_p, scale_p, level_p, lo_p, hi_p, len_p = [], [], [], [], [], [], []
+    for item in work:
+        sol = item.solution
+        pairs = int(item.nodes.size)
+        if pairs == 0:
+            continue
+        lam = sol._lam
+        lam_p.append(np.tile(lam, pairs))
+        lam2_p.append(np.tile(lam ** 2, pairs))
+        bs_p.append(np.tile(sol._beta * sol._slope, pairs))
+        gamma_p.append(np.tile(sol._gamma, pairs))
+        steady_p.append(np.tile(sol._beta * sol.vdd / lam, pairs))
+        zre_p.append(np.tile(sol._z_ramp_end, pairs))
+        rows_p.append(sol._q[item.nodes].ravel())
+        rt_p.append(np.full(pairs * lam.size, sol.ramp_time))
+        scale_p.append(sol._inv_sqrt_c[item.nodes])
+        level_p.append(np.asarray(item.levels, dtype=np.float64))
+        lo_p.append(np.asarray(item.lo, dtype=np.float64))
+        hi_p.append(np.asarray(item.hi, dtype=np.float64))
+        len_p.append(np.full(pairs, lam.size, dtype=np.intp))
+    lam_f = np.concatenate(lam_p)
+    lam2_f = np.concatenate(lam2_p)
+    bs_f = np.concatenate(bs_p)
+    gamma_f = np.concatenate(gamma_p)
+    steady_f = np.concatenate(steady_p)
+    zre_f = np.concatenate(zre_p)
+    rows_f = np.concatenate(rows_p)
+    rt_f = np.concatenate(rt_p)
+    scale = np.concatenate(scale_p)
+    level = np.concatenate(level_p)
+    lo = np.concatenate(lo_p)
+    hi = np.concatenate(hi_p)
+    seg_len = np.concatenate(len_p)
+    offsets = np.zeros(seg_len.size, dtype=np.intp)
+    np.cumsum(seg_len[:-1], out=offsets[1:])
+    z = np.empty_like(lam_f)
+    active = (hi - lo) > tol
+    while np.any(active):
+        # Frozen pairs keep evaluating at ``hi`` (their state no longer
+        # changes); only active pairs move their brackets.
+        mid = np.where(active, 0.5 * (lo + hi), hi)
+        t = np.repeat(mid, seg_len)
+        ramp = t <= rt_f
+        tr = t[ramp]
+        lamr = lam_f[ramp]
+        expf = -np.expm1(-lamr * tr)
+        z[ramp] = (bs_f[ramp] * (tr / lamr - expf / lam2_f[ramp])
+                   + gamma_f[ramp] * expf / lamr)
+        after = ~ramp
+        dt = t[after] - rt_f[after]
+        decay = np.exp(-lam_f[after] * dt)
+        z[after] = steady_f[after] + (zre_f[after] - steady_f[after]) * decay
+        v = np.add.reduceat(z * rows_f, offsets) * scale
+        ge = v >= level
+        hi = np.where(active & ge, mid, hi)
+        lo = np.where(active & ~ge, mid, lo)
+        active = (hi - lo) > tol
+    times = 0.5 * (lo + hi)
+    out: List[np.ndarray] = []
+    start = 0
+    for count in counts:
+        out.append(times[start:start + count])
+        start += count
+    return out
 
 
 class GoldenTimer:
@@ -492,3 +606,8 @@ class GoldenTimer:
         """Timing keyed by sink node index, one entry per wire path."""
         result = self.analyze(net, input_slew, sink_loads)
         return {timing.sink: timing for timing in result.sink_timings}
+
+
+__all__ = ["SinkTiming", "WireTimingResult", "EigenSolve", "eigendecompose",
+           "TransientSolution", "CrossingWork", "lockstep_crossings",
+           "GoldenTimer"]

@@ -135,6 +135,76 @@ def _label_net(task: NetLabelTask
         return None, SkippedSample(task.net_name, task.design, str(exc))
 
 
+def _label_nets_batched(tasks: Sequence[NetLabelTask]
+                        ) -> List[Tuple[Optional[NetSample],
+                                        Optional[SkippedSample]]]:
+    """Serial fast path: golden-label all tasks through the batch engine.
+
+    Produces exactly what mapping :func:`_label_net` over ``tasks`` would —
+    same samples bit for bit (the batched solver is bitwise-identical to
+    the scalar one), same skip records, same raise-mode behaviour — with
+    the per-net eigendecompositions and crossing searches fused into
+    stacked calls by :func:`repro.analysis.batch.golden_analyze_many`.
+    """
+    from ..analysis.batch import GoldenNetJob, golden_analyze_many
+    from ..features.path_features import analyze_nets_for_features
+
+    results: List[Optional[Tuple[Optional[NetSample],
+                                 Optional[SkippedSample]]]] = \
+        [None] * len(tasks)
+    prepared: List[Tuple[int, NetLabelTask, NetContext, GoldenTimer,
+                         np.ndarray, float]] = []
+    for index, task in enumerate(tasks):
+        try:
+            sink_loads = np.array([c.input_cap for c in task.load_cells])
+            ceff = effective_capacitance(task.rcnet,
+                                         task.drive_cell.drive_resistance,
+                                         sink_loads)
+            _, input_slew = task.drive_cell.delay_and_slew(_LAUNCH_SLEW,
+                                                           ceff)
+            context = NetContext(input_slew=input_slew,
+                                 drive_cell=task.drive_cell,
+                                 load_cells=list(task.load_cells))
+            timer = GoldenTimer(
+                drive_resistance=task.drive_cell.drive_resistance,
+                si_mode=task.si_mode)
+        except (EstimationError, np.linalg.LinAlgError) as exc:
+            if task.on_error == "raise":
+                raise
+            results[index] = (None, SkippedSample(task.net_name,
+                                                  task.design, str(exc)))
+            continue
+        prepared.append((index, task, context, timer, sink_loads,
+                         input_slew))
+    # One grouped moment pass serves both the feature vectors and the
+    # golden settling horizon (GoldenNetJob.elmore); failed entries stay
+    # None and take the scalar path inside build_net_sample.
+    analyses = analyze_nets_for_features(
+        [(task.rcnet, sink_loads)
+         for _, task, _, _, sink_loads, _ in prepared])
+    jobs = [GoldenNetJob(timer, task.rcnet, input_slew, sink_loads,
+                         elmore=None if analysis is None
+                         else analysis.elmore)
+            for (_, task, _, timer, sink_loads, input_slew), analysis
+            in zip(prepared, analyses)]
+    outcomes = golden_analyze_many(jobs)
+    for (index, task, context, timer, _, _), analysis, outcome in zip(
+            prepared, analyses, outcomes):
+        try:
+            if isinstance(outcome, Exception):
+                raise outcome
+            sample = build_net_sample(task.rcnet, context,
+                                      design=task.design, timer=timer,
+                                      golden=outcome, analysis=analysis)
+            results[index] = (sample, None)
+        except (EstimationError, np.linalg.LinAlgError) as exc:
+            if task.on_error == "raise":
+                raise
+            results[index] = (None, SkippedSample(task.net_name,
+                                                  task.design, str(exc)))
+    return results  # type: ignore[return-value]
+
+
 def _net_tasks(netlist: Netlist, max_nets: Optional[int] = None,
                rng: Optional[np.random.Generator] = None,
                si_mode: bool = True, on_error: str = "skip",
@@ -188,7 +258,11 @@ def design_net_samples(netlist: Netlist, max_nets: Optional[int] = None,
     if on_error not in ("skip", "raise"):
         raise ValueError(f"on_error must be 'skip' or 'raise', got {on_error!r}")
     tasks = _net_tasks(netlist, max_nets, rng, si_mode, on_error)
-    results = parallel_map(_label_net, tasks, jobs=jobs, label="label_nets")
+    if jobs == 1:
+        results = _label_nets_batched(tasks)
+    else:
+        results = parallel_map(_label_net, tasks, jobs=jobs,
+                               label="label_nets")
     return _collect(tasks, results, skipped)
 
 
@@ -274,6 +348,9 @@ def generate_dataset(train_names: Sequence[str] = tuple(TRAIN_BENCHMARKS),
         serial retry (see :mod:`repro.parallel`) instead of aborting.
     """
     names = list(train_names) + list(test_names)
+    # Build the (deterministic) default library once here rather than once
+    # per design inside the workers — cells travel in the tasks either way.
+    library = library if library is not None else make_default_library()
     design_jobs = [
         _DesignJob(name, scale, nets_per_design, si_mode, child, library)
         for name, child in zip(names, spawn_seeds(seed, len(names)))]
@@ -286,8 +363,14 @@ def generate_dataset(train_names: Sequence[str] = tuple(TRAIN_BENCHMARKS),
                                   label="generate_designs", failures=crashes)
         tasks = [task for design_tasks in per_design
                  for task in design_tasks]
-        results = parallel_map(_label_net, tasks, jobs=n_jobs,
-                               label="label_nets", failures=crashes)
+        if n_jobs == 1:
+            # Serial builds take the batched labeler: one stacked solve
+            # across all nets, bitwise equal to the per-net path (the
+            # jobs-invariance CI gate holds either way).
+            results = _label_nets_batched(tasks)
+        else:
+            results = parallel_map(_label_net, tasks, jobs=n_jobs,
+                                   label="label_nets", failures=crashes)
 
         train: List[NetSample] = []
         test: List[NetSample] = []

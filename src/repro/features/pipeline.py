@@ -17,12 +17,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..analysis.simulator import GoldenTimer
+from ..analysis.simulator import GoldenTimer, WireTimingResult
 from ..obs import get_metrics, get_tracer
 from ..rcnet.graph import RCNet
 from ..rcnet.paths import WirePath, extract_wire_paths
 from .node_features import NUM_NODE_FEATURES, extract_node_features
-from .path_features import (NUM_PATH_FEATURES, NetContext,
+from .path_features import (NUM_PATH_FEATURES, NetAnalysis, NetContext,
                             extract_path_features)
 
 _PS = 1e-12
@@ -91,7 +91,9 @@ def build_adjacency(net: RCNet,
 def build_net_sample(net: RCNet, context: NetContext, design: str = "",
                      timer: Optional[GoldenTimer] = None,
                      paths: Optional[Sequence[WirePath]] = None,
-                     labeled: bool = True) -> NetSample:
+                     labeled: bool = True,
+                     golden: Optional[WireTimingResult] = None,
+                     analysis: Optional[NetAnalysis] = None) -> NetSample:
     """Extract features (and, by default, golden labels) for one net.
 
     Parameters
@@ -111,17 +113,28 @@ def build_net_sample(net: RCNet, context: NetContext, design: str = "",
         When ``False`` the golden timer is skipped entirely and label
         fields are NaN — the inference-time path used when the estimator
         serves as a wire model inside STA.
+    golden:
+        Pre-computed golden timing for this net (the batched labeler of
+        :func:`repro.analysis.batch.golden_analyze_many` supplies it);
+        when omitted the timer runs here.  Ignored when ``labeled`` is
+        ``False``.
+    analysis:
+        Pre-computed per-net analytic vectors for the path features (from
+        :func:`repro.features.path_features.analyze_nets_for_features`);
+        computed here, bitwise identically, when omitted.
     """
     paths = list(paths) if paths is not None else extract_wire_paths(net)
     sink_loads = context.sink_loads()
-    golden = None
-    if labeled:
+    if not labeled:
+        golden = None
+    elif golden is None:
         timer = timer or GoldenTimer(
             drive_resistance=context.drive_cell.drive_resistance)
         golden = timer.analyze(net, context.input_slew, sink_loads)
 
     node_features = extract_node_features(net)
-    path_features = extract_path_features(net, paths, context)
+    path_features = extract_path_features(net, paths, context,
+                                          analysis=analysis)
     adjacency = build_adjacency(net)
 
     records: List[PathRecord] = []

@@ -47,15 +47,23 @@ class ParasiticRanges:
     coupling_min: float = 0.3 * FF
     coupling_max: float = 3.0 * FF
 
+    def __post_init__(self) -> None:
+        # Log bounds are recomputed per sample otherwise — a measurable
+        # cost at dataset-generation volume.  Same np.log values, so the
+        # sampled parasitics are bit-identical.
+        self._log_res = (np.log(self.res_min), np.log(self.res_max))
+        self._log_cap = (np.log(self.cap_min), np.log(self.cap_max))
+        self._log_coupling = (np.log(self.coupling_min),
+                              np.log(self.coupling_max))
+
     def sample_resistance(self, rng: np.random.Generator) -> float:
-        return float(np.exp(rng.uniform(np.log(self.res_min), np.log(self.res_max))))
+        return float(np.exp(rng.uniform(*self._log_res)))
 
     def sample_cap(self, rng: np.random.Generator) -> float:
-        return float(np.exp(rng.uniform(np.log(self.cap_min), np.log(self.cap_max))))
+        return float(np.exp(rng.uniform(*self._log_cap)))
 
     def sample_coupling(self, rng: np.random.Generator) -> float:
-        return float(np.exp(rng.uniform(np.log(self.coupling_min),
-                                        np.log(self.coupling_max))))
+        return float(np.exp(rng.uniform(*self._log_coupling)))
 
 
 def chain_net(n_nodes: int, name: str = "chain",
@@ -114,7 +122,14 @@ def random_tree_net(rng: np.random.Generator, n_nodes: int,
     degree = [0]
     for i in range(1, n_nodes):
         candidates = [j for j in range(i) if degree[j] <= max_branching]
-        parent = int(rng.choice(candidates if candidates else np.arange(i)))
+        # Uniform replace=True choice IS one integers(0, len) draw inside
+        # numpy's Generator, so indexing directly keeps the stream (and
+        # every generated net) bit-identical while skipping the array
+        # conversion overhead of rng.choice on a Python list.
+        if candidates:
+            parent = candidates[int(rng.integers(0, len(candidates)))]
+        else:
+            parent = int(rng.integers(0, i))
         builder.add_node(f"{name}:{i}", cap=ranges.sample_cap(rng))
         builder.add_edge(f"{name}:{parent}", f"{name}:{i}",
                          ranges.sample_resistance(rng))

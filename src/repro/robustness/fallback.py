@@ -224,6 +224,19 @@ class FallbackChain(WireTimingModel):
         """Tier that served the most recent net (STA provenance hook)."""
         return self.last_record.tier if self.last_record is not None else None
 
+    def prime_nets(self, requests: Sequence[object]) -> int:
+        """Bulk-prime the primary tier's cache, when it supports it.
+
+        Only the first tier serves nets on the healthy path; degraded
+        tiers only ever see the failures, so priming them would be wasted
+        work.  Priming runs outside the breaker/stats bookkeeping — it is
+        cache warm-up, not serving.
+        """
+        if not self._tiers:
+            return 0
+        primer = getattr(self._tiers[0][1], "prime_nets", None)
+        return 0 if primer is None else int(primer(requests))
+
     def wire_timing(self, net: RCNet, input_slew: float,
                     sink_loads: np.ndarray, drive_resistance: float,
                     context: Optional[NetContext] = None

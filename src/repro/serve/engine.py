@@ -90,6 +90,16 @@ class PredictionCache:
         with self._lock:
             return len(self._entries)
 
+    def contains(self, key: bytes) -> bool:
+        """Metrics-free membership peek (no counters, no LRU promotion).
+
+        Used by the batch-window prime pass to skip queries that will be
+        answered from this cache anyway, without double-counting the
+        ``serve.cache_*`` metrics that describe real lookups.
+        """
+        with self._lock:
+            return key in self._entries
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -241,9 +251,58 @@ class EstimationEngine:
         return all(r.ok and r.tier != LAST_RESORT_TIER for r in results)
 
     def serve_batch(self, batch: Batch, shed_level: int) -> int:
-        """Serve every ticket of a batch; returns count of healthy ones."""
+        """Serve every ticket of a batch; returns count of healthy ones.
+
+        A collected batch window is the serving-side batching opportunity:
+        before the per-query ladder walk, every live query's net goes
+        through the primary tier's ``prime_nets`` hook in one stacked
+        solve (see :mod:`repro.analysis.batch`), so the subsequent
+        :meth:`serve_query` calls hit warm caches.  Priming is best-effort
+        and never affects the ticket outcome.
+        """
+        self._prime_batch(batch, shed_level)
         return sum(1 if self.serve_ticket(ticket, shed_level) else 0
                    for ticket in batch.tickets)
+
+    def _prime_batch(self, batch: Batch, shed_level: int) -> None:
+        """Bulk-warm the chain's primary-tier cache for one batch window."""
+        chain = self.chain_for(shed_level)
+        primer = getattr(chain, "prime_nets", None)
+        if primer is None:
+            return
+        from ..analysis.batch import WirePrimeRequest
+
+        now = self.clock()
+        requests = []
+        seen = set()
+        for ticket in batch.tickets:
+            if ticket.done.is_set() or ticket.expired(now):
+                continue
+            for query in ticket.request.queries:
+                try:
+                    key: Optional[bytes] = query.cache_key()
+                except Exception:  # repro-lint: disable=ERR002 mirrors serve_query's key guard
+                    key = None
+                if key is not None and (key in seen
+                                        or self.cache.contains(key)):
+                    continue
+                if key is not None:
+                    seen.add(key)
+                if query.sink_loads_f is not None:
+                    loads = np.asarray(query.sink_loads_f,
+                                       dtype=np.float64)
+                else:
+                    loads = np.zeros(query.net.num_sinks)
+                requests.append(WirePrimeRequest(
+                    query.net, loads, query.drive_resistance_ohm))
+        if not requests:
+            return
+        try:
+            primer(requests)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:  # repro-lint: disable=ERR002 prime is a best-effort warm-up; queries recompute on miss
+            pass
 
     # ------------------------------------------------------------------
     def serve_batch_last_resort(self, batch: Batch,

@@ -23,16 +23,33 @@ configuration, not the change under test.  Within a comparable serve
 pair, only the deterministic census keys are diffed (request counts and
 the zero-lost invariant); latency and throughput are reported FYI.
 
+Beyond equality, the tool can *gate timings* between two reports measured
+on the same machine (e.g. the two pinned baselines committed at the repo
+root).  ``--max-timing-ratio KEY=R`` asserts that the second report's
+timing at ``KEY`` is at most ``R`` times the first report's — so
+``--max-timing-ratio sta.wire_seconds=0.2`` encodes "the batched solver
+keeps wire timing at least 5x faster than the old baseline", with the
+band above the measured ratio absorbing run-to-run noise.  ``KEY`` is a
+dotted path into the ``results`` block, or ``stages.<name>.<field>`` for
+the per-stage wall/cpu measurements.  ``--timing-only`` skips the
+results-equality diff (for cross-version comparisons where results
+legitimately changed but the performance relationship must hold).
+
 Usage::
 
     python tools/compare_bench_results.py BENCH_a.json BENCH_b.json
+    python tools/compare_bench_results.py --timing-only \
+        --max-timing-ratio sta.wire_seconds=0.2 \
+        --max-timing-ratio stages.dataset.wall_s=0.65 \
+        BENCH_old.json BENCH_new.json
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 #: results-block paths whose values are wall-clock measurements.
 TIMING_KEYS = {
@@ -137,14 +154,82 @@ def _serve_fyi(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _lookup_timing(document: Dict[str, Any], dotted: str) -> Optional[float]:
+    """Resolve a timing key: ``stages.<name>.<field>`` or a results path."""
+    parts = dotted.split(".")
+    if parts[0] == "stages" and len(parts) == 3:
+        for stage in document.get("stages", []):
+            if stage.get("name") == parts[1]:
+                value = stage.get(parts[2])
+                return float(value) if isinstance(value, (int, float)) \
+                    else None
+        return None
+    node: Any = document.get("results", {})
+    for part in parts:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def check_timing_ratios(a: Dict[str, Any], b: Dict[str, Any],
+                        ratios: List[Tuple[str, float]]) -> List[str]:
+    """Violations of ``b[key] <= limit * a[key]``, human-readable."""
+    problems: List[str] = []
+    for key, limit in ratios:
+        base = _lookup_timing(a, key)
+        current = _lookup_timing(b, key)
+        if base is None or current is None:
+            problems.append(f"{key}: missing from "
+                            f"{'first' if base is None else 'second'} report")
+            continue
+        if base <= 0.0:
+            problems.append(f"{key}: first report has non-positive "
+                            f"baseline {base!r}")
+            continue
+        ratio = current / base
+        if ratio > limit:
+            problems.append(
+                f"{key}: ratio {ratio:.3f} exceeds limit {limit:.3f} "
+                f"({base:.6f}s -> {current:.6f}s)")
+        else:
+            print(f"timing gate ok: {key} ratio {ratio:.3f} "
+                  f"<= {limit:.3f} ({base:.6f}s -> {current:.6f}s)")
+    return problems
+
+
+def _parse_ratio(raw: str) -> Tuple[str, float]:
+    key, sep, value = raw.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=RATIO, got {raw!r}")
+    try:
+        limit = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad ratio in {raw!r}")
+    if not limit > 0.0:
+        raise argparse.ArgumentTypeError(f"ratio must be > 0 in {raw!r}")
+    return key, limit
+
+
 def main(argv: List[str]) -> int:
-    if len(argv) != 2:
-        print(__doc__.strip().splitlines()[0], file=sys.stderr)
-        print("usage: compare_bench_results.py A.json B.json",
-              file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_<date>.json reports.")
+    parser.add_argument("reports", nargs=2, metavar="BENCH.json")
+    parser.add_argument("--timing-only", action="store_true",
+                        help="skip the results-equality diff; only apply "
+                             "--max-timing-ratio gates")
+    parser.add_argument("--max-timing-ratio", metavar="KEY=R",
+                        type=_parse_ratio, action="append", default=[],
+                        dest="ratios",
+                        help="assert second[KEY] <= R * first[KEY]; "
+                             "repeatable")
+    args = parser.parse_args(argv)
+    if args.timing_only and not args.ratios:
+        parser.error("--timing-only requires at least one "
+                     "--max-timing-ratio gate")
     documents: List[Dict[str, Any]] = []
-    for path in argv:
+    for path in args.reports:
         try:
             with open(path) as handle:
                 document = json.load(handle)
@@ -155,6 +240,18 @@ def main(argv: List[str]) -> int:
             print(f"error: {path} has no 'results' block", file=sys.stderr)
             return 2
         documents.append(document)
+
+    timing_problems = check_timing_ratios(documents[0], documents[1],
+                                          args.ratios)
+    if timing_problems:
+        print(f"timing gates failed ({len(timing_problems)}):")
+        for line in timing_problems:
+            print(f"  {line}")
+        return 1
+    if args.timing_only:
+        print(f"timing gates passed ({len(args.ratios)})")
+        return 0
+
     config_problems = check_comparable(documents[0], documents[1])
     if config_problems:
         print("reports are not comparable:", file=sys.stderr)
