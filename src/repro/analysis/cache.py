@@ -145,6 +145,24 @@ class SolveCache:
         if _persist:
             self._disk_put(key, solve)
 
+    def invalidate(self, key: bytes) -> bool:
+        """Drop one entry from the memory LRU and the disk tier.
+
+        Used by ECO edits: when a net's RC topology is rewritten, the
+        eigensolve primed under the old topology's content hash can never
+        be queried again, so dropping it frees space immediately instead
+        of waiting for LRU eviction.  Returns True when either tier held
+        the key.
+        """
+        dropped = self._entries.pop(key, None) is not None
+        if self.persist_dir is not None:
+            try:
+                os.unlink(self._disk_path(key))
+                dropped = True
+            except OSError:
+                pass
+        return dropped
+
     def clear(self) -> None:
         self._entries.clear()
 

@@ -7,6 +7,7 @@ user workflow without writing Python:
 ``repro train``        train GNNTrans (or a baseline) on a dataset file
 ``repro evaluate``     report R^2 / max-error of a trained model
 ``repro spef-timing``  golden wire timing for every net of a SPEF file
+``repro sta``          full or incremental/ECO timing of a benchmark design
 ``repro benchmarks``   list the Table II benchmark suite
 ``repro bench``        run the pinned perf workload, write ``BENCH_<date>.json``
 ``repro serve``        run the fault-tolerant timing service (docs/SERVING.md)
@@ -141,6 +142,30 @@ def _build_parser() -> argparse.ArgumentParser:
                         "jobs-invariant")
     p.set_defaults(handler=_cmd_report)
 
+    p = sub.add_parser(
+        "sta",
+        help="full or incremental (ECO) timing of a benchmark design")
+    p.add_argument("benchmark", nargs="?", default="WB_DMA",
+                   help="Table II benchmark name (default: WB_DMA)")
+    p.add_argument("--scale", type=int, default=1200,
+                   help="design down-scale factor (1 = paper size)")
+    p.add_argument("--paths", type=int, default=16,
+                   help="number of timing paths to sample")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=["golden", "elmore", "d2m", "awe"],
+                   default="golden", help="wire-timing engine")
+    p.add_argument("--incremental", action="store_true",
+                   help="time through the ECO replay engine (stage memo + "
+                        "dirty propagation; see docs/ECO.md)")
+    p.add_argument("--edits", metavar="EDITS_JSON",
+                   help="with --incremental: replay this edit script "
+                        "(schema repro-eco-edits/1), re-timing only the "
+                        "affected cones")
+    p.add_argument("--verify", action="store_true",
+                   help="after replay, check results are bitwise identical "
+                        "to a cold full pass (exit 1 on violation)")
+    p.set_defaults(handler=_cmd_sta)
+
     p = sub.add_parser("benchmarks", help="list the Table II suite")
     p.set_defaults(handler=_cmd_benchmarks)
 
@@ -153,6 +178,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="load-generate against the timing service instead "
                         "of the pipeline workload; reports p50/p99 latency "
                         "and nets/s (see docs/SERVING.md)")
+    p.add_argument("--eco", action="store_true",
+                   help="run the incremental-retiming micro-workload (one "
+                        "full pass, then k single-net edits) instead of "
+                        "the pipeline workload; see docs/ECO.md")
     p.add_argument("--host", default=None,
                    help="with --serve: target an already-running server "
                         "instead of an in-process one")
@@ -458,8 +487,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .obs import (DEFAULT_WORKLOAD, QUICK_WORKLOAD, format_bench_summary,
                       run_bench, write_bench_report)
 
+    if args.serve and args.eco:
+        print("error: --serve and --eco are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.serve:
         return _cmd_bench_serve(args)
+    if args.eco:
+        return _cmd_bench_eco(args)
     workload = QUICK_WORKLOAD if args.quick else DEFAULT_WORKLOAD
     jobs = _cli_jobs(args.jobs)
     if jobs != workload.jobs:
@@ -473,6 +508,100 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     print(format_bench_summary(document))
     print(f"wrote {path}")
+    return 0
+
+
+def _cmd_bench_eco(args: argparse.Namespace) -> int:
+    from .obs import (DEFAULT_ECO_WORKLOAD, QUICK_ECO_WORKLOAD,
+                      format_eco_summary, run_eco_bench, write_bench_report)
+
+    workload = QUICK_ECO_WORKLOAD if args.quick else DEFAULT_ECO_WORKLOAD
+    document = run_eco_bench(workload)
+    try:
+        path = write_bench_report(document, out_dir=args.outdir,
+                                  date=args.date)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_eco_summary(document))
+    print(f"wrote {path}")
+    return 0 if document["results"]["eco"]["parity_ok"] else 1
+
+
+def _cmd_sta(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from .design import (AWEWireModel, D2MWireModel, ECOTimingEngine,
+                         ElmoreWireModel, GoldenWireModel, STAEngine,
+                         apply_edit_command, generate_benchmark,
+                         load_edit_script, sample_timing_paths)
+    from .liberty import make_default_library
+    from .robustness.errors import EstimationError
+
+    if args.edits and not args.incremental:
+        print("error: --edits requires --incremental", file=sys.stderr)
+        return 2
+    engines = {"golden": GoldenWireModel, "elmore": ElmoreWireModel,
+               "d2m": D2MWireModel, "awe": AWEWireModel}
+    library = make_default_library()
+    try:
+        netlist = generate_benchmark(args.benchmark, library, args.scale)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rng = np.random.default_rng(args.seed)
+    for path in sample_timing_paths(netlist, args.paths, rng):
+        netlist.add_path(path)
+    if not netlist.paths:
+        print("error: no launch-to-capture paths found", file=sys.stderr)
+        return 1
+    wire_model = engines[args.engine]()
+
+    if not args.incremental:
+        report = STAEngine(netlist, wire_model).analyze_design()
+        worst = max(report.paths, key=lambda p: p.arrival)
+        print(f"{netlist.name}: {len(report.paths)} paths via "
+              f"{report.wire_model}; worst arrival "
+              f"{worst.arrival / 1e-12:.1f} ps ({worst.path_name})")
+        return 0
+
+    engine = ECOTimingEngine(netlist, wire_model)
+    engine.full_pass()
+    print(f"{netlist.name}: full pass over {len(netlist.paths)} paths "
+          f"({engine.engine.misses} stages timed)")
+    if args.edits:
+        try:
+            with open(args.edits) as handle:
+                document = json.load(handle)
+            commands = load_edit_script(document)
+        except (OSError, json.JSONDecodeError, EstimationError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for command in commands:
+            try:
+                edit = apply_edit_command(netlist, library, command)
+                outcome = engine.apply(edit)
+            except EstimationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(f"  {edit.summary()}: retimed {outcome.cone_size} "
+                  f"path(s), reused {outcome.stages_reused} stage(s), "
+                  f"dropped {outcome.stale_entries_dropped} memo "
+                  f"entr(y/ies)")
+        worst = max(engine.results, key=lambda p: p.arrival)
+        print(f"after {len(commands)} edit(s): worst arrival "
+              f"{worst.arrival / 1e-12:.1f} ps ({worst.path_name})")
+    if args.verify:
+        problems = engine.verify_parity()
+        if problems:
+            print(f"PARITY VIOLATION ({len(problems)} mismatches):",
+                  file=sys.stderr)
+            for problem in problems[:10]:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print("parity ok: bitwise identical to a cold full pass")
     return 0
 
 

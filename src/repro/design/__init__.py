@@ -4,7 +4,7 @@ Substitutes for the paper's routed OpenCore designs and for the gate-timing
 half of the flow (NLDM lookups + arrival-time propagation); see DESIGN.md.
 """
 
-from .netlist import (DesignNet, Gate, LoadPin, Netlist, PathStage,
+from .netlist import (DesignNet, Gate, LoadPin, NetEdit, Netlist, PathStage,
                       TimingPath)
 from .generator import (DesignSpec, generate_design, make_net_with_sinks,
                         sample_timing_paths)
@@ -20,6 +20,8 @@ from .verilog import (ParsedInstance, ParsedModule, VerilogError,
 from .interchange import InterchangeError, export_design, import_design
 from .reports import format_design_report, format_path_report
 from .incremental import IncrementalSTAEngine
+from .eco import (EDIT_SCHEMA, ECOTimingEngine, EditCommand, EditOutcome,
+                  apply_edit_command, compare_timing, load_edit_script)
 from .sdc import SDCError, TimingConstraints, parse_sdc, write_sdc
 
 __all__ = [
@@ -39,5 +41,8 @@ __all__ = [
     "export_design", "import_design", "InterchangeError",
     "format_path_report", "format_design_report",
     "IncrementalSTAEngine",
+    "NetEdit", "ECOTimingEngine", "EditCommand", "EditOutcome",
+    "EDIT_SCHEMA", "load_edit_script", "apply_edit_command",
+    "compare_timing",
     "TimingConstraints", "parse_sdc", "write_sdc", "SDCError",
 ]

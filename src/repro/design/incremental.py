@@ -11,21 +11,32 @@ the first.
 
 Correctness note: a stage's timing depends on its input slew, which
 changes when anything *upstream* changes — that dependence is captured by
-keying the cache on the (quantized) input slew rather than by tracing
-fanin cones, so a stale entry can never be returned, only missed.
+keying the cache on the input slew (quantized or exact) rather than by
+tracing fanin cones, so a stale entry can never be returned, only missed.
+The key also carries the resolved timing-arc pin: two paths entering the
+same gate through different arcs at the same slew are distinct stages and
+must never share an entry.
+
+For the ECO parity contract (results bitwise identical to a cold
+:class:`~repro.design.sta.STAEngine` pass) construct the engine with
+``slew_quantum=None``: cache keys then use the exact input slew, so a hit
+replays the very floats a cold pass would recompute.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from ..liberty.cell import Cell
 from ..liberty.ceff import effective_capacitance
 from ..features.path_features import NetContext
 from .netlist import Netlist, TimingPath
-from .sta import PathTiming, StageTiming, WireTimingModel
+from .sta import PathTiming, StageTiming, WireTimingModel, resolve_arc_pin
+
+#: Cache key: (net, cell name, resolved arc pin, slew key).  The slew key
+#: is a grid index when quantizing, or the exact float in exact mode.
+StageKey = Tuple[str, str, str, Hashable]
 
 
 class IncrementalSTAEngine:
@@ -45,21 +56,32 @@ class IncrementalSTAEngine:
         finer = more precise reuse decisions, coarser = more hits.  The
         *timing* itself always uses the exact slew — only reuse is
         quantized, so results differ from a cold pass by at most the
-        model's sensitivity over one quantum.
+        model's sensitivity over one quantum.  ``None`` keys on the exact
+        slew instead: fewer hits, but every hit is bitwise identical to a
+        cold pass (the ECO parity mode).
+    lenient_pins:
+        When True, a stage whose ``input_pin`` has no timing arc is timed
+        through the cell's first arc (legacy netlists); when False (the
+        default) such a stage raises a typed
+        :class:`~repro.robustness.errors.InputError` with net/design
+        provenance.
     """
 
     def __init__(self, netlist: Netlist, wire_model: WireTimingModel,
                  launch_slew: float = 20e-12,
-                 slew_quantum: float = 0.25e-12) -> None:
-        if slew_quantum <= 0.0:
-            raise ValueError("slew_quantum must be positive")
+                 slew_quantum: Optional[float] = 0.25e-12,
+                 lenient_pins: bool = False) -> None:
+        if slew_quantum is not None and slew_quantum <= 0.0:
+            raise ValueError(
+                "slew_quantum must be positive (or None for exact keys)")
         self.netlist = netlist
         self.wire_model = wire_model
         self.launch_slew = launch_slew
         self.slew_quantum = slew_quantum
-        # (net, cell name, quantized slew) -> (gate_delay, delays, slews)
-        self._cache: Dict[Tuple[str, str, int], Tuple[float, np.ndarray,
-                                                      np.ndarray]] = {}
+        self.lenient_pins = lenient_pins
+        # (net, cell name, arc pin, slew key) -> (gate_delay, delays, slews)
+        self._cache: Dict[StageKey, Tuple[float, np.ndarray,
+                                          np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -68,17 +90,23 @@ class IncrementalSTAEngine:
         """Drop cache entries affected by a change to ``gate_name``.
 
         Both the net the gate drives (driver strength changed) and every
-        net it loads (pin capacitance changed) are invalidated.  Returns
-        the number of dropped entries.
+        net it loads (pin capacitance changed) are invalidated.  The
+        loaded nets come from the netlist's reverse load index, so the
+        cost is O(degree + cache size) rather than a scan over every
+        net's load list.  Returns the number of dropped entries.
         """
-        stale_nets = set()
+        stale_nets = set(self.netlist.nets_loaded_by(gate_name))
         driven = self.netlist.net_driven_by(gate_name)
         if driven is not None:
             stale_nets.add(driven.name)
-        for net in self.netlist.nets.values():
-            if any(load.gate == gate_name for load in net.loads):
-                stale_nets.add(net.name)
-        stale_keys = [key for key in self._cache if key[0] in stale_nets]
+        return self.invalidate_nets(stale_nets)
+
+    def invalidate_nets(self, net_names: Iterable[str]) -> int:
+        """Drop every cache entry for the named nets; returns the count."""
+        stale = set(net_names)
+        if not stale:
+            return 0
+        stale_keys = [key for key in self._cache if key[0] in stale]
         for key in stale_keys:
             del self._cache[key]
         return len(stale_keys)
@@ -88,12 +116,19 @@ class IncrementalSTAEngine:
         self._cache.clear()
 
     # ------------------------------------------------------------------
+    def _slew_key(self, slew: float) -> Hashable:
+        if self.slew_quantum is None:
+            return slew
+        return int(round(slew / self.slew_quantum))
+
     def _stage_timing(self, gate_name: str, input_pin: str, net_name: str,
                       slew: float) -> Tuple[float, np.ndarray, np.ndarray]:
         gate = self.netlist.gates[gate_name]
         net = self.netlist.nets[net_name]
-        key = (net_name, gate.cell.name,
-               int(round(slew / self.slew_quantum)))
+        pin = resolve_arc_pin(gate.cell, input_pin, net=net_name,
+                              design=self.netlist.name,
+                              lenient=self.lenient_pins)
+        key = (net_name, gate.cell.name, pin, self._slew_key(slew))
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
@@ -103,8 +138,6 @@ class IncrementalSTAEngine:
         sink_loads = self.netlist.sink_loads(net)
         load = effective_capacitance(net.rcnet, gate.cell.drive_resistance,
                                      sink_loads)
-        pin = input_pin if input_pin in gate.cell.arcs \
-            else next(iter(gate.cell.arcs))
         gate_delay, drive_slew = gate.cell.delay_and_slew(slew, load, pin)
         context = NetContext(
             input_slew=drive_slew, drive_cell=gate.cell,

@@ -24,14 +24,38 @@ from ..features.path_features import NetContext
 from ..liberty.ceff import effective_capacitance
 from ..obs import get_metrics, get_tracer
 from ..parallel import parallel_map
+from ..liberty.cell import Cell
 from ..rcnet.graph import RCNet
-from ..robustness.errors import EstimationError, ModelError, NumericalError
+from ..robustness.errors import (EstimationError, InputError, ModelError,
+                                 NumericalError)
 from .netlist import Netlist, TimingPath
 
 _LN9 = float(np.log(9.0))  # 10%-90% swing of a single-pole response.
 
 _STAGES_TIMED = get_metrics().counter("sta.stages_timed")
 _PATHS_TIMED = get_metrics().counter("sta.paths_timed")
+
+
+def resolve_arc_pin(cell: Cell, input_pin: str, *, net: Optional[str] = None,
+                    design: Optional[str] = None, lenient: bool = True) -> str:
+    """Resolve a path stage's input pin to one of ``cell``'s timing arcs.
+
+    Strict mode (``lenient=False``) raises a typed :class:`InputError`
+    with net/design provenance when the pin has no arc — consistent with
+    the FLOW004 lint rule, which flags exactly this silent substitution.
+    Lenient mode preserves the legacy behavior of timing the stage
+    through the cell's first arc, for netlists produced before arc pins
+    were validated.
+    """
+    if input_pin in cell.arcs:
+        return input_pin
+    if lenient:
+        return next(iter(cell.arcs))
+    raise InputError(
+        f"cell {cell.name!r} has no timing arc for pin {input_pin!r} "
+        f"(arcs: {sorted(cell.arcs)}); pass lenient_pins=True to time "
+        f"the stage through the first arc instead",
+        net=net, design=design, stage="sta")
 
 
 class WireTimingModel(ABC):
@@ -221,17 +245,24 @@ class STAEngine:
         from the sign-off report's operating points — reproduce that with
         ``slew_model=GoldenWireModel()``.  When ``None`` the wire model's
         own slews propagate (full self-consistent mode).
+    lenient_pins:
+        When True (legacy default), a stage whose ``input_pin`` has no
+        timing arc is timed through the cell's first arc; when False such
+        a stage raises a typed :class:`InputError` (see
+        :func:`resolve_arc_pin`).
     """
 
     def __init__(self, netlist: Netlist, wire_model: WireTimingModel,
                  launch_slew: float = 20e-12,
-                 slew_model: Optional[WireTimingModel] = None) -> None:
+                 slew_model: Optional[WireTimingModel] = None,
+                 lenient_pins: bool = True) -> None:
         if launch_slew <= 0.0:
             raise ValueError("launch_slew must be positive")
         self.netlist = netlist
         self.wire_model = wire_model
         self.launch_slew = launch_slew
         self.slew_model = slew_model
+        self.lenient_pins = lenient_pins
 
     def path_arrival(self, path: TimingPath) -> PathTiming:
         """Arrival time at the path endpoint, with per-stage breakdown."""
@@ -246,8 +277,9 @@ class STAEngine:
             sink_loads = self.netlist.sink_loads(net)
             load = effective_capacitance(net.rcnet, gate.cell.drive_resistance,
                                          sink_loads)
-            input_pin = stage.input_pin if stage.input_pin in gate.cell.arcs \
-                else next(iter(gate.cell.arcs))
+            input_pin = resolve_arc_pin(
+                gate.cell, stage.input_pin, net=stage.net,
+                design=self.netlist.name, lenient=self.lenient_pins)
             gate_delay, drive_slew = gate.cell.delay_and_slew(slew, load, input_pin)
             context = NetContext(
                 input_slew=drive_slew, drive_cell=gate.cell,
@@ -316,7 +348,8 @@ class STAEngine:
                 return getattr(model, "last_tier", None)
 
         engine = STAEngine(self.netlist, _TimedModel(), self.launch_slew,
-                           slew_model=self.slew_model)
+                           slew_model=self.slew_model,
+                           lenient_pins=self.lenient_pins)
         start = time.perf_counter()
         timing = engine.path_arrival(path)
         total = time.perf_counter() - start
@@ -355,7 +388,7 @@ class STAEngine:
                     _timed_path, list(range(len(paths))), jobs=jobs,
                     initializer=_init_sta_worker,
                     initargs=(self.netlist, model, self.launch_slew,
-                              self.slew_model),
+                              self.slew_model, self.lenient_pins),
                     label="sta_paths")
                 # Worker processes own separate metric registries; replay
                 # the per-path counters in the parent.
@@ -415,10 +448,12 @@ _WORKER_ENGINE: Optional[STAEngine] = None
 
 def _init_sta_worker(netlist: Netlist, wire_model: WireTimingModel,
                      launch_slew: float,
-                     slew_model: Optional[WireTimingModel]) -> None:
+                     slew_model: Optional[WireTimingModel],
+                     lenient_pins: bool = True) -> None:
     global _WORKER_ENGINE
     _WORKER_ENGINE = STAEngine(netlist, wire_model, launch_slew,
-                               slew_model=slew_model)
+                               slew_model=slew_model,
+                               lenient_pins=lenient_pins)
 
 
 def _timed_path(index: int) -> Tuple[PathTiming, float, float]:

@@ -133,6 +133,12 @@ def make_default_library(name: str = "repro16",
             for pin_idx in range(num_inputs):
                 pin = chr(ord("A") + pin_idx)
                 arcs[pin] = TimingArc(pin, arc.delay, arc.output_slew)
+            if function == "DFF":
+                # Clock-to-Q arc.  Generated launch stages reference the
+                # CK pin explicitly; sharing the data-pin tables keeps
+                # their timing identical to what strict pin resolution
+                # would otherwise fall back to.
+                arcs["CK"] = TimingArc("CK", arc.delay, arc.output_slew)
             cells.append(Cell(
                 name=f"{function}_X{strength}",
                 function=function,

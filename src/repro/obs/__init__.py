@@ -28,10 +28,11 @@ from .metrics import (Counter, Gauge, Histogram, MetricRegistry, get_metrics)
 from .profile import StageProfile, aggregate_spans, format_profile
 from .export import (dump_json, load_trace, observability_document,
                      write_trace)
-from .bench import (BENCH_SCHEMA, DEFAULT_WORKLOAD, QUICK_WORKLOAD,
-                    REQUIRED_STAGES, BenchWorkload, bench_filename,
-                    format_bench_summary, run_bench, validate_bench_report,
-                    write_bench_report)
+from .bench import (BENCH_SCHEMA, DEFAULT_ECO_WORKLOAD, DEFAULT_WORKLOAD,
+                    QUICK_ECO_WORKLOAD, QUICK_WORKLOAD, REQUIRED_STAGES,
+                    BenchWorkload, ECOBenchWorkload, bench_filename,
+                    format_bench_summary, format_eco_summary, run_bench,
+                    run_eco_bench, validate_bench_report, write_bench_report)
 
 __all__ = [
     "Span", "Tracer", "get_tracer", "configure_from_env", "NULL_SPAN",
@@ -42,6 +43,8 @@ __all__ = [
     "BenchWorkload", "BENCH_SCHEMA", "REQUIRED_STAGES", "DEFAULT_WORKLOAD",
     "QUICK_WORKLOAD", "run_bench", "write_bench_report",
     "validate_bench_report", "bench_filename", "format_bench_summary",
+    "ECOBenchWorkload", "DEFAULT_ECO_WORKLOAD", "QUICK_ECO_WORKLOAD",
+    "run_eco_bench", "format_eco_summary",
 ]
 
 # Opt-in environment hook: REPRO_TRACE=path.jsonl enables the global tracer

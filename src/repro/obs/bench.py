@@ -32,11 +32,20 @@ BENCH_SCHEMA = "repro-bench/1"
 REQUIRED_STAGES = ("dataset", "train", "evaluate", "sta")
 
 #: Required stages/results per workload mode.  ``workload.mode`` is
-#: ``"pipeline"`` (implied when absent, so pre-serve reports stay valid)
-#: or ``"serve"`` (``repro bench --serve`` load-generation reports).
+#: ``"pipeline"`` (implied when absent, so pre-serve reports stay valid),
+#: ``"serve"`` (``repro bench --serve`` load-generation reports), or
+#: ``"eco"`` (``repro bench --eco`` incremental-retiming reports).
 MODE_REQUIRED_STAGES = {
     "pipeline": REQUIRED_STAGES,
     "serve": ("serve",),
+    "eco": ("full_pass", "eco_replay"),
+}
+
+#: Required ``results`` sections per workload mode.
+MODE_RESULT_SECTIONS = {
+    "pipeline": ("dataset", "train", "evaluate", "sta"),
+    "serve": ("serve",),
+    "eco": ("eco",),
 }
 
 
@@ -91,6 +100,47 @@ DEFAULT_WORKLOAD = BenchWorkload(
 QUICK_WORKLOAD = BenchWorkload(
     name="quick", train_names=("PCI_BRIDGE",), test_names=("WB_DMA",),
     scale=3200, nets_per_design=6, epochs=2, sta_paths=4)
+
+
+@dataclass(frozen=True)
+class ECOBenchWorkload:
+    """Pinned ``repro bench --eco`` micro-workload.
+
+    One design, one full timing pass, then ``edits`` single-net R/C
+    edits replayed through :class:`~repro.design.eco.ECOTimingEngine`.
+    The headline number is ``speedup_vs_full``: how much cheaper one
+    edit replay is than re-running the whole pass — the quantity an
+    incremental-timing regression would degrade.
+    """
+
+    name: str
+    benchmark: str
+    scale: int
+    sta_paths: int
+    edits: int
+    seed: int = 7
+    jobs: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": "eco",
+            "name": self.name,
+            "benchmark": self.benchmark,
+            "scale": self.scale,
+            "sta_paths": self.sta_paths,
+            "edits": self.edits,
+            "seed": self.seed,
+            "jobs": self.jobs,
+        }
+
+
+#: Standard ECO baseline: a mid-size design, enough paths for real cones.
+DEFAULT_ECO_WORKLOAD = ECOBenchWorkload(
+    name="eco", benchmark="WB_DMA", scale=1200, sta_paths=32, edits=10)
+
+#: CI smoke variant (seconds): smaller design, fewer edits.
+QUICK_ECO_WORKLOAD = ECOBenchWorkload(
+    name="eco-quick", benchmark="WB_DMA", scale=3200, sta_paths=16, edits=5)
 
 
 @dataclass
@@ -266,6 +316,122 @@ def run_bench(workload: BenchWorkload = DEFAULT_WORKLOAD,
         tracer.enabled = was_enabled
 
 
+def run_eco_bench(workload: ECOBenchWorkload = DEFAULT_ECO_WORKLOAD,
+                  trace: bool = True) -> Dict[str, Any]:
+    """Run the ECO micro-workload and return its ``BENCH`` document.
+
+    Stage ``full_pass`` times the baseline analysis of every recorded
+    path (which also warms the incremental stage memo); stage
+    ``eco_replay`` applies ``workload.edits`` single-net R/C edits and
+    re-times only each edit's fanout cone.  Afterwards the incremental
+    results are verified bitwise against a cold full STA pass —
+    ``results.eco.parity_ok`` — so the speedup number can never come
+    from silently wrong timing.
+    """
+    import platform
+
+    import numpy as np
+
+    from ..design import (ECOTimingEngine, GoldenWireModel,
+                          generate_benchmark, sample_timing_paths)
+    from ..liberty import make_default_library
+    from ..parallel import worker_context
+
+    tracer = get_tracer()
+    registry = get_metrics()
+    registry.reset()
+    was_enabled = tracer.enabled
+    if trace:
+        tracer.reset()
+        tracer.enable()
+    try:
+        clock = _StageClock()
+        library = make_default_library()
+        netlist = generate_benchmark(workload.benchmark, library,
+                                     workload.scale)
+        rng = np.random.default_rng(workload.seed)
+        for path in sample_timing_paths(netlist, workload.sta_paths, rng):
+            netlist.add_path(path)
+        engine = ECOTimingEngine(netlist, GoldenWireModel())
+        clock.run("full_pass", engine.full_pass)
+
+        # Single-net edits over nets that actually carry timing paths —
+        # an edit with an empty cone would flatter the speedup.
+        path_nets = sorted({stage.net for path in netlist.paths
+                            for stage in path.stages})
+        order = [int(i) for i in rng.permutation(len(path_nets))]
+        replay_times: List[float] = []
+        outcomes: List[Any] = []
+
+        def _replay() -> None:
+            for count in range(workload.edits):
+                net = path_nets[order[count % len(order)]]
+                edit = netlist.scale_net_rc(net, r_factor=1.05,
+                                            c_factor=0.95)
+                start = time.perf_counter()
+                outcomes.append(engine.apply(edit))
+                replay_times.append(time.perf_counter() - start)
+
+        clock.run("eco_replay", _replay)
+        parity_problems = engine.verify_parity()
+
+        full_pass_s = clock.stages[0].wall_s
+        mean_replay = sum(replay_times) / len(replay_times) \
+            if replay_times else float("nan")
+        document: Dict[str, Any] = {
+            "schema": BENCH_SCHEMA,
+            "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "environment": {
+                "python": sys.version.split()[0],
+                "platform": platform.platform(),
+                "numpy": np.__version__,
+                "mp_start_method": worker_context().get_start_method(),
+                "jobs": workload.jobs,
+            },
+            "workload": workload.to_dict(),
+            "stages": [stage.to_dict() for stage in clock.stages],
+            "results": {
+                "eco": {
+                    "design": netlist.name,
+                    "paths": len(netlist.paths),
+                    "edits_applied": len(outcomes),
+                    "paths_retimed": sum(o.cone_size for o in outcomes),
+                    "stages_reused": sum(o.stages_reused for o in outcomes),
+                    "full_pass_s": full_pass_s,
+                    "edit_replay_mean_s": mean_replay,
+                    "edit_replay_max_s": max(replay_times)
+                    if replay_times else float("nan"),
+                    "speedup_vs_full": full_pass_s / mean_replay
+                    if replay_times and mean_replay > 0.0 else float("nan"),
+                    "parity_ok": not parity_problems,
+                    "parity_problems": len(parity_problems),
+                },
+            },
+            "observability": observability_document(tracer, registry),
+        }
+        return document
+    finally:
+        tracer.enabled = was_enabled
+
+
+def format_eco_summary(document: Dict[str, Any]) -> str:
+    """Short human-readable digest printed after ``repro bench --eco``."""
+    eco = document["results"]["eco"]
+    lines = [f"eco bench workload {document['workload']['name']!r} "
+             f"({document['created_utc']})"]
+    for stage in document["stages"]:
+        lines.append(f"  {stage['name']:<11} wall {stage['wall_s']:8.3f}s  "
+                     f"cpu {stage['cpu_s']:8.3f}s")
+    lines.append(f"  {eco['edits_applied']} edits on {eco['design']!r} "
+                 f"({eco['paths']} paths): retimed {eco['paths_retimed']} "
+                 f"paths, reused {eco['stages_reused']} stages")
+    lines.append(f"  replay mean {eco['edit_replay_mean_s'] * 1e3:.1f} ms "
+                 f"(max {eco['edit_replay_max_s'] * 1e3:.1f} ms), "
+                 f"{eco['speedup_vs_full']:.1f}x vs full pass, parity "
+                 f"{'ok' if eco['parity_ok'] else 'VIOLATED'}")
+    return "\n".join(lines)
+
+
 def write_bench_report(document: Dict[str, Any], out_dir: str = ".",
                        date: Optional[str] = None) -> str:
     """Validate and write a report as ``<out_dir>/BENCH_<date>.json``."""
@@ -334,8 +500,7 @@ def validate_bench_report(document: Any) -> List[str]:
         problems.append("'stages' must be a list")
     results = document.get("results")
     if isinstance(results, dict):
-        for section in required_stages if mode == "serve" \
-                else ("dataset", "train", "evaluate", "sta"):
+        for section in MODE_RESULT_SECTIONS[mode]:
             if section not in results:
                 problems.append(f"missing results section {section!r}")
         if mode == "serve":
@@ -348,6 +513,19 @@ def validate_bench_report(document: Any) -> List[str]:
                             f"serve results missing {field_name!r}")
             elif serve is not None:
                 problems.append("'results.serve' must be an object")
+        if mode == "eco":
+            eco = results.get("eco")
+            if isinstance(eco, dict):
+                for field_name in ("paths", "edits_applied", "paths_retimed",
+                                   "stages_reused", "full_pass_s",
+                                   "edit_replay_mean_s", "speedup_vs_full",
+                                   "parity_ok"):
+                    if field_name not in eco:
+                        problems.append(f"eco results missing {field_name!r}")
+                if eco.get("parity_ok") is False:
+                    problems.append("eco results report a parity violation")
+            elif eco is not None:
+                problems.append("'results.eco' must be an object")
     elif "results" in document:
         problems.append("'results' must be an object")
     return problems

@@ -277,6 +277,30 @@ class RCNet:
                 matrix[edge.u, edge.v] = matrix[edge.v, edge.u] = edge.resistance
         return matrix
 
+    def scaled(self, r_factor: float = 1.0, c_factor: float = 1.0,
+               name: Optional[str] = None) -> "RCNet":
+        """A copy with every resistance and capacitance scaled uniformly.
+
+        The standard ECO primitive for layer re-assignment and width
+        changes: ``r_factor`` multiplies each segment resistance,
+        ``c_factor`` each grounded and coupling capacitance.  Topology,
+        source, sinks and node names are unchanged, so the scaled net
+        drops into the same :class:`~repro.design.netlist.DesignNet` slot.
+        Both factors must be positive (``RCEdge`` forbids non-positive
+        resistance and negative caps are rejected by :class:`RCNode`).
+        """
+        if r_factor <= 0.0 or c_factor <= 0.0:
+            raise RCNetError(
+                f"net {self.name!r}: scale factors must be positive, got "
+                f"r_factor={r_factor}, c_factor={c_factor}")
+        nodes = [RCNode(n.index, n.name, n.cap * c_factor) for n in self.nodes]
+        edges = [RCEdge(e.u, e.v, e.resistance * r_factor) for e in self.edges]
+        couplings = [CouplingCap(c.victim, c.aggressor_name,
+                                 c.cap * c_factor, c.activity)
+                     for c in self.couplings]
+        return RCNet(name or self.name, nodes, edges, self.source,
+                     self.sinks, couplings)
+
     def to_networkx(self):
         """Export to a ``networkx.Graph`` (node attr ``cap``, edge attr ``resistance``)."""
         import networkx as nx

@@ -64,6 +64,30 @@ class SPEFDesign:
                 return net
         raise KeyError(f"no net named {name!r} in design {self.design!r}")
 
+    def replace_net(self, new_net: RCNet) -> RCNet:
+        """Swap in ``new_net`` for the same-named net; returns the old one.
+
+        The SPEF-level half of an ECO parasitic update: callers hand the
+        returned pre-edit net to cache invalidation before discarding it.
+        """
+        for index, net in enumerate(self.nets):
+            if net.name == new_net.name:
+                self.nets[index] = new_net
+                return net
+        raise KeyError(
+            f"no net named {new_net.name!r} in design {self.design!r}")
+
+    def scale_net_rc(self, name: str, r_factor: float = 1.0,
+                     c_factor: float = 1.0) -> RCNet:
+        """Uniformly scale one net's parasitics in place; returns the old net.
+
+        Mirrors :meth:`~repro.design.netlist.Netlist.scale_net_rc` for
+        designs that live as parsed SPEF rather than a full netlist.
+        """
+        old = self.net_by_name(name)
+        self.replace_net(old.scaled(r_factor=r_factor, c_factor=c_factor))
+        return old
+
     def __len__(self) -> int:
         return len(self.nets)
 

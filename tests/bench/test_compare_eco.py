@@ -1,0 +1,145 @@
+"""``tools/compare_bench_results.py``: eco-mode comparison rules.
+
+ECO reports follow the serve-mode contract: comparable only when the
+workload and execution environment match, census keys diffed exactly,
+latency gated via ``--max-timing-ratio`` — plus a hard failure when a
+report's parity check did not pass.
+"""
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOLS = os.path.join(os.path.dirname(__file__), "..", "..", "tools",
+                      "compare_bench_results.py")
+
+
+def _compare_module():
+    spec = importlib.util.spec_from_file_location("compare_bench", _TOOLS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def eco_doc():
+    return {
+        "workload": {"mode": "eco", "name": "eco-quick", "benchmark":
+                     "WB_DMA", "scale": 3200, "sta_paths": 16, "edits": 5},
+        "environment": {"mp_start_method": "fork", "jobs": 1},
+        "results": {"eco": {
+            "design": "WB_DMA", "paths": 16, "edits_applied": 5,
+            "paths_retimed": 9, "stages_reused": 40,
+            "full_pass_s": 0.2, "edit_replay_mean_s": 0.01,
+            "edit_replay_max_s": 0.02, "speedup_vs_full": 20.0,
+            "parity_ok": True, "parity_problems": 0}}}
+
+
+class TestEcoComparisonRules:
+    def test_identical_reports_compare_clean(self, eco_doc):
+        compare = _compare_module()
+        assert compare.check_comparable(eco_doc,
+                                        copy.deepcopy(eco_doc)) == []
+        assert compare.compare_results(eco_doc["results"],
+                                       copy.deepcopy(eco_doc)["results"],
+                                       mode="eco") == []
+
+    def test_replay_latency_is_not_a_census_key(self, eco_doc):
+        # Latency measures the machine; it must not fail the diff.
+        compare = _compare_module()
+        other = copy.deepcopy(eco_doc)
+        other["results"]["eco"]["edit_replay_mean_s"] = 0.5
+        other["results"]["eco"]["speedup_vs_full"] = 0.4
+        assert compare.compare_results(eco_doc["results"],
+                                       other["results"], mode="eco") == []
+
+    def test_census_mismatch_is_reported(self, eco_doc):
+        compare = _compare_module()
+        other = copy.deepcopy(eco_doc)
+        other["results"]["eco"]["paths_retimed"] = 16
+        lines = compare.compare_results(eco_doc["results"],
+                                        other["results"], mode="eco")
+        assert any("paths_retimed" in line for line in lines)
+
+    def test_cross_workload_pair_rejected(self, eco_doc):
+        compare = _compare_module()
+        other = copy.deepcopy(eco_doc)
+        other["workload"]["edits"] = 50
+        problems = compare.check_comparable(eco_doc, other)
+        assert any("edits" in p for p in problems)
+
+    def test_cross_environment_pair_rejected(self, eco_doc):
+        compare = _compare_module()
+        other = copy.deepcopy(eco_doc)
+        other["environment"]["jobs"] = 4
+        problems = compare.check_comparable(eco_doc, other)
+        assert any("environment.jobs" in p for p in problems)
+
+    def test_mode_mismatch_rejected(self, eco_doc):
+        compare = _compare_module()
+        other = copy.deepcopy(eco_doc)
+        other["workload"]["mode"] = "serve"
+        problems = compare.check_comparable(eco_doc, other)
+        assert any("mode" in p for p in problems)
+
+    def test_parity_failure_is_hard(self, eco_doc):
+        compare = _compare_module()
+        broken = copy.deepcopy(eco_doc)["results"]
+        broken["eco"]["parity_ok"] = False
+        problems = compare.check_eco_parity(broken, "second report")
+        assert any("parity_ok" in p for p in problems)
+        assert compare.check_eco_parity(eco_doc["results"],
+                                        "first report") == []
+
+
+class TestEcoEndToEnd:
+    def _write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_main_accepts_matching_pair(self, tmp_path, eco_doc, capsys):
+        compare = _compare_module()
+        a = self._write(tmp_path, "a.json", eco_doc)
+        b = self._write(tmp_path, "b.json", copy.deepcopy(eco_doc))
+        assert compare.main([a, b]) == 0
+        assert "eco census matches" in capsys.readouterr().out
+
+    def test_main_rejects_parity_violation(self, tmp_path, eco_doc,
+                                           capsys):
+        compare = _compare_module()
+        broken = copy.deepcopy(eco_doc)
+        broken["results"]["eco"]["parity_ok"] = False
+        a = self._write(tmp_path, "a.json", eco_doc)
+        b = self._write(tmp_path, "b.json", broken)
+        assert compare.main([a, b]) == 1
+        assert "parity" in capsys.readouterr().out
+
+    def test_latency_gate_passes_within_budget(self, tmp_path, eco_doc,
+                                               capsys):
+        compare = _compare_module()
+        faster = copy.deepcopy(eco_doc)
+        faster["results"]["eco"]["edit_replay_mean_s"] = 0.008
+        a = self._write(tmp_path, "a.json", eco_doc)
+        b = self._write(tmp_path, "b.json", faster)
+        code = compare.main(["--timing-only",
+                             "--max-timing-ratio",
+                             "eco.edit_replay_mean_s=1.5", a, b])
+        assert code == 0
+        assert "timing gates passed" in capsys.readouterr().out
+
+    def test_latency_gate_fails_on_regression(self, tmp_path, eco_doc,
+                                              capsys):
+        compare = _compare_module()
+        slower = copy.deepcopy(eco_doc)
+        slower["results"]["eco"]["edit_replay_mean_s"] = 0.05
+        a = self._write(tmp_path, "a.json", eco_doc)
+        b = self._write(tmp_path, "b.json", slower)
+        code = compare.main(["--timing-only",
+                             "--max-timing-ratio",
+                             "eco.edit_replay_mean_s=1.5", a, b])
+        assert code == 1
+        assert "exceeds limit" in capsys.readouterr().out

@@ -137,3 +137,69 @@ class TestInterchangeCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "clock 2000 ps" in out
+
+
+class TestSTACli:
+    SCALE, PATHS, SEED = "6000", "4", "3"
+
+    @pytest.fixture(scope="class")
+    def edit_script(self, tmp_path_factory):
+        """An edit script targeting a net that really exists in the
+        deterministic design ``repro sta`` will regenerate."""
+        import json
+
+        import numpy as np
+
+        from repro.design import generate_benchmark, sample_timing_paths
+        from repro.liberty import make_default_library
+
+        netlist = generate_benchmark("WB_DMA", make_default_library(),
+                                     int(self.SCALE))
+        rng = np.random.default_rng(int(self.SEED))
+        for path in sample_timing_paths(netlist, int(self.PATHS), rng):
+            netlist.add_path(path)
+        net = netlist.paths[0].stages[0].net
+        path = tmp_path_factory.mktemp("eco") / "edits.json"
+        path.write_text(json.dumps({
+            "schema": "repro-eco-edits/1",
+            "edits": [
+                {"op": "scale_net_rc", "net": net, "r_factor": 1.2,
+                 "c_factor": 0.9},
+                {"op": "insert_buffer", "net": net, "sink_index": 0,
+                 "cell": "BUF_X2"},
+            ]}))
+        return str(path)
+
+    def _sta(self, *extra):
+        return main(["sta", "WB_DMA", "--scale", self.SCALE,
+                     "--paths", self.PATHS, "--seed", self.SEED,
+                     "--engine", "elmore", *extra])
+
+    def test_full_pass(self, capsys):
+        assert self._sta() == 0
+        out = capsys.readouterr().out
+        assert "worst arrival" in out
+
+    def test_incremental_replay_with_parity(self, edit_script, capsys):
+        code = self._sta("--incremental", "--edits", edit_script,
+                         "--verify")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scale_net_rc" in out and "insert_buffer" in out
+        assert "retimed" in out
+        assert "parity ok" in out
+
+    def test_edits_require_incremental(self, edit_script, capsys):
+        assert self._sta("--edits", edit_script) == 2
+        assert "--incremental" in capsys.readouterr().err
+
+    def test_bad_edit_script_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro-eco-edits/9", "edits": []}')
+        code = self._sta("--incremental", "--edits", str(bad))
+        assert code == 1
+        assert "schema" in capsys.readouterr().err
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["sta", "NOPE"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -174,3 +174,116 @@ class TestServeModeValidator:
         document = _minimal_document()
         assert "mode" not in document["workload"]
         assert validate_bench_report(document) == []
+
+
+def _minimal_eco_document():
+    from repro.obs import QUICK_ECO_WORKLOAD
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_utc": "2026-08-08T00:00:00Z",
+        "environment": {"python": "3.12", "platform": "linux",
+                        "numpy": "1.0", "mp_start_method": "fork",
+                        "jobs": 1},
+        "workload": QUICK_ECO_WORKLOAD.to_dict(),
+        "stages": [{"name": "full_pass", "wall_s": 0.2, "cpu_s": 0.2},
+                   {"name": "eco_replay", "wall_s": 0.05, "cpu_s": 0.05}],
+        "results": {"eco": {
+            "design": "WB_DMA", "paths": 16, "edits_applied": 5,
+            "paths_retimed": 9, "stages_reused": 40,
+            "full_pass_s": 0.2, "edit_replay_mean_s": 0.01,
+            "edit_replay_max_s": 0.02, "speedup_vs_full": 20.0,
+            "parity_ok": True, "parity_problems": 0}},
+        "observability": {},
+    }
+
+
+class TestEcoModeValidator:
+    def test_eco_document_is_valid(self):
+        assert validate_bench_report(_minimal_eco_document()) == []
+
+    def test_workload_dict_declares_eco_mode(self):
+        from repro.obs import DEFAULT_ECO_WORKLOAD, QUICK_ECO_WORKLOAD
+
+        assert QUICK_ECO_WORKLOAD.to_dict()["mode"] == "eco"
+        assert DEFAULT_ECO_WORKLOAD.to_dict()["edits"] == 10
+
+    def test_eco_mode_requires_both_stages(self):
+        document = _minimal_eco_document()
+        document["stages"] = [{"name": "full_pass", "wall_s": 0.2,
+                               "cpu_s": 0.2}]
+        problems = validate_bench_report(document)
+        assert any("eco_replay" in p for p in problems)
+
+    @pytest.mark.parametrize("missing", [
+        "edits_applied", "edit_replay_mean_s", "speedup_vs_full",
+        "parity_ok"])
+    def test_missing_eco_result_field_rejected(self, missing):
+        document = _minimal_eco_document()
+        del document["results"]["eco"][missing]
+        problems = validate_bench_report(document)
+        assert any(missing in p for p in problems)
+
+    def test_parity_violation_rejected(self):
+        # A report whose incremental replay disagrees with the cold pass
+        # must never validate — the speedup number would be meaningless.
+        document = _minimal_eco_document()
+        document["results"]["eco"]["parity_ok"] = False
+        problems = validate_bench_report(document)
+        assert any("parity" in p for p in problems)
+
+    def test_eco_mode_does_not_require_pipeline_sections(self):
+        assert "dataset" not in _minimal_eco_document()["results"]
+        assert validate_bench_report(_minimal_eco_document()) == []
+
+
+class TestEcoBenchRun:
+    @pytest.fixture(scope="class")
+    def document(self):
+        from repro.obs import ECOBenchWorkload, run_eco_bench
+
+        tiny = ECOBenchWorkload(name="eco-test", benchmark="WB_DMA",
+                                scale=6000, sta_paths=8, edits=3)
+        return run_eco_bench(tiny)
+
+    def test_document_passes_schema_validation(self, document):
+        assert validate_bench_report(document) == []
+
+    def test_replay_is_faster_than_full_pass(self, document):
+        eco = document["results"]["eco"]
+        # The acceptance floor is 5x on the pinned workload; the tiny
+        # CI design must still clearly beat the full pass.
+        assert eco["speedup_vs_full"] > 1.0
+        assert eco["edit_replay_mean_s"] < eco["full_pass_s"]
+
+    def test_parity_checked_and_ok(self, document):
+        eco = document["results"]["eco"]
+        assert eco["parity_ok"] is True
+        assert eco["parity_problems"] == 0
+
+    def test_counters_exported(self, document):
+        counters = document["observability"]["metrics"]["counters"]
+        assert counters["incremental.edits_applied"] >= 3
+        assert "incremental.stale_entries_dropped" in counters
+
+    def test_summary_renders(self, document):
+        from repro.obs import format_eco_summary
+
+        text = format_eco_summary(document)
+        assert "eco-test" in text and "parity ok" in text
+
+
+class TestEcoBenchCliSmoke:
+    def test_quick_eco_bench_writes_schema_valid_report(self, tmp_path,
+                                                        capsys):
+        code = main(["bench", "--eco", "--quick", "-o", str(tmp_path),
+                     "--date", "2026-08-08"])
+        assert code == 0
+        document = json.load(open(tmp_path / "BENCH_2026-08-08.json"))
+        assert validate_bench_report(document) == []
+        assert document["workload"]["mode"] == "eco"
+        out = capsys.readouterr().out
+        assert "parity ok" in out
+
+    def test_serve_and_eco_flags_conflict(self, capsys):
+        assert main(["bench", "--serve", "--eco"]) == 2

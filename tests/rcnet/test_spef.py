@@ -165,3 +165,60 @@ class TestErrors:
                 '*CAP\n1 n:0 1.0\n2 n:1 1.0\n*RES\n1 n:0\n*END\n')
         with pytest.raises(SPEFError, match="malformed resistance"):
             parse_spef(text)
+
+
+class TestECOEdits:
+    """SPEF-level halves of the ECO parasitic edits."""
+
+    def _design(self):
+        nets = [chain_net(4, name="na"), chain_net(5, name="nb")]
+        return parse_spef(write_spef(nets, design="eco"))
+
+    def test_replace_net_swaps_by_name_and_returns_old(self):
+        design = self._design()
+        old = design.net_by_name("na")
+        replacement = old.scaled(r_factor=2.0)
+        returned = design.replace_net(replacement)
+        assert returned is old
+        assert design.net_by_name("na") is replacement
+        assert design.net_by_name("nb").name == "nb"  # untouched
+
+    def test_replace_unknown_net_rejected(self):
+        design = self._design()
+        with pytest.raises(KeyError, match="ghost"):
+            design.replace_net(chain_net(3, name="ghost"))
+
+    def test_scale_net_rc_scales_in_place(self):
+        design = self._design()
+        old = design.net_by_name("na")
+        returned = design.scale_net_rc("na", r_factor=1.5, c_factor=0.5)
+        assert returned is old
+        scaled = design.net_by_name("na")
+        for before, after in zip(old.edges, scaled.edges):
+            assert after.resistance == pytest.approx(1.5 * before.resistance)
+        for before, after in zip(old.nodes, scaled.nodes):
+            assert after.cap == pytest.approx(0.5 * before.cap)
+
+
+class TestRCNetScaled:
+    def test_topology_and_names_preserved(self):
+        net = chain_net(6, name="c")
+        scaled = net.scaled(r_factor=1.2, c_factor=0.8)
+        assert scaled.name == "c"
+        assert scaled.source == net.source and scaled.sinks == net.sinks
+        assert [n.name for n in scaled.nodes] == [n.name for n in net.nodes]
+
+    def test_identity_factors_are_bitwise(self):
+        net = chain_net(6, name="c")
+        scaled = net.scaled()
+        assert [n.cap for n in scaled.nodes] == [n.cap for n in net.nodes]
+        assert [e.resistance for e in scaled.edges] == \
+            [e.resistance for e in net.edges]
+
+    def test_nonpositive_factor_rejected(self):
+        from repro.rcnet import RCNetError
+
+        with pytest.raises(RCNetError, match="positive"):
+            chain_net(4, name="c").scaled(r_factor=0.0)
+        with pytest.raises(RCNetError, match="positive"):
+            chain_net(4, name="c").scaled(c_factor=-1.0)

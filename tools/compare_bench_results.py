@@ -23,6 +23,19 @@ configuration, not the change under test.  Within a comparable serve
 pair, only the deterministic census keys are diffed (request counts and
 the zero-lost invariant); latency and throughput are reported FYI.
 
+ECO-mode reports (``repro bench --eco``; ``workload.mode == "eco"``)
+follow the serve rules: the pair must share its workload block and
+execution environment (exit 2 otherwise), the deterministic census keys
+(edit counts, retimed-path counts, the parity verdict) are diffed
+exactly, and the replay-latency measurements are reported FYI.  A report
+whose ``eco.parity_ok`` is false fails the comparison outright — an
+incremental engine that disagrees with a cold full pass is broken no
+matter how fast it replays edits.  Edit-replay latency is gated with the
+same ``--max-timing-ratio`` machinery, e.g.
+``--max-timing-ratio eco.edit_replay_mean_s=0.2`` for "replaying one
+edit stays at least 5x faster than the full pass baseline recorded in
+the first report".
+
 Beyond equality, the tool can *gate timings* between two reports measured
 on the same machine (e.g. the two pinned baselines committed at the repo
 root).  ``--max-timing-ratio KEY=R`` asserts that the second report's
@@ -67,8 +80,23 @@ SERVE_CENSUS_KEYS = {
     ("serve", "single_shot_baseline_nets_per_s"),
 }
 
-#: environment keys that define a serve run's execution configuration.
+#: eco-mode results keys that are deterministic across runs of the same
+#: workload; the replay latencies in ``results.eco`` measure the machine.
+ECO_CENSUS_KEYS = {
+    ("eco", "design"),
+    ("eco", "paths"),
+    ("eco", "edits_applied"),
+    ("eco", "paths_retimed"),
+    ("eco", "stages_reused"),
+    ("eco", "parity_ok"),
+}
+
+#: environment keys that define a serve/eco run's execution configuration.
 ENV_CONFIG_KEYS = ("mp_start_method", "jobs")
+
+#: modes whose reports are load measurements: comparable only when the
+#: workload block and execution environment match exactly.
+MEASUREMENT_MODES = ("serve", "eco")
 
 
 def _mode(document: Dict[str, Any]) -> str:
@@ -102,14 +130,14 @@ def check_comparable(a: Dict[str, Any],
     if mode_a != mode_b:
         problems.append(f"workload mode mismatch: {mode_a!r} vs {mode_b!r}")
         return problems
-    if mode_a != "serve":
+    if mode_a not in MEASUREMENT_MODES:
         return problems
     workload_a = a.get("workload") or {}
     workload_b = b.get("workload") or {}
     for key in sorted(set(workload_a) | set(workload_b)):
         if workload_a.get(key) != workload_b.get(key):
             problems.append(
-                f"serve workload differs at {key!r}: "
+                f"{mode_a} workload differs at {key!r}: "
                 f"{workload_a.get(key)!r} vs {workload_b.get(key)!r}")
     env_a = a.get("environment") or {}
     env_b = b.get("environment") or {}
@@ -128,6 +156,9 @@ def compare_results(a: Dict[str, Any], b: Dict[str, Any],
     if mode == "serve":
         flat_a = {k: v for k, v in flat_a.items() if k in SERVE_CENSUS_KEYS}
         flat_b = {k: v for k, v in flat_b.items() if k in SERVE_CENSUS_KEYS}
+    elif mode == "eco":
+        flat_a = {k: v for k, v in flat_a.items() if k in ECO_CENSUS_KEYS}
+        flat_b = {k: v for k, v in flat_b.items() if k in ECO_CENSUS_KEYS}
     else:
         flat_a = {k: v for k, v in flat_a.items() if k not in TIMING_KEYS}
         flat_b = {k: v for k, v in flat_b.items() if k not in TIMING_KEYS}
@@ -152,6 +183,32 @@ def _serve_fyi(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
         if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
             lines.append(f"  {key}: {va:.1f} -> {vb:.1f}")
     return lines
+
+
+def _eco_fyi(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+    """Side-by-side measurement lines for a comparable eco pair."""
+    lines = []
+    for key in ("edit_replay_mean_s", "edit_replay_max_s",
+                "speedup_vs_full"):
+        va = (a.get("eco") or {}).get(key)
+        vb = (b.get("eco") or {}).get(key)
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            if key == "speedup_vs_full":
+                lines.append(f"  {key}: {va:.1f}x -> {vb:.1f}x")
+            else:
+                lines.append(f"  {key}: {va * 1e3:.2f}ms -> {vb * 1e3:.2f}ms")
+    return lines
+
+
+def check_eco_parity(results: Dict[str, Any], label: str) -> List[str]:
+    """Hard failures for an eco report whose parity check did not pass."""
+    eco = results.get("eco")
+    if not isinstance(eco, dict):
+        return [f"{label}: eco-mode report has no results.eco block"]
+    if eco.get("parity_ok") is not True:
+        return [f"{label}: eco.parity_ok is {eco.get('parity_ok')!r} "
+                f"(incremental replay disagrees with cold full pass)"]
+    return []
 
 
 def _lookup_timing(document: Dict[str, Any], dotted: str) -> Optional[float]:
@@ -259,6 +316,15 @@ def main(argv: List[str]) -> int:
             print(f"  {line}", file=sys.stderr)
         return 2
     mode = _mode(documents[0])
+    if mode == "eco":
+        parity_problems = (
+            check_eco_parity(documents[0]["results"], "first report")
+            + check_eco_parity(documents[1]["results"], "second report"))
+        if parity_problems:
+            print(f"eco parity failed ({len(parity_problems)}):")
+            for line in parity_problems:
+                print(f"  {line}")
+            return 1
     mismatches = compare_results(documents[0]["results"],
                                  documents[1]["results"], mode=mode)
     if mismatches:
@@ -270,6 +336,11 @@ def main(argv: List[str]) -> int:
         print("serve census matches (zero-lost invariant + request counts)")
         for line in _serve_fyi(documents[0]["results"],
                                documents[1]["results"]):
+            print(line)
+    elif mode == "eco":
+        print("eco census matches (edit counts + parity verdict)")
+        for line in _eco_fyi(documents[0]["results"],
+                             documents[1]["results"]):
             print(line)
     else:
         print("results blocks match (timing keys excluded)")

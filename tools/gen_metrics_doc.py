@@ -49,6 +49,7 @@ INSTRUMENTED_MODULES = [
     "repro.analysis.simulator",
     "repro.core.estimator",
     "repro.data.generate",
+    "repro.design.eco",
     "repro.design.sta",
     "repro.features.pipeline",
     "repro.nn.trainer",
@@ -150,6 +151,25 @@ DESCRIPTIONS: Dict[str, Tuple[str, str]] = {
     # -- STA / robustness ----------------------------------------------
     "sta.stages_timed": ("counter", "Gate stages timed during STA."),
     "sta.paths_timed": ("counter", "Timing paths analyzed during STA."),
+    # -- incremental / ECO timing --------------------------------------
+    "incremental.edits_applied": (
+        "counter", "Netlist edits replayed through `ECOTimingEngine`."),
+    "incremental.paths_retimed": (
+        "counter", "Paths re-timed because an edit dirtied their cone "
+        "or rewrote their stage list."),
+    "incremental.paths_reused": (
+        "counter", "Paths left untouched by an edit replay (their "
+        "timings carried over verbatim)."),
+    "incremental.stages_reused": (
+        "counter", "Stage timings served from the warm memo while "
+        "re-timing dirty paths."),
+    "incremental.stale_entries_dropped": (
+        "counter", "Stage-memo entries invalidated by edits."),
+    "incremental.solves_invalidated": (
+        "counter", "Primed `SolveCache` eigensolves dropped because an "
+        "edit rewrote a net's RC network."),
+    "incremental.cone_size": (
+        "histogram", "Paths re-timed per edit (the dirty fanout cone)."),
     "fallback.degraded_nets": (
         "counter", "Nets served by a lower tier after the preferred "
         "wire-timing tier failed."),
