@@ -33,14 +33,13 @@ from __future__ import annotations
 import hashlib
 import math
 import struct
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..obs import get_metrics
+from ..obs import get_metrics, named_lock
 from ..rcnet.graph import RCNet
 from .cache import solve_key
 from .mna import capacitance_vector
@@ -224,17 +223,18 @@ class AWEStepCache:
     Keys come from :func:`step_key`; values are the full per-node arrays of
     :func:`awe2_timing`, stored read-only because hits hand out the same
     objects to every caller.  Serving threads share one instance, hence the
-    lock (contrast :class:`~repro.analysis.cache.SolveCache`, which is
-    per-process single-threaded).
+    (watched) lock — the same discipline as
+    :class:`~repro.analysis.cache.SolveCache`: only the ``OrderedDict``
+    operations run under it, metric increments happen outside.
     """
 
     def __init__(self, maxsize: int = 4096) -> None:
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
-        self._lock = threading.Lock()
+        self._lock = named_lock("AWEStepCache._lock")
         self._entries: "OrderedDict[bytes, Tuple[np.ndarray, np.ndarray]]" \
-            = OrderedDict()
+            = OrderedDict()  # repro-guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -259,12 +259,13 @@ class AWEStepCache:
             return None
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                _CACHE_MISSES.inc()
-                return None
-            self._entries.move_to_end(key)
-            _CACHE_HITS.inc()
-            return entry
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            _CACHE_MISSES.inc()
+            return None
+        _CACHE_HITS.inc()
+        return entry
 
     def put(self, key: bytes, delays: np.ndarray, slews: np.ndarray) -> None:
         if not self.enabled:

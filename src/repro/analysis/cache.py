@@ -16,10 +16,14 @@ a size-bounded LRU from that key to the reusable
 :class:`~repro.analysis.simulator.EigenSolve` object.
 
 Hit/miss/eviction counts feed the ``simulator.cache_*`` metrics (see
-docs/OBSERVABILITY.md).  Every worker process of a parallel run owns its own
-cache, so no cross-process locking exists or is needed.  Cached solves must
-be treated as immutable — they are shared between all timing queries that
-hash to the same key.
+docs/OBSERVABILITY.md).  Every worker process of a parallel run owns its
+own cache, so no cross-*process* locking exists or is needed — but within
+one process the serve worker threads all query the shared global cache, so
+the LRU map itself is guarded by a (watched) lock.  Lock discipline: only
+the ``OrderedDict`` operations run under the lock; eigensolves, metric
+increments and disk I/O happen outside it, so a slow ``.npz`` read never
+stalls an unrelated hit.  Cached solves must be treated as immutable —
+they are shared between all timing queries that hash to the same key.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from ..obs import get_metrics
+from ..obs import get_metrics, named_lock
 from ..rcnet.graph import RCNet
 
 __all__ = ["solve_key", "SolveCache", "get_solve_cache",
@@ -101,8 +105,11 @@ class SolveCache:
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
+        #: Immutable after __init__ (only ever cleared to None here);
+        #: worker threads read it freely without the lock.
         self.persist_dir = persist_dir
-        self._entries: "OrderedDict[bytes, Any]" = OrderedDict()
+        self._lock = named_lock("SolveCache._lock")
+        self._entries: "OrderedDict[bytes, Any]" = OrderedDict()  # repro-guarded-by: _lock
         if persist_dir is not None:
             try:
                 os.makedirs(persist_dir, exist_ok=True)
@@ -110,7 +117,8 @@ class SolveCache:
                 self.persist_dir = None  # unusable directory: memory-only
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def enabled(self) -> bool:
@@ -120,7 +128,10 @@ class SolveCache:
         """Look up ``key``, counting the hit/miss and refreshing recency."""
         if not self.enabled:
             return None
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
         if entry is None:
             _MISSES.inc()
             entry = self._disk_get(key)
@@ -129,7 +140,6 @@ class SolveCache:
                 # subsequent queries skip the file system entirely.
                 self.put(key, entry, _persist=False)
             return entry
-        self._entries.move_to_end(key)
         _HITS.inc()
         return entry
 
@@ -137,11 +147,15 @@ class SolveCache:
         """Insert ``solve``, evicting least-recently-used entries if full."""
         if not self.enabled:
             return
-        self._entries[key] = solve
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            _EVICTIONS.inc()
+        evicted = 0
+        with self._lock:
+            self._entries[key] = solve
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            _EVICTIONS.inc(evicted)
         if _persist:
             self._disk_put(key, solve)
 
@@ -154,7 +168,8 @@ class SolveCache:
         of waiting for LRU eviction.  Returns True when either tier held
         the key.
         """
-        dropped = self._entries.pop(key, None) is not None
+        with self._lock:
+            dropped = self._entries.pop(key, None) is not None
         if self.persist_dir is not None:
             try:
                 os.unlink(self._disk_path(key))
@@ -164,15 +179,18 @@ class SolveCache:
         return dropped
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
         """Current counter values plus occupancy (JSON-safe)."""
-        return {"entries": len(self._entries), "maxsize": self.maxsize,
-                "hits": _HITS.value, "misses": _MISSES.value,
-                "evictions": _EVICTIONS.value,
-                "persist_hits": _PERSIST_HITS.value,
-                "persist_misses": _PERSIST_MISSES.value}
+        with self._lock:
+            entries = len(self._entries)
+        return {"entries": entries, "maxsize": self.maxsize,
+                "hits": _HITS.snapshot(), "misses": _MISSES.snapshot(),
+                "evictions": _EVICTIONS.snapshot(),
+                "persist_hits": _PERSIST_HITS.snapshot(),
+                "persist_misses": _PERSIST_MISSES.snapshot()}
 
     # ------------------------------------------------------------------
     # Disk tier

@@ -236,13 +236,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ignore", default=None,
                    help="comma-separated rule names to skip")
     p.add_argument("--format", choices=["text", "json"], default="text",
-                   dest="fmt", help="report format (json is repro-lint/2)")
+                   dest="fmt", help="report format (json is repro-lint/3)")
     p.add_argument("--baseline", default=None,
                    help="baseline file of grandfathered findings (default: "
                         "lint-baseline.json when it exists)")
     p.add_argument("--deep", action="store_true",
                    help="run the whole-program analysis tier (FLOW/SHAPE/"
                         "UNIT packs) with the incremental summary cache")
+    p.add_argument("--concurrency", action="store_true",
+                   help="also run the CONC pack (lock-order, guarded-by, "
+                        "thread-escape); implies --deep")
     p.add_argument("--changed", action="store_true",
                    help="lint only files changed vs the git merge base "
                         "(fast path for PR builds)")
@@ -721,11 +724,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                        default_config, default_rules, load_baseline,
                        render_json, render_text, rule_catalogue,
                        write_baseline)
+    from .lint.concurrency import CONC_RULE_CATALOGUE, CONC_RULE_NAMES
     from .lint.deep import DEEP_RULE_CATALOGUE, DEEP_RULE_NAMES
 
     rules = default_rules()
     if args.list_rules:
-        print(rule_catalogue(list(rules) + list(DEEP_RULE_CATALOGUE)))
+        print(rule_catalogue(list(rules) + list(DEEP_RULE_CATALOGUE)
+                             + list(CONC_RULE_CATALOGUE)))
         return 0
 
     def _names(raw: Optional[str]) -> Optional[List[str]]:
@@ -743,19 +748,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                             ignore=_names(args.ignore),
                             exclude=tuple(config.exclude)
                             + tuple(args.exclude),
-                            extra_rule_names=DEEP_RULE_NAMES)
+                            extra_rule_names=DEEP_RULE_NAMES
+                            + CONC_RULE_NAMES)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     deep = None
-    if args.deep:
+    if args.deep or args.concurrency:
+        conc = bool(args.concurrency)
         try:
             if args.cache == "off":
-                deep = DeepAnalyzer(config=config, cache_path=None)
+                deep = DeepAnalyzer(config=config, cache_path=None,
+                                    concurrency=conc)
             elif args.cache:
-                deep = DeepAnalyzer(config=config, cache_path=args.cache)
+                deep = DeepAnalyzer(config=config, cache_path=args.cache,
+                                    concurrency=conc)
             else:
-                deep = DeepAnalyzer(config=config)
+                deep = DeepAnalyzer(config=config, concurrency=conc)
         except DeclarationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..liberty.ceff import effective_capacitance
 from ..features.path_features import NetContext
+from ..obs import named_lock
 from .netlist import Netlist, TimingPath
 from .sta import PathTiming, StageTiming, WireTimingModel, resolve_arc_pin
 
@@ -79,11 +80,15 @@ class IncrementalSTAEngine:
         self.launch_slew = launch_slew
         self.slew_quantum = slew_quantum
         self.lenient_pins = lenient_pins
+        # The ECO stage memo is shared between a serve batch window and
+        # concurrent edit threads; only the dict/counter operations run
+        # under the lock — wire-timing computation happens outside it.
+        self._lock = named_lock("IncrementalSTAEngine._lock")
         # (net, cell name, arc pin, slew key) -> (gate_delay, delays, slews)
         self._cache: Dict[StageKey, Tuple[float, np.ndarray,
-                                          np.ndarray]] = {}
-        self.hits = 0
-        self.misses = 0
+                                          np.ndarray]] = {}  # repro-guarded-by: _lock
+        self.hits = 0    # repro-guarded-by: _lock
+        self.misses = 0  # repro-guarded-by: _lock
 
     # ------------------------------------------------------------------
     def invalidate_gate(self, gate_name: str) -> int:
@@ -106,14 +111,16 @@ class IncrementalSTAEngine:
         stale = set(net_names)
         if not stale:
             return 0
-        stale_keys = [key for key in self._cache if key[0] in stale]
-        for key in stale_keys:
-            del self._cache[key]
+        with self._lock:
+            stale_keys = [key for key in self._cache if key[0] in stale]
+            for key in stale_keys:
+                del self._cache[key]
         return len(stale_keys)
 
     def clear(self) -> None:
         """Drop the whole cache (e.g. after wholesale edits)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     # ------------------------------------------------------------------
     def _slew_key(self, slew: float) -> Hashable:
@@ -129,12 +136,16 @@ class IncrementalSTAEngine:
                               design=self.netlist.name,
                               lenient=self.lenient_pins)
         key = (net_name, gate.cell.name, pin, self._slew_key(slew))
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
 
-        self.misses += 1
+        # Computed outside the lock: two threads missing on the same key
+        # may both solve it (identical results; last store wins), which
+        # beats serializing every wire-timing evaluation.
         sink_loads = self.netlist.sink_loads(net)
         load = effective_capacitance(net.rcnet, gate.cell.drive_resistance,
                                      sink_loads)
@@ -146,7 +157,8 @@ class IncrementalSTAEngine:
             net.rcnet, drive_slew, sink_loads, gate.cell.drive_resistance,
             context=context)
         result = (gate_delay, np.asarray(delays), np.asarray(slews))
-        self._cache[key] = result
+        with self._lock:
+            self._cache[key] = result
         return result
 
     def path_arrival(self, path: TimingPath) -> PathTiming:
@@ -176,5 +188,6 @@ class IncrementalSTAEngine:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0

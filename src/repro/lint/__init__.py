@@ -21,9 +21,10 @@ Typical use is through the CLI::
 
     repro lint src tools                       # text report, exit 1 on findings
     repro lint src tools --deep                # + FLOW/SHAPE/UNIT packs
+    repro lint src tools --concurrency         # + CONC pack (implies --deep)
     repro lint src tools --deep --changed      # PR fast path (git diff gate)
     repro lint src --select ERR001,ERR002      # only the error-contract rules
-    repro lint src tools --format json         # machine-readable repro-lint/2
+    repro lint src tools --format json         # machine-readable repro-lint/3
     repro lint src tools --write-baseline      # grandfather current findings
 
 and programmatically::
@@ -40,6 +41,8 @@ from .baseline import (BASELINE_SCHEMA, DEFAULT_BASELINE, BaselineEntry,
                        write_baseline)
 from .callgraph import CallGraph
 from .cfg import CFG, build_cfg, dump_cfg, function_cfgs
+from .concurrency import (CONC_RULE_NAMES, LockGraph, build_lock_graph,
+                          dump_lock_graph)
 from .config import ConfigError, LintConfig, default_config, load_config
 from .deep import (ANALYSIS_VERSION, DEEP_RULE_NAMES, DeepAnalyzer,
                    DeepStats)
@@ -54,16 +57,17 @@ from .symbols import ModuleSummary, SymbolTable, summarize_module
 from .units import DeclarationError, UnitDeclarations, load_declarations
 
 __all__ = [
-    "ANALYSIS_VERSION", "BASELINE_SCHEMA", "CFG", "CallGraph",
-    "ConfigError", "DEEP_RULE_NAMES", "DEFAULT_BASELINE", "BaselineEntry",
-    "BaselineError", "DeclarationError", "DeepAnalyzer", "DeepStats",
-    "Finding", "LintConfig", "LintResult", "LintRunner", "ModuleContext",
-    "ModuleSummary", "PARSE_RULE", "ProjectRule", "REPORT_SCHEMA", "Rule",
-    "ShapeContract", "SymbolTable", "TAXONOMY_ERRORS", "UnitDeclarations",
-    "apply_baseline", "build_cfg", "default_config", "default_rules",
-    "dump_cfg", "function_cfgs", "load_baseline", "load_config",
-    "load_declarations", "module_name", "parse_contract_text",
-    "python_files", "render_json", "render_text", "report_document",
-    "rule_catalogue", "summarize_module", "suppressed_lines",
-    "write_baseline",
+    "ANALYSIS_VERSION", "BASELINE_SCHEMA", "CFG", "CONC_RULE_NAMES",
+    "CallGraph", "ConfigError", "DEEP_RULE_NAMES", "DEFAULT_BASELINE",
+    "BaselineEntry", "BaselineError", "DeclarationError", "DeepAnalyzer",
+    "DeepStats", "Finding", "LintConfig", "LintResult", "LintRunner",
+    "LockGraph", "ModuleContext", "ModuleSummary", "PARSE_RULE",
+    "ProjectRule", "REPORT_SCHEMA", "Rule", "ShapeContract", "SymbolTable",
+    "TAXONOMY_ERRORS", "UnitDeclarations", "apply_baseline",
+    "build_cfg", "build_lock_graph", "default_config", "default_rules",
+    "dump_cfg", "dump_lock_graph", "function_cfgs", "load_baseline",
+    "load_config", "load_declarations", "module_name",
+    "parse_contract_text", "python_files", "render_json", "render_text",
+    "report_document", "rule_catalogue", "summarize_module",
+    "suppressed_lines", "write_baseline",
 ]

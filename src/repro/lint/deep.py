@@ -56,6 +56,9 @@ DEFAULT_CACHE = ".repro-lint-cache.json"
 #: Names of the deep rule packs, for reports and ``--list-rules``.
 PACKS = ("FLOW", "SHAPE", "UNIT")
 
+#: The optional whole-program concurrency pack (``--concurrency``).
+CONC_PACK = "CONC"
+
 
 @dataclass
 class DeepStats:
@@ -68,9 +71,15 @@ class DeepStats:
     suppressed: int = 0         # deep findings removed by inline disables
     cache_loaded: bool = False  # a compatible cache file was read
     cache_path: Optional[str] = None
+    #: ``{"modules": .., "findings": .., "locks": .., "lock_edges": ..}``
+    #: when the CONC pack ran this run, else ``None``.
+    concurrency: Optional[Dict[str, int]] = None
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        packs = list(PACKS)
+        if self.concurrency is not None:
+            packs.append(CONC_PACK)
+        document: Dict[str, object] = {
             "modules_total": self.modules_total,
             "modules_analyzed": self.modules_analyzed,
             "modules_cached": self.modules_cached,
@@ -78,8 +87,11 @@ class DeepStats:
             "suppressed": self.suppressed,
             "cache_loaded": self.cache_loaded,
             "cache_path": self.cache_path,
-            "packs": list(PACKS),
+            "packs": packs,
         }
+        if self.concurrency is not None:
+            document["concurrency"] = dict(self.concurrency)
+        return document
 
 
 @dataclass
@@ -106,9 +118,11 @@ class DeepAnalyzer:
     """Whole-program analysis with a content-hash incremental cache."""
 
     def __init__(self, config: Optional[LintConfig] = None,
-                 cache_path: Optional[str] = DEFAULT_CACHE) -> None:
+                 cache_path: Optional[str] = DEFAULT_CACHE,
+                 concurrency: bool = False) -> None:
         self.config = config if config is not None else default_config()
         self.cache_path = cache_path
+        self.concurrency = concurrency
         self.declarations: UnitDeclarations = load_declarations(
             self.config.unit_declarations_path())
 
@@ -194,8 +208,59 @@ class DeepAnalyzer:
             findings.extend(self._apply_suppressions(state, stats))
 
         self._write_cache(fresh_cache)
+        if self.concurrency:
+            findings.extend(self._run_concurrency(states, table, stats))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings, stats
+
+    def _run_concurrency(self, states: Dict[str, _ModuleState],
+                         table: SymbolTable,
+                         stats: DeepStats) -> List[Finding]:
+        """The CONC pack: whole-program, uncached, over fresh ASTs.
+
+        LOCK001 is a property of the *current* input set (one new edge
+        anywhere can close a cycle whose other edges live in unchanged
+        modules), so no per-module finding cache is sound here — every
+        run re-extracts from the trees it already has (or parses the
+        clean modules it skipped).
+        """
+        from .concurrency import run_concurrency
+
+        trees: Dict[str, ast.Module] = {}
+        sources: Dict[str, Sequence[str]] = {}
+        displays: Dict[str, str] = {}
+        for module, state in states.items():
+            if state.tree is None:
+                self._parse(state)
+            if state.tree is None:
+                continue
+            trees[module] = state.tree
+            sources[module] = state.source.splitlines()
+            displays[module] = state.display
+        findings, graph = run_concurrency(table, trees, sources, displays)
+        kept: List[Finding] = []
+        by_display = {state.display: state for state in states.values()}
+        suppression_cache: Dict[str, Dict[int, set]] = {}
+        for finding in findings:
+            state = by_display.get(finding.path)
+            if state is not None:
+                if finding.path not in suppression_cache:
+                    suppression_cache[finding.path] = \
+                        suppressed_lines(state.source)
+                names = suppression_cache[finding.path].get(
+                    finding.line, set())
+                if "*" in names or finding.rule in names:
+                    stats.suppressed += 1
+                    continue
+            kept.append(finding)
+        stats.concurrency = {
+            "modules": len(trees),
+            "findings": len(kept),
+            "locks": len(graph.locks),
+            "lock_edges": len(graph.edges),
+        }
+        _record_concurrency_metrics(stats.concurrency)
+        return kept
 
     # ------------------------------------------------------------------
     def _read_modules(self, files: Sequence[str]) -> Dict[str, _ModuleState]:
@@ -322,6 +387,24 @@ class DeepAnalyzer:
                 handle.write("\n")
         except OSError:
             pass  # a read-only checkout must not break linting
+
+
+def _record_concurrency_metrics(counts: Dict[str, int]) -> None:
+    """Bump ``lint.concurrency.*`` counters, if the obs package is usable.
+
+    The lint package is deliberately dependency-free; observability is a
+    best-effort extra (obs pulls numpy transitively via its bench module's
+    callers, and a stripped checkout may not ship it at all).
+    """
+    try:
+        from repro.obs import get_metrics
+    except ImportError:  # pragma: no cover - stripped environment
+        return
+    metrics = get_metrics()
+    metrics.counter("lint.concurrency.modules").inc(counts["modules"])
+    metrics.counter("lint.concurrency.findings").inc(counts["findings"])
+    metrics.counter("lint.concurrency.lock_edges").inc(
+        counts["lock_edges"])
 
 
 def _findings_from_cache(entry: Dict[str, object]) -> List[Finding]:

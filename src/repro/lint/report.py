@@ -1,14 +1,17 @@
 """Text and JSON renderers for lint results.
 
-The JSON document (schema ``repro-lint/2``) is the machine interface CI
+The JSON document (schema ``repro-lint/3``) is the machine interface CI
 consumes and archives; it is rendered with sorted keys and a stable field
-set so reports diff cleanly across runs.  Version 2 adds the deep-tier
+set so reports diff cleanly across runs.  Version 2 added the deep-tier
 block: ``packs`` (which analysis packs exist) and ``cache`` (the
 incremental-analysis counters — how many modules were re-analyzed vs
 served from the summary cache), both ``null``-free only when ``--deep``
-ran.  The text renderer is for humans at the terminal: one
-``path:line:col: RULE severity: message`` row per finding plus a summary
-line.
+ran.  Version 3 adds the ``concurrency`` block — the CONC pack's
+whole-program counters (modules swept, lock nodes, lock-order edges,
+findings) when ``--concurrency`` ran, else ``null`` — and lists ``CONC``
+in ``packs`` for such runs.  The text renderer is for humans at the
+terminal: one ``path:line:col: RULE severity: message`` row per finding
+plus a summary line.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .engine import LintResult, Rule
 
-REPORT_SCHEMA = "repro-lint/2"
+REPORT_SCHEMA = "repro-lint/3"
 
 
 def render_text(result: LintResult) -> str:
@@ -40,6 +43,10 @@ def render_text(result: LintResult) -> str:
     if result.deep is not None:
         extras.append(f"deep: {result.deep.modules_analyzed} analyzed, "
                       f"{result.deep.modules_cached} from cache")
+        if result.deep.concurrency is not None:
+            conc = result.deep.concurrency
+            extras.append(f"concurrency: {conc['locks']} lock(s), "
+                          f"{conc['lock_edges']} order edge(s)")
     if extras:
         tail += " (" + ", ".join(extras) + ")"
     lines.append(tail if result.findings else f"clean: {tail}")
@@ -47,12 +54,16 @@ def render_text(result: LintResult) -> str:
 
 
 def report_document(result: LintResult) -> Dict[str, object]:
-    """The ``repro-lint/2`` report as a JSON-safe dict."""
+    """The ``repro-lint/3`` report as a JSON-safe dict."""
     deep: Optional[Dict[str, object]] = None
     packs: List[str] = []
+    concurrency: Optional[Dict[str, object]] = None
     if result.deep is not None:
         stats = result.deep.as_dict()
         packs = list(stats.pop("packs", []))
+        raw_conc = stats.pop("concurrency", None)
+        if isinstance(raw_conc, dict):
+            concurrency = raw_conc
         deep = stats
     return {
         "schema": REPORT_SCHEMA,
@@ -65,6 +76,7 @@ def report_document(result: LintResult) -> Dict[str, object]:
                            for entry in result.stale_baseline],
         "packs": packs,
         "cache": deep,
+        "concurrency": concurrency,
         "exit_code": result.exit_code,
     }
 

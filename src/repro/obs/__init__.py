@@ -24,6 +24,9 @@ nothing while the tracer is disabled.
 
 from .tracer import (NULL_SPAN, TRACE_ENV_VAR, Span, Tracer,
                      configure_from_env, get_tracer)
+from .lockwatch import (WATCHDOG_ENV, LockOrderInversion, LockOrderWatchdog,
+                        WatchedLock, get_lock_watchdog, named_lock,
+                        watchdog_enabled)
 from .metrics import (Counter, Gauge, Histogram, MetricRegistry, get_metrics)
 from .profile import StageProfile, aggregate_spans, format_profile
 from .export import (dump_json, load_trace, observability_document,
@@ -37,6 +40,8 @@ from .bench import (BENCH_SCHEMA, DEFAULT_ECO_WORKLOAD, DEFAULT_WORKLOAD,
 __all__ = [
     "Span", "Tracer", "get_tracer", "configure_from_env", "NULL_SPAN",
     "TRACE_ENV_VAR",
+    "WATCHDOG_ENV", "LockOrderInversion", "LockOrderWatchdog",
+    "WatchedLock", "get_lock_watchdog", "named_lock", "watchdog_enabled",
     "Counter", "Gauge", "Histogram", "MetricRegistry", "get_metrics",
     "StageProfile", "aggregate_spans", "format_profile",
     "write_trace", "load_trace", "observability_document", "dump_json",

@@ -18,7 +18,6 @@ so ``wire_timing`` never raises on any net the caller can construct.
 from __future__ import annotations
 
 import math
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -28,7 +27,7 @@ import numpy as np
 from ..design.sta import (AWEWireModel, D2MWireModel, ElmoreWireModel,
                           WireTimingModel)
 from ..features.path_features import NetContext
-from ..obs import get_metrics
+from ..obs import get_metrics, named_lock
 from ..rcnet.graph import RCNet
 from .errors import EstimationError, ModelError, NumericalError
 
@@ -121,8 +120,11 @@ class _CircuitBreaker:
     def __init__(self, threshold: int, cooldown: int) -> None:
         self.threshold = threshold
         self.cooldown = cooldown
-        self.consecutive_failures = 0
-        self.remaining_cooldown = 0
+        # Mutated by allow()/record_*; the breaker has no lock of its own —
+        # the owning chain serializes every call (external guard, see the
+        # dotted repro-guarded-by form in docs/LINTING.md).
+        self.consecutive_failures = 0  # repro-guarded-by: FallbackChain._lock
+        self.remaining_cooldown = 0    # repro-guarded-by: FallbackChain._lock
 
     @property
     def open(self) -> bool:
@@ -205,14 +207,14 @@ class FallbackChain(WireTimingModel):
             self._tiers.append((LAST_RESORT_TIER, LumpedRCWireModel()))
         self.net_timeout = net_timeout
         self.stats: Dict[str, TierStats] = {
-            name: TierStats(name) for name, _ in self._tiers}
+            name: TierStats(name) for name, _ in self._tiers}  # repro-guarded-by: _lock
         self._breakers: Dict[str, _CircuitBreaker] = {
             name: _CircuitBreaker(breaker_threshold, breaker_cooldown)
-            for name, _ in self._tiers}
+            for name, _ in self._tiers}  # repro-guarded-by: _lock
         self.keep_records = keep_records
-        self.records: List[NetServeRecord] = []
-        self.last_record: Optional[NetServeRecord] = None
-        self._lock = threading.Lock()
+        self.records: List[NetServeRecord] = []  # repro-guarded-by: _lock
+        self.last_record: Optional[NetServeRecord] = None  # repro-guarded-by: _lock
+        self._lock = named_lock("FallbackChain._lock")
 
     # ------------------------------------------------------------------
     @property
@@ -222,7 +224,9 @@ class FallbackChain(WireTimingModel):
     @property
     def last_tier(self) -> Optional[str]:
         """Tier that served the most recent net (STA provenance hook)."""
-        return self.last_record.tier if self.last_record is not None else None
+        with self._lock:
+            record = self.last_record
+        return record.tier if record is not None else None
 
     def prime_nets(self, requests: Sequence[object]) -> int:
         """Bulk-prime the primary tier's cache, when it supports it.
@@ -253,9 +257,12 @@ class FallbackChain(WireTimingModel):
         start = time.perf_counter()
         failures: List[TierFailure] = []
         for name, model in self._tiers:
-            stats = self.stats[name]
-            breaker = self._breakers[name]
+            # The stats/breaker map reads must also run under the lock:
+            # reset_counters() rebinds self.stats[name] concurrently, and
+            # an unlocked read could hand back the object it is replacing.
             with self._lock:
+                stats = self.stats[name]
+                breaker = self._breakers[name]
                 allowed = breaker.allow()
                 if not allowed:
                     stats.skipped_open += 1
@@ -346,7 +353,9 @@ class FallbackChain(WireTimingModel):
     def degraded_count(self) -> int:
         """Nets not served by the first tier."""
         first = self.tier_names[0]
-        return self.total_served - self.stats[first].served
+        with self._lock:  # inline total: total_served would re-take the lock
+            total = sum(s.served for s in self.stats.values())
+            return total - self.stats[first].served
 
     def counters(self) -> Dict[str, int]:
         """Nets served per tier; values sum to :attr:`total_served`.
@@ -366,12 +375,17 @@ class FallbackChain(WireTimingModel):
 
     def degradation_report(self) -> str:
         """Human-readable counter table (printed by the CLI)."""
-        lines = [f"degradation counters ({self.total_served} nets served)"]
-        for name in self.tier_names:
-            stats = self.stats[name]
+        with self._lock:
+            total = sum(s.served for s in self.stats.values())
+            rows = [(name, self.stats[name].served, self.stats[name].failed,
+                     self.stats[name].timeouts,
+                     self.stats[name].breaker_trips)
+                    for name in self.tier_names]
+        lines = [f"degradation counters ({total} nets served)"]
+        for name, served, failed, timeouts, trips in rows:
             lines.append(
-                f"  {name:<20} served={stats.served:<6} failed={stats.failed:<4} "
-                f"timeouts={stats.timeouts:<4} breaker_trips={stats.breaker_trips}")
+                f"  {name:<20} served={served:<6} failed={failed:<4} "
+                f"timeouts={timeouts:<4} breaker_trips={trips}")
         return "\n".join(lines)
 
     @property

@@ -62,7 +62,7 @@ _LAZY = {
 __all__ = sorted(_LAZY)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

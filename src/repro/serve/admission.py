@@ -29,7 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
-from ..obs import get_metrics
+from ..obs import get_metrics, named_lock
 from ..robustness.errors import DeadlineError, OverloadError
 from ..robustness.fallback import _CircuitBreaker
 from .protocol import (QueryResult, ServeRequest, ServeResponse,
@@ -115,18 +115,19 @@ class AdmissionController:
                  clock: Callable[[], float] = time.monotonic) -> None:
         self.config = config
         self.clock = clock
-        self._queue: Deque[Ticket] = deque()
-        self._lock = threading.Lock()
+        self._queue: Deque[Ticket] = deque()  # repro-guarded-by: _lock
+        self._lock = named_lock("AdmissionController._lock")
         self._not_empty = threading.Condition(self._lock)
-        self._accepting = True
+        self._accepting = True  # repro-guarded-by: _lock
         # Consecutive full-ladder serve failures open this breaker, which
         # forces SHED_ANALYTIC for `breaker_cooldown` dequeues even when
         # the queue itself looks healthy (e.g. a poisoned learned model
         # making every request slow rather than the queue deep).
-        self._breaker = _CircuitBreaker(config.breaker_threshold,
-                                        config.breaker_cooldown)
+        self._breaker = _CircuitBreaker(
+            config.breaker_threshold,
+            config.breaker_cooldown)  # repro-guarded-by: _lock
         #: Trailing per-request service-time estimate feeding retry_after.
-        self._service_estimate_s = 0.005
+        self._service_estimate_s = 0.005  # repro-guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Intake
@@ -181,7 +182,10 @@ class AdmissionController:
                 while self._queue:
                     ticket = self._queue.popleft()
                     _DEPTH.set(len(self._queue))
-                    now = self.clock()
+                    # The injected clock is non-blocking by contract
+                    # (time.monotonic or a test fake), so calling it
+                    # while holding the lock is deliberate.
+                    now = self.clock()  # repro-lint: disable=LOCK002
                     if ticket.expired(now):
                         self._expire(ticket, now)
                         continue
@@ -190,7 +194,8 @@ class AdmissionController:
                     return ticket
                 if not self._accepting:
                     return None
-                remaining = None if end is None else end - self.clock()
+                remaining = (None if end is None else
+                             end - self.clock())  # repro-lint: disable=LOCK002
                 if remaining is not None and remaining <= 0.0:
                     return None
                 self._not_empty.wait(remaining)

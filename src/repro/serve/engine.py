@@ -20,7 +20,6 @@ worker crash and engages the last-resort retry).
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -28,7 +27,7 @@ import numpy as np
 
 from ..design.sta import WireTimingModel
 from ..features.path_features import NetContext
-from ..obs import get_metrics
+from ..obs import get_metrics, named_lock
 from ..robustness.errors import DeadlineError, EstimationError
 from ..robustness.fallback import (LAST_RESORT_TIER, FallbackChain,
                                    LumpedRCWireModel)
@@ -62,10 +61,10 @@ class PredictionCache:
         if maxsize < 0:
             raise ValueError("maxsize must be >= 0")
         self.maxsize = maxsize
-        self._lock = threading.Lock()
+        self._lock = named_lock("PredictionCache._lock")
         from collections import OrderedDict
 
-        self._entries: "OrderedDict[bytes, QueryResult]" = OrderedDict()
+        self._entries: "OrderedDict[bytes, QueryResult]" = OrderedDict()  # repro-guarded-by: _lock
 
     def get(self, key: bytes) -> Optional[QueryResult]:
         with self._lock:
@@ -105,27 +104,38 @@ class PredictionCache:
             self._entries.clear()
 
 
+#: Guards the one-shot build of the default-context cell pair below.  The
+#: old function-attribute memo (``_default_context._cells``) was written
+#: unlocked from every worker thread — the very race ESCAPE001 exists to
+#: flag — so the memo is now a module global with a dedicated lock.
+_CONTEXT_LOCK = named_lock("repro.serve.engine._CONTEXT_LOCK")
+_UNBUILT = object()  # sentinel: "never attempted" (a failed build memoizes None)
+_CONTEXT_CELLS: object = _UNBUILT
+
+
 def _default_context(query: TimingQuery) -> Optional[NetContext]:
     """Serving-time cell context for the learned tier.
 
     The wire protocol carries parasitics, not the netlist, so the learned
     tier is fed a default inverter context from the synthetic library.
-    Built lazily and memoized on the function.
+    Built lazily, once, under :data:`_CONTEXT_LOCK`.
     """
-    cells = getattr(_default_context, "_cells", None)
-    if cells is None:
-        try:
-            from ..liberty import make_default_library
+    global _CONTEXT_CELLS
+    with _CONTEXT_LOCK:
+        if _CONTEXT_CELLS is _UNBUILT:
+            try:
+                from ..liberty import make_default_library
 
-            library = make_default_library()
-            inverters = library.cells_with_function("INV")
-            cells = (inverters[0], inverters[0]) if inverters else None
-        except Exception:  # pragma: no cover  # repro-lint: disable=ERR002 static library build; None degrades to contextless estimation
-            cells = None
-        _default_context._cells = cells  # type: ignore[attr-defined]
+                library = make_default_library()
+                inverters = library.cells_with_function("INV")
+                _CONTEXT_CELLS = (inverters[0], inverters[0]) \
+                    if inverters else None
+            except Exception:  # pragma: no cover  # repro-lint: disable=ERR002 static library build; None degrades to contextless estimation
+                _CONTEXT_CELLS = None
+        cells = _CONTEXT_CELLS
     if cells is None:
         return None
-    drive, load = cells
+    drive, load = cells  # type: ignore[misc]
     return NetContext(input_slew=query.input_slew_s, drive_cell=drive,
                       load_cells=[load] * query.net.num_sinks)
 

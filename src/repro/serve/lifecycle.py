@@ -24,7 +24,7 @@ import threading
 import time
 from typing import Callable, Dict, List
 
-from ..obs import get_metrics
+from ..obs import get_metrics, named_lock
 
 STARTING = "starting"
 READY = "ready"
@@ -39,9 +39,9 @@ class Lifecycle:
     """Thread-safe service state with health/readiness probes."""
 
     def __init__(self) -> None:
-        self._state = STARTING
-        self._lock = threading.Lock()
-        self._since = time.monotonic()
+        self._state = STARTING  # repro-guarded-by: _lock
+        self._lock = named_lock("Lifecycle._lock")
+        self._since = time.monotonic()  # repro-guarded-by: _lock
 
     @property
     def state(self) -> str:
@@ -113,11 +113,11 @@ class WorkerSupervisor:
             raise ValueError("workers must be >= 1")
         self.target = target
         self.max_restarts = max_restarts
-        self._lock = threading.Lock()
-        self._threads: List[threading.Thread] = []
-        self._restarts = 0
-        self._next_id = 0
-        self._stopping = False
+        self._lock = named_lock("WorkerSupervisor._lock")
+        self._threads: List[threading.Thread] = []  # repro-guarded-by: _lock
+        self._restarts = 0  # repro-guarded-by: _lock
+        self._next_id = 0  # repro-guarded-by: _lock
+        self._stopping = False  # repro-guarded-by: _lock
         self._workers = workers
 
     def start(self) -> None:

@@ -103,3 +103,70 @@ class TestInvalidation:
         engine.analyze_paths()
         engine.clear()
         assert engine._cache == {}
+
+
+class TestConcurrency:
+    """The ECO stage memo is shared between serve threads and edit threads;
+    the timing math must stay correct while both run at once."""
+
+    def test_parallel_analysis_matches_cold_engine(self, design):
+        import threading
+
+        engine = IncrementalSTAEngine(design, ElmoreWireModel())
+        results = {}
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def analyze(index):
+            try:
+                barrier.wait(timeout=10.0)
+                results[index] = [p.arrival for p in engine.analyze_paths()]
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=analyze, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        fresh = [p.arrival
+                 for p in IncrementalSTAEngine(
+                     design, ElmoreWireModel()).analyze_paths()]
+        for arrivals in results.values():
+            np.testing.assert_allclose(arrivals, fresh, rtol=1e-4)
+        # Concurrent same-key misses may double-compute (documented), so
+        # hits+misses can exceed one pass's stage count — but the counters
+        # themselves must not lose updates: every lookup is accounted.
+        stages = sum(len(p.stages) for p in design.paths)
+        assert engine.hits + engine.misses == 4 * stages
+
+    def test_analysis_races_invalidation_without_corruption(self, design):
+        import threading
+
+        engine = IncrementalSTAEngine(design, ElmoreWireModel())
+        net_names = list(design.nets)[:8]
+        stop = threading.Event()
+        errors = []
+
+        def invalidate_loop():
+            try:
+                while not stop.is_set():
+                    engine.invalidate_nets(net_names)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        churn = threading.Thread(target=invalidate_loop)
+        churn.start()
+        try:
+            for _ in range(3):
+                arrivals = [p.arrival for p in engine.analyze_paths()]
+        finally:
+            stop.set()
+            churn.join(timeout=30.0)
+        assert not errors
+        fresh = [p.arrival
+                 for p in IncrementalSTAEngine(
+                     design, ElmoreWireModel()).analyze_paths()]
+        np.testing.assert_allclose(arrivals, fresh, rtol=1e-4)

@@ -30,7 +30,7 @@ def test_json_format(tmp_path, capsys):
     path = _write(tmp_path, "bad.py", DIRTY)
     assert main(["lint", path, "--format", "json"]) == 1
     document = json.loads(capsys.readouterr().out)
-    assert document["schema"] == "repro-lint/2"
+    assert document["schema"] == "repro-lint/3"
     assert document["counts"] == {"DET002": 1}
 
 

@@ -17,7 +17,7 @@ def run(task):
 """
 
 GOLDEN = {
-    "schema": "repro-lint/2",
+    "schema": "repro-lint/3",
     "files_checked": 1,
     "findings": [
         {
@@ -47,6 +47,7 @@ GOLDEN = {
     "stale_baseline": [],
     "packs": [],
     "cache": None,
+    "concurrency": None,
     "exit_code": 1,
 }
 

@@ -43,6 +43,30 @@ def test_repo_is_deep_clean(monkeypatch):
     assert result.deep.modules_analyzed > 50
 
 
+def test_repo_is_concurrency_clean(monkeypatch):
+    """The CONC pack (lock-order, guarded-by, thread-escape) stays clean.
+
+    Run over ``src`` only: the tier models production locking discipline,
+    and tools are single-threaded scripts.  Inline suppressions (the two
+    documented clock-under-lock sites) are allowed; new findings are not.
+    """
+    monkeypatch.chdir(REPO)
+    config = load_config(str(REPO))
+    deep = DeepAnalyzer(config=config, cache_path=None, concurrency=True)
+    runner = LintRunner(exclude=config.exclude)
+    result = runner.run(["src"], baseline=load_baseline(DEFAULT_BASELINE),
+                        deep=deep)
+    details = "\n".join(
+        f"{f.location()}: {f.rule}: {f.message}" for f in result.findings)
+    assert result.exit_code == 0, f"concurrency findings:\n{details}"
+    assert result.deep is not None
+    conc = result.deep.concurrency
+    assert conc is not None and conc["modules"] > 50
+    # The serving stack's locks are modeled: the graph is non-trivial.
+    assert conc["locks"] >= 9
+    assert conc["lock_edges"] >= 3
+
+
 def test_committed_baseline_is_well_formed():
     entries = load_baseline(os.path.join(str(REPO), DEFAULT_BASELINE))
     for entry in entries:

@@ -1,0 +1,134 @@
+"""Hammer tests: the shared LRU caches under real thread contention.
+
+Single-threaded tests cannot catch a torn ``OrderedDict`` (CPython raises
+``RuntimeError: dictionary changed size during iteration`` or corrupts the
+linked list outright when two threads mutate one concurrently).  Each
+hammer below drives many threads through a mixed get/put/invalidate
+workload and then asserts the structural invariants: size never exceeds
+``maxsize``, every surviving entry round-trips, and no thread saw an
+exception.  Failures here are probabilistic — the workloads are sized so
+a missing lock fails in practice well within the iteration budget.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.analysis.cache import SolveCache
+from repro.analysis.simulator import EigenSolve
+from repro.serve.engine import PredictionCache
+from repro.serve.protocol import QueryResult
+
+THREADS = 8
+ITERATIONS = 400
+
+
+def _hammer(worker):
+    """Run ``worker(thread_index)`` on THREADS threads; re-raise errors."""
+    errors = []
+    barrier = threading.Barrier(THREADS)
+
+    def run(index):
+        try:
+            barrier.wait(timeout=10.0)
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,))
+               for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads), "hammer wedged"
+    if errors:
+        raise errors[0]
+
+
+def _result(name):
+    return QueryResult(ok=True, net=name, tier="analytic",
+                       delays_s=[1e-12], slews_s=[2e-12])
+
+
+def test_prediction_cache_contended_mixed_workload():
+    cache = PredictionCache(maxsize=32)
+    keys = [f"net{i}".encode() for i in range(128)]
+
+    def worker(index):
+        for step in range(ITERATIONS):
+            key = keys[(index * 37 + step) % len(keys)]
+            hit = cache.get(key)
+            if hit is not None:
+                # Entries are immutable by contract; a torn store would
+                # surface as a result for the wrong key.
+                assert hit.net == key.decode()
+            cache.put(key, _result(key.decode()))
+            if step % 50 == 0:
+                cache.contains(key)
+            assert len(cache) <= 32
+
+    _hammer(worker)
+    assert 0 < len(cache) <= 32
+    # Survivors all round-trip correctly after the storm.
+    for key in keys:
+        hit = cache.get(key)
+        if hit is not None:
+            assert hit.net == key.decode()
+
+
+def test_prediction_cache_eviction_keeps_bound_under_races():
+    cache = PredictionCache(maxsize=8)
+
+    def worker(index):
+        for step in range(ITERATIONS):
+            key = f"{index}:{step}".encode()
+            cache.put(key, _result("n"))
+            assert len(cache) <= 8
+
+    _hammer(worker)
+    assert len(cache) == 8
+
+
+def _solve(n=3):
+    return EigenSolve(caps=np.ones(n), inv_sqrt_c=np.ones(n),
+                      eigenvalues=np.arange(1.0, n + 1.0),
+                      q=np.eye(n))
+
+
+def test_solve_cache_contended_mixed_workload():
+    cache = SolveCache(maxsize=16)
+    keys = [bytes([i]) * 16 for i in range(64)]
+
+    def worker(index):
+        for step in range(ITERATIONS):
+            key = keys[(index * 13 + step) % len(keys)]
+            entry = cache.get(key)
+            if entry is not None:
+                assert entry.caps.shape == (3,)
+            cache.put(key, _solve())
+            if step % 25 == 0:
+                cache.invalidate(keys[step % len(keys)])
+            assert len(cache) <= 16
+
+    _hammer(worker)
+    assert len(cache) <= 16
+    stats = cache.stats()
+    assert stats["entries"] == len(cache)
+
+
+def test_solve_cache_persist_tier_survives_contention(tmp_path):
+    cache = SolveCache(maxsize=4, persist_dir=str(tmp_path))
+    keys = [bytes([i]) * 16 for i in range(12)]
+
+    def worker(index):
+        for step in range(100):
+            key = keys[(index + step) % len(keys)]
+            if cache.get(key) is None:
+                cache.put(key, _solve())
+
+    _hammer(worker)
+    # Evicted-from-memory entries still warm-start from disk.
+    fresh = SolveCache(maxsize=4, persist_dir=str(tmp_path))
+    warmed = sum(fresh.get(key) is not None for key in keys)
+    assert warmed == len(keys)

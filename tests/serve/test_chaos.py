@@ -314,3 +314,80 @@ class TestDrainUnderLoad:
         # both are terminal, neither is silence.
         served = census["ok"] + census["degraded"]
         assert served + census["rejected"] + census["deadline"] == 18
+
+
+class TestLockWatchdogChaos:
+    """The runtime half of ``lint --concurrency``: a chaos-shaped load with
+    every named lock instrumented.  Two assertions make this a gate —
+    the run itself stays inversion-free (an inversion raises inside a
+    worker and would surface as lost/error outcomes), and the observed
+    acquisition orders compose acyclically with the *static* lock graph,
+    so neither view hides a deadlock the other would catch."""
+
+    def test_watchdog_chaos_run_is_inversion_free_and_acyclic(
+            self, monkeypatch):
+        from pathlib import Path
+
+        from repro.lint import build_lock_graph
+        from repro.obs import WATCHDOG_ENV, get_lock_watchdog
+        from repro.obs.lockwatch import WatchedLock
+
+        monkeypatch.setenv(WATCHDOG_ENV, "1")
+        watchdog = get_lock_watchdog()
+        watchdog.reset()
+        # Construct the engine AFTER flipping the env: the gate is read at
+        # lock-creation time, so only post-flip structures are watched.
+        engine = EstimationEngine()
+        assert isinstance(engine.cache._lock, WatchedLock)
+        handle = start_server(ServeConfig(port=0, workers=2), engine=engine)
+        try:
+            load = batches(clients=4, per_client=4)
+            census, responses = fire(handle.port, load)
+        finally:
+            handle.stop(drain=True, timeout=10.0)
+            observed = set(watchdog.edges())
+            watchdog.reset()
+        assert_zero_lost(census, 16)
+        assert_total_termination(responses)
+        assert census["ok"] + census["degraded"] == 16
+        # Watched locks are leaf-like by design (the only locks nested
+        # inside them are the deliberately-plain instrument locks), so an
+        # empty observed-edge set is the *expected* healthy outcome — but
+        # it is also what a dead watchdog would report.  Disambiguate by
+        # probing: a nested acquisition on fresh named locks, created
+        # under the same env gate, must be recorded.
+        from repro.obs import named_lock
+
+        probe_outer = named_lock("chaos.probe_outer")
+        probe_inner = named_lock("chaos.probe_inner")
+        assert isinstance(probe_outer, WatchedLock)
+        try:
+            with probe_outer:
+                with probe_inner:
+                    pass
+            assert ("chaos.probe_outer",
+                    "chaos.probe_inner") in watchdog.edges()
+        finally:
+            watchdog.reset()
+
+        repo = Path(__file__).resolve().parents[2]
+        static = build_lock_graph([str(repo / "src" / "repro")])
+        combined = set(static.edges) | observed
+        adjacency = {}
+        for outer, inner in combined:
+            adjacency.setdefault(outer, set()).add(inner)
+
+        def reaches(start, goal, seen):
+            for nxt in adjacency.get(start, ()):
+                if nxt == goal:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    if reaches(nxt, goal, seen):
+                        return True
+            return False
+
+        for outer, inner in sorted(combined):
+            assert not reaches(inner, outer, {inner}), (
+                f"static+observed lock orders form a cycle through "
+                f"{outer} -> {inner}")

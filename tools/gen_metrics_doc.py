@@ -207,6 +207,15 @@ DESCRIPTIONS: Dict[str, Tuple[str, str]] = {
         "deaths."),
     "serve.client_retries": ("counter", "Client-side retries."),
     "serve.client_hedges": ("counter", "Client-side hedged requests."),
+    # -- lint: the --concurrency tier ----------------------------------
+    "lint.concurrency.modules": (
+        "counter", "Modules swept by the CONC pack "
+        "(`repro lint --concurrency`)."),
+    "lint.concurrency.findings": (
+        "counter", "Concurrency findings emitted (post-suppression): "
+        "LOCK001/LOCK002/GUARD001/ESCAPE001."),
+    "lint.concurrency.lock_edges": (
+        "counter", "Lock-order graph edges discovered per run."),
 }
 
 #: statically named instruments created lazily inside a code path (via
@@ -217,6 +226,9 @@ LAZY_REGISTERED = {
     "fallback.degraded_nets",
     "serve.http_requests",
     "serve.last_resort_retries",
+    "lint.concurrency.modules",
+    "lint.concurrency.findings",
+    "lint.concurrency.lock_edges",
 }
 
 #: prefix -> (kind, display name, description) for runtime-named metrics.
