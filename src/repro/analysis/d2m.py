@@ -16,7 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..rcnet.graph import RCNet
-from .moments import moments
+from .moments import cached_moments
 
 __all__ = ["d2m_from_moments", "d2m_delays", "d2m_delay_to_sink"]
 
@@ -50,7 +50,8 @@ def d2m_delays(net: RCNet, miller_factor: Optional[float] = None,
     to the Elmore delay.
     """
     # repro-shape: sink_loads=(s,):f64 -> (n,):f64
-    m = moments(net, order=2, miller_factor=miller_factor, sink_loads=sink_loads)
+    m = cached_moments(net, order=2, miller_factor=miller_factor,
+                       sink_loads=sink_loads)
     return d2m_from_moments(m)
 
 

@@ -34,7 +34,7 @@ import numpy as np
 from ..analysis.d2m import d2m_from_moments
 from ..analysis.elmore import downstream_caps, stage_delays
 from ..analysis.mna import ReducedSystem, reduce_source
-from ..analysis.moments import moments, stacked_moments
+from ..analysis.moments import cached_moments, stacked_moments
 from ..liberty.cell import Cell
 from ..rcnet.graph import RCNet
 from ..rcnet.paths import WirePath
@@ -102,13 +102,14 @@ def analyze_net_features(net: RCNet,
                          sink_loads: Optional[np.ndarray] = None) -> NetAnalysis:
     """Per-net analytic vectors from a single two-moment computation.
 
-    One :func:`~repro.analysis.moments.moments` call yields both the Elmore
-    vector (``-m[0]``, bitwise equal to
+    One :func:`~repro.analysis.moments.cached_moments` call yields both the
+    Elmore vector (``-m[0]``, bitwise equal to
     :func:`~repro.analysis.elmore.elmore_delays`) and the D2M metric, so
     feature extraction performs one reduction and two solves per net
-    instead of two reductions and three solves.
+    instead of two reductions and three solves — and zero of either when
+    the solve cache has already seen the net.
     """
-    m = moments(net, order=2, sink_loads=sink_loads)
+    m = cached_moments(net, order=2, sink_loads=sink_loads)
     elmore = -m[0]
     elmore[net.source] = 0.0    # undo the -0.0 the negation puts at the source
     return NetAnalysis(

@@ -60,9 +60,14 @@ from .deep import DeepRuleInfo
 from .engine import Finding, SEVERITY_ERROR, SEVERITY_WARNING
 from .symbols import ModuleSummary, SymbolTable, canonical_name, dotted_name
 
-__all__ = ["CONC_RULE_CATALOGUE", "CONC_RULE_NAMES", "LockGraph",
-           "ModuleConcurrency", "build_lock_graph", "dump_lock_graph",
-           "extract_module_concurrency", "run_concurrency"]
+__all__ = ["CONC_PACK_VERSION", "CONC_RULE_CATALOGUE", "CONC_RULE_NAMES",
+           "LockGraph", "ModuleConcurrency", "build_lock_graph",
+           "dump_lock_graph", "extract_module_concurrency",
+           "run_concurrency", "run_concurrency_models"]
+
+#: Bump when extraction or any CONC rule's semantics change; feeds the
+#: incremental-cache fingerprint so persisted lock models self-invalidate.
+CONC_PACK_VERSION = "repro-lint-conc/1"
 
 #: Trailing-comment grammar declaring an attribute's guard.  A bare name
 #: is a lock attribute of the same class (checked); a dotted name is an
@@ -112,6 +117,17 @@ class LockDecl:
     line: int
     alias_of: Optional[str] = None  # Condition(self.x) aliases node of x
 
+    def as_dict(self) -> Dict[str, object]:
+        return {"node": self.node, "kind": self.kind, "line": self.line,
+                "alias_of": self.alias_of}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "LockDecl":
+        alias = raw.get("alias_of")
+        return cls(node=str(raw["node"]), kind=str(raw["kind"]),
+                   line=int(raw["line"]),  # type: ignore[arg-type]
+                   alias_of=None if alias is None else str(alias))
+
 
 @dataclass
 class AttrAccess:
@@ -123,6 +139,18 @@ class AttrAccess:
     col: int
     write: bool
     locks: FrozenSet[str]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"attr": self.attr, "method": self.method, "line": self.line,
+                "col": self.col, "write": self.write,
+                "locks": sorted(self.locks)}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "AttrAccess":
+        return cls(attr=str(raw["attr"]), method=str(raw["method"]),
+                   line=int(raw["line"]), col=int(raw["col"]),  # type: ignore[arg-type]
+                   write=bool(raw["write"]),
+                   locks=frozenset(_str_list(raw.get("locks"))))
 
 
 @dataclass
@@ -144,6 +172,39 @@ class ClassModel:
     def lock_nodes(self) -> Set[str]:
         return {decl.alias_of or decl.node for decl in self.locks.values()}
 
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name, "module": self.module, "line": self.line,
+            "locks": {k: v.as_dict() for k, v in sorted(self.locks.items())},
+            "guarded_by": dict(sorted(self.guarded_by.items())),
+            "external_guards": dict(sorted(self.external_guards.items())),
+            "mutable_attrs": dict(sorted(self.mutable_attrs.items())),
+            "attr_types": dict(sorted(self.attr_types.items())),
+            "injected_attrs": sorted(self.injected_attrs),
+            "methods": sorted(self.methods),
+            "accesses": [a.as_dict() for a in self.accesses],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ClassModel":
+        return cls(
+            name=str(raw["name"]), module=str(raw["module"]),
+            line=int(raw["line"]),  # type: ignore[arg-type]
+            locks={str(k): LockDecl.from_dict(v)
+                   for k, v in _dict_items(raw.get("locks"))},
+            guarded_by={str(k): str(v)
+                        for k, v in _dict_items(raw.get("guarded_by"))},
+            external_guards={str(k): str(v) for k, v
+                             in _dict_items(raw.get("external_guards"))},
+            mutable_attrs={str(k): int(v) for k, v  # type: ignore[arg-type]
+                           in _dict_items(raw.get("mutable_attrs"))},
+            attr_types={str(k): str(v)
+                        for k, v in _dict_items(raw.get("attr_types"))},
+            injected_attrs=set(_str_list(raw.get("injected_attrs"))),
+            methods=set(_str_list(raw.get("methods"))),
+            accesses=[AttrAccess.from_dict(a)
+                      for a in _list_items(raw.get("accesses"))])
+
 
 @dataclass
 class CallUnderLocks:
@@ -153,6 +214,16 @@ class CallUnderLocks:
     line: int
     col: int
     locks: FrozenSet[str]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"written": self.written, "line": self.line, "col": self.col,
+                "locks": sorted(self.locks)}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "CallUnderLocks":
+        return cls(written=str(raw["written"]), line=int(raw["line"]),  # type: ignore[arg-type]
+                   col=int(raw["col"]),  # type: ignore[arg-type]
+                   locks=frozenset(_str_list(raw.get("locks"))))
 
 
 @dataclass
@@ -164,6 +235,16 @@ class AcquireEvent:
     col: int
     held: FrozenSet[str]
 
+    def as_dict(self) -> Dict[str, object]:
+        return {"node": self.node, "line": self.line, "col": self.col,
+                "held": sorted(self.held)}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "AcquireEvent":
+        return cls(node=str(raw["node"]), line=int(raw["line"]),  # type: ignore[arg-type]
+                   col=int(raw["col"]),  # type: ignore[arg-type]
+                   held=frozenset(_str_list(raw.get("held"))))
+
 
 @dataclass
 class GlobalWrite:
@@ -173,6 +254,16 @@ class GlobalWrite:
     line: int
     col: int
     locks: FrozenSet[str]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"target": self.target, "line": self.line, "col": self.col,
+                "locks": sorted(self.locks)}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "GlobalWrite":
+        return cls(target=str(raw["target"]), line=int(raw["line"]),  # type: ignore[arg-type]
+                   col=int(raw["col"]),  # type: ignore[arg-type]
+                   locks=frozenset(_str_list(raw.get("locks"))))
 
 
 @dataclass
@@ -184,6 +275,17 @@ class SpawnSite:
     function: str        # qualname of the spawning function
     line: int
     col: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "target": self.target,
+                "function": self.function, "line": self.line,
+                "col": self.col}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "SpawnSite":
+        return cls(kind=str(raw["kind"]), target=str(raw["target"]),
+                   function=str(raw["function"]),
+                   line=int(raw["line"]), col=int(raw["col"]))  # type: ignore[arg-type]
 
 
 @dataclass
@@ -200,6 +302,33 @@ class FunctionModel:
     global_writes: List[GlobalWrite] = field(default_factory=list)
     local_types: Dict[str, str] = field(default_factory=dict)
 
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname, "module": self.module,
+            "line": self.line, "cls": self.cls, "params": list(self.params),
+            "acquires": [a.as_dict() for a in self.acquires],
+            "calls": [c.as_dict() for c in self.calls],
+            "global_writes": [w.as_dict() for w in self.global_writes],
+            "local_types": dict(sorted(self.local_types.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "FunctionModel":
+        class_name = raw.get("cls")
+        return cls(
+            qualname=str(raw["qualname"]), module=str(raw["module"]),
+            line=int(raw["line"]),  # type: ignore[arg-type]
+            cls=None if class_name is None else str(class_name),
+            params=_str_list(raw.get("params")),
+            acquires=[AcquireEvent.from_dict(a)
+                      for a in _list_items(raw.get("acquires"))],
+            calls=[CallUnderLocks.from_dict(c)
+                   for c in _list_items(raw.get("calls"))],
+            global_writes=[GlobalWrite.from_dict(w)
+                           for w in _list_items(raw.get("global_writes"))],
+            local_types={str(k): str(v)
+                         for k, v in _dict_items(raw.get("local_types"))})
+
 
 @dataclass
 class ModuleConcurrency:
@@ -214,6 +343,58 @@ class ModuleConcurrency:
     mutable_globals: Dict[str, int] = field(default_factory=dict)
     global_types: Dict[str, str] = field(default_factory=dict)
     spawns: List[SpawnSite] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON form for the incremental cache (pure content digest)."""
+        return {
+            "module": self.module, "display": self.display,
+            "classes": {k: v.as_dict()
+                        for k, v in sorted(self.classes.items())},
+            "functions": {k: v.as_dict()
+                          for k, v in sorted(self.functions.items())},
+            "module_locks": {k: v.as_dict()
+                             for k, v in sorted(self.module_locks.items())},
+            "module_names": sorted(self.module_names),
+            "mutable_globals": dict(sorted(self.mutable_globals.items())),
+            "global_types": dict(sorted(self.global_types.items())),
+            "spawns": [s.as_dict() for s in self.spawns],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ModuleConcurrency":
+        return cls(
+            module=str(raw["module"]), display=str(raw["display"]),
+            classes={str(k): ClassModel.from_dict(v)
+                     for k, v in _dict_items(raw.get("classes"))},
+            functions={str(k): FunctionModel.from_dict(v)
+                       for k, v in _dict_items(raw.get("functions"))},
+            module_locks={str(k): LockDecl.from_dict(v)
+                          for k, v in _dict_items(raw.get("module_locks"))},
+            module_names=set(_str_list(raw.get("module_names"))),
+            mutable_globals={str(k): int(v) for k, v  # type: ignore[arg-type]
+                             in _dict_items(raw.get("mutable_globals"))},
+            global_types={str(k): str(v)
+                          for k, v in _dict_items(raw.get("global_types"))},
+            spawns=[SpawnSite.from_dict(s)
+                    for s in _list_items(raw.get("spawns"))])
+
+
+def _str_list(raw: object) -> List[str]:
+    if not isinstance(raw, list):
+        return []
+    return [str(item) for item in raw]
+
+
+def _list_items(raw: object) -> List[Dict[str, object]]:
+    if not isinstance(raw, list):
+        return []
+    return [item for item in raw if isinstance(item, dict)]
+
+
+def _dict_items(raw: object) -> List[Tuple[object, object]]:
+    if not isinstance(raw, dict):
+        return []
+    return list(raw.items())
 
 
 # ----------------------------------------------------------------------
@@ -1059,6 +1240,20 @@ def run_concurrency(table: SymbolTable,
             continue
         modules[module] = extract_module_concurrency(
             summary, tree, sources.get(module, ()), displays[module])
+    return run_concurrency_models(table, modules, sources)
+
+
+def run_concurrency_models(table: SymbolTable,
+                           modules: Dict[str, ModuleConcurrency],
+                           sources: Dict[str, Sequence[str]]
+                           ) -> Tuple[List[Finding], LockGraph]:
+    """Whole-program CONC rules over pre-extracted per-module models.
+
+    Extraction (:func:`extract_module_concurrency`) is a pure function of
+    one module's content, so models may come from the incremental cache;
+    the *rules* are whole-program (one new edge anywhere can close a
+    LOCK001 cycle in unchanged modules) and always run over the full set.
+    """
     project = _Project(table, modules)
     graph = _build_graph(project)
     findings: List[Finding] = []

@@ -13,13 +13,23 @@ One :class:`DeepAnalyzer` run does, in order:
    :mod:`.flowrules` + :mod:`.callgraph`, SHAPE via :mod:`.shapes`, UNIT
    via :mod:`.units`) over a symbol table built from *all* summaries, and
    reuse cached findings for clean modules;
-5. **persist** the cache: one JSON file mapping module name to
-   ``{hash, summary, findings}`` plus a config fingerprint (analysis
-   version + unit declarations), so a config change invalidates everything
-   while a one-module edit re-analyzes only that module and its importers.
+5. run the opt-in whole-program packs — CONC (:mod:`.concurrency`), PERF
+   (:mod:`.perf`), ARCH (:mod:`.layers`).  Their per-module *models*
+   (lock models, perf sites) ride the same cache by content hash; their
+   *findings* are always assembled fresh, because one edge anywhere can
+   change a whole-program verdict (a LOCK001 cycle, a PERF001 chain);
+6. **persist** the cache: one JSON file mapping module name to
+   ``{hash, summary, findings[, concurrency][, perf]}`` plus a config
+   fingerprint covering the analysis version, the **enabled pack set and
+   per-pack rule versions**, the unit declarations and the layer
+   contracts — so toggling ``--deep/--concurrency/--perf/--arch`` (or
+   bumping any pack) invalidates everything, while a one-module edit
+   re-analyzes only that module and its importers.
 
 Counters (:class:`DeepStats`) expose exactly how much work was done —
-``modules_analyzed`` vs ``modules_cached`` — which is what the incremental
+``modules_analyzed`` vs ``modules_cached``, and ``modules_parsed`` (the
+number of source files actually fed to ``ast.parse`` this run; a warm
+run with every pack enabled parses zero) — which is what the incremental
 tests and the JSON report's ``cache`` block consume.
 
 Cached entries for modules *outside* the current input set are retained
@@ -48,16 +58,21 @@ from .symbols import ModuleSummary, SymbolTable, summarize_module
 from .units import UnitDeclarations, check_units, load_declarations
 
 #: Bump when any deep pack's semantics change: stale caches self-invalidate.
-ANALYSIS_VERSION = "repro-lint-deep/1"
+#: v2: module summaries grew ``import_sites`` (ARCH input) and the cache
+#: fingerprint covers the enabled pack set + per-pack versions.
+ANALYSIS_VERSION = "repro-lint-deep/2"
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE = ".repro-lint-cache.json"
 
-#: Names of the deep rule packs, for reports and ``--list-rules``.
+#: Names of the always-on deep rule packs, for reports and
+#: ``--list-rules``.
 PACKS = ("FLOW", "SHAPE", "UNIT")
 
-#: The optional whole-program concurrency pack (``--concurrency``).
+#: The optional whole-program packs.
 CONC_PACK = "CONC"
+PERF_PACK = "PERF"
+ARCH_PACK = "ARCH"
 
 
 @dataclass
@@ -68,22 +83,33 @@ class DeepStats:
     modules_analyzed: int = 0   # re-analyzed this run (dirty)
     modules_cached: int = 0     # findings served from the cache (clean)
     modules_retained: int = 0   # cache-only modules kept for resolution
+    modules_parsed: int = 0     # files actually ast.parse'd this run
     suppressed: int = 0         # deep findings removed by inline disables
     cache_loaded: bool = False  # a compatible cache file was read
     cache_path: Optional[str] = None
-    #: ``{"modules": .., "findings": .., "locks": .., "lock_edges": ..}``
-    #: when the CONC pack ran this run, else ``None``.
+    #: ``{"modules": .., "findings": .., "locks": .., "lock_edges": ..,
+    #: "models_reused": .., "models_extracted": ..}`` when the CONC pack
+    #: ran this run, else ``None``.
     concurrency: Optional[Dict[str, int]] = None
+    #: PERF block (counters + hot-path manifest) when ``--perf`` ran.
+    perf: Optional[Dict[str, object]] = None
+    #: ARCH block (layer/edge/violation counters) when ``--arch`` ran.
+    arch: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         packs = list(PACKS)
         if self.concurrency is not None:
             packs.append(CONC_PACK)
+        if self.perf is not None:
+            packs.append(PERF_PACK)
+        if self.arch is not None:
+            packs.append(ARCH_PACK)
         document: Dict[str, object] = {
             "modules_total": self.modules_total,
             "modules_analyzed": self.modules_analyzed,
             "modules_cached": self.modules_cached,
             "modules_retained": self.modules_retained,
+            "modules_parsed": self.modules_parsed,
             "suppressed": self.suppressed,
             "cache_loaded": self.cache_loaded,
             "cache_path": self.cache_path,
@@ -91,6 +117,10 @@ class DeepStats:
         }
         if self.concurrency is not None:
             document["concurrency"] = dict(self.concurrency)
+        if self.perf is not None:
+            document["perf"] = dict(self.perf)
+        if self.arch is not None:
+            document["arch"] = dict(self.arch)
         return document
 
 
@@ -119,18 +149,54 @@ class DeepAnalyzer:
 
     def __init__(self, config: Optional[LintConfig] = None,
                  cache_path: Optional[str] = DEFAULT_CACHE,
-                 concurrency: bool = False) -> None:
+                 concurrency: bool = False, perf: bool = False,
+                 arch: bool = False,
+                 hot_profiles: Optional[Sequence[str]] = None) -> None:
         self.config = config if config is not None else default_config()
         self.cache_path = cache_path
         self.concurrency = concurrency
+        self.perf = perf
+        self.arch = arch
         self.declarations: UnitDeclarations = load_declarations(
             self.config.unit_declarations_path())
+        self.hotness = None
+        if perf and hot_profiles:
+            from .hotness import load_hotness  # ProfileError propagates
+
+            self.hotness = load_hotness(list(hot_profiles))
+        self._parses = 0
 
     # ------------------------------------------------------------------
     def config_fingerprint(self) -> str:
-        """Hash of everything besides file content that shapes findings."""
+        """Hash of everything besides file content that shapes findings.
+
+        Covers the enabled pack set and each enabled pack's rule version,
+        so toggling a tier flag or bumping one pack never serves that
+        pack's (or another tier's) stale summaries or models.
+        """
+        packs = list(PACKS)
+        versions: Dict[str, str] = {"deep": ANALYSIS_VERSION}
+        if self.concurrency:
+            from .concurrency import CONC_PACK_VERSION
+
+            packs.append(CONC_PACK)
+            versions["conc"] = CONC_PACK_VERSION
+        if self.perf:
+            from .perf import PERF_PACK_VERSION
+
+            packs.append(PERF_PACK)
+            versions["perf"] = PERF_PACK_VERSION
+        if self.arch:
+            from .layers import ARCH_PACK_VERSION
+
+            packs.append(ARCH_PACK)
+            versions["arch"] = ARCH_PACK_VERSION
         payload = json.dumps({
             "version": ANALYSIS_VERSION,
+            "packs": packs,
+            "pack_versions": versions,
+            "layers": {layer: list(allowed) for layer, allowed
+                       in sorted(self.config.layer_contracts().items())},
             "scopes": list(self.declarations.scopes),
             "names": {k: list(v)
                       for k, v in sorted(self.declarations.names.items())},
@@ -143,6 +209,7 @@ class DeepAnalyzer:
                 ) -> Tuple[List[Finding], DeepStats]:
         """Deep findings (suppression-filtered) plus run counters."""
         stats = DeepStats(cache_path=self.cache_path)
+        self._parses = 0
         cached = self._load_cache(stats)
         states = self._read_modules(files)
         stats.modules_total = len(states)
@@ -207,59 +274,164 @@ class DeepAnalyzer:
             }
             findings.extend(self._apply_suppressions(state, stats))
 
-        self._write_cache(fresh_cache)
         if self.concurrency:
-            findings.extend(self._run_concurrency(states, table, stats))
+            findings.extend(self._run_concurrency(
+                states, table, cached, dirty, fresh_cache, stats))
+        if self.perf:
+            findings.extend(self._run_perf(
+                states, table, graph, cached, dirty, fresh_cache, stats))
+        if self.arch:
+            findings.extend(self._run_arch(states, summaries, stats))
+        stats.modules_parsed = self._parses
+        self._write_cache(fresh_cache)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings, stats
 
+    # ------------------------------------------------------------------
+    # Whole-program packs
+    # ------------------------------------------------------------------
     def _run_concurrency(self, states: Dict[str, _ModuleState],
                          table: SymbolTable,
+                         cached: Dict[str, Dict[str, object]],
+                         dirty: Set[str],
+                         fresh_cache: Dict[str, Dict[str, object]],
                          stats: DeepStats) -> List[Finding]:
-        """The CONC pack: whole-program, uncached, over fresh ASTs.
+        """The CONC pack: whole-program rules over cacheable lock models.
 
         LOCK001 is a property of the *current* input set (one new edge
         anywhere can close a cycle whose other edges live in unchanged
-        modules), so no per-module finding cache is sound here — every
-        run re-extracts from the trees it already has (or parses the
-        clean modules it skipped).
+        modules), so findings are recomputed every run — but the
+        per-module lock *model* is a pure function of module content and
+        rides the incremental cache, so a warm run re-parses nothing.
         """
-        from .concurrency import run_concurrency
+        from .concurrency import (ModuleConcurrency,
+                                  extract_module_concurrency,
+                                  run_concurrency_models)
 
-        trees: Dict[str, ast.Module] = {}
+        models: Dict[str, ModuleConcurrency] = {}
         sources: Dict[str, Sequence[str]] = {}
-        displays: Dict[str, str] = {}
+        reused = extracted = 0
         for module, state in states.items():
-            if state.tree is None:
-                self._parse(state)
-            if state.tree is None:
+            if state.summary is None:
                 continue
-            trees[module] = state.tree
-            sources[module] = state.source.splitlines()
-            displays[module] = state.display
-        findings, graph = run_concurrency(table, trees, sources, displays)
+            lines = state.source.splitlines()
+            model: Optional[ModuleConcurrency] = None
+            if module not in dirty:
+                raw = cached.get(module, {}).get("concurrency")
+                if isinstance(raw, dict):
+                    try:
+                        model = ModuleConcurrency.from_dict(raw)
+                        reused += 1
+                    except (KeyError, TypeError, ValueError):
+                        model = None
+            if model is None:
+                if state.tree is None:
+                    self._parse(state)
+                if state.tree is None:
+                    continue
+                model = extract_module_concurrency(
+                    state.summary, state.tree, lines, state.display)
+                extracted += 1
+            models[module] = model
+            sources[module] = lines
+            if module in fresh_cache:
+                fresh_cache[module]["concurrency"] = model.as_dict()
+        findings, graph = run_concurrency_models(table, models, sources)
+        kept = self._filter_suppressed(findings, states, stats)
+        stats.concurrency = {
+            "modules": len(models),
+            "findings": len(kept),
+            "locks": len(graph.locks),
+            "lock_edges": len(graph.edges),
+            "models_reused": reused,
+            "models_extracted": extracted,
+        }
+        _record_concurrency_metrics(stats.concurrency)
+        return kept
+
+    def _run_perf(self, states: Dict[str, _ModuleState],
+                  table: SymbolTable, graph: CallGraph,
+                  cached: Dict[str, Dict[str, object]],
+                  dirty: Set[str],
+                  fresh_cache: Dict[str, Dict[str, object]],
+                  stats: DeepStats) -> List[Finding]:
+        """The PERF pack: cacheable per-module sites, fresh assembly."""
+        from .perf import ModulePerf, extract_module_perf, run_perf
+
+        perfs: Dict[str, ModulePerf] = {}
+        sources: Dict[str, Sequence[str]] = {}
+        reused = extracted = 0
+        for module, state in states.items():
+            if state.summary is None:
+                continue
+            lines = state.source.splitlines()
+            perf: Optional[ModulePerf] = None
+            if module not in dirty:
+                raw = cached.get(module, {}).get("perf")
+                if isinstance(raw, dict):
+                    try:
+                        perf = ModulePerf.from_dict(raw)
+                        reused += 1
+                    except (KeyError, TypeError, ValueError):
+                        perf = None
+            if perf is None:
+                if state.tree is None:
+                    self._parse(state)
+                if state.tree is None:
+                    continue
+                perf = extract_module_perf(
+                    state.summary, state.tree, state.display)
+                extracted += 1
+            perfs[module] = perf
+            sources[module] = lines
+            if module in fresh_cache:
+                fresh_cache[module]["perf"] = perf.as_dict()
+        findings, block = run_perf(table, graph, perfs, sources,
+                                   self.hotness)
+        kept = self._filter_suppressed(findings, states, stats)
+        block["findings"] = len(kept)
+        block["hot"] = sum(1 for f in kept if f.severity == "error")
+        block["cold"] = len(kept) - int(block["hot"])  # type: ignore[call-overload]
+        block["models_reused"] = reused
+        block["models_extracted"] = extracted
+        stats.perf = block
+        _record_perf_metrics(block)
+        return kept
+
+    def _run_arch(self, states: Dict[str, _ModuleState],
+                  summaries: Dict[str, ModuleSummary],
+                  stats: DeepStats) -> List[Finding]:
+        """The ARCH pack: layer contracts over the import graph."""
+        from .layers import run_arch
+
+        check = [module for module, state in states.items()
+                 if state.summary is not None]
+        findings, block = run_arch(summaries,
+                                   self.config.layer_contracts(), check)
+        kept = self._filter_suppressed(findings, states, stats)
+        block["findings"] = len(kept)
+        block["violations"] = sum(1 for f in kept if f.rule == "ARCH001")
+        stats.arch = block
+        _record_arch_metrics(block)
+        return kept
+
+    def _filter_suppressed(self, findings: List[Finding],
+                           states: Dict[str, _ModuleState],
+                           stats: DeepStats) -> List[Finding]:
+        """Apply inline ``# repro-lint: disable`` to pack findings."""
         kept: List[Finding] = []
         by_display = {state.display: state for state in states.values()}
-        suppression_cache: Dict[str, Dict[int, set]] = {}
+        cache: Dict[str, Dict[int, Set[str]]] = {}
         for finding in findings:
             state = by_display.get(finding.path)
             if state is not None:
-                if finding.path not in suppression_cache:
-                    suppression_cache[finding.path] = \
-                        suppressed_lines(state.source)
-                names = suppression_cache[finding.path].get(
-                    finding.line, set())
+                if finding.path not in cache:
+                    cache[finding.path] = suppressed_lines(state.source)
+                names = cache[finding.path].get(finding.line, set())
                 if "*" in names or finding.rule in names:
                     stats.suppressed += 1
                     continue
             kept.append(finding)
-        stats.concurrency = {
-            "modules": len(trees),
-            "findings": len(kept),
-            "locks": len(graph.locks),
-            "lock_edges": len(graph.edges),
-        }
-        _record_concurrency_metrics(stats.concurrency)
         return kept
 
     # ------------------------------------------------------------------
@@ -281,8 +453,8 @@ class DeepAnalyzer:
                 is_package=os.path.basename(path) == "__init__.py")
         return states
 
-    @staticmethod
-    def _parse(state: _ModuleState) -> None:
+    def _parse(self, state: _ModuleState) -> None:
+        self._parses += 1
         try:
             state.tree = ast.parse(state.source, filename=state.path)
         except (SyntaxError, ValueError):
@@ -405,6 +577,27 @@ def _record_concurrency_metrics(counts: Dict[str, int]) -> None:
     metrics.counter("lint.concurrency.findings").inc(counts["findings"])
     metrics.counter("lint.concurrency.lock_edges").inc(
         counts["lock_edges"])
+
+
+def _record_perf_metrics(block: Dict[str, object]) -> None:
+    """Bump ``lint.perf.*`` counters (same best-effort contract)."""
+    try:
+        from repro.obs import get_metrics
+    except ImportError:  # pragma: no cover - stripped environment
+        return
+    metrics = get_metrics()
+    metrics.counter("lint.perf.findings").inc(int(block["findings"]))  # type: ignore[call-overload]
+    metrics.counter("lint.perf.hot_findings").inc(int(block["hot"]))  # type: ignore[call-overload]
+
+
+def _record_arch_metrics(block: Dict[str, object]) -> None:
+    """Bump ``lint.arch.*`` counters (same best-effort contract)."""
+    try:
+        from repro.obs import get_metrics
+    except ImportError:  # pragma: no cover - stripped environment
+        return
+    metrics = get_metrics()
+    metrics.counter("lint.arch.violations").inc(int(block["violations"]))  # type: ignore[call-overload]
 
 
 def _findings_from_cache(entry: Dict[str, object]) -> List[Finding]:

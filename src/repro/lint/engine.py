@@ -248,24 +248,84 @@ def suppressed_lines(source: str) -> Dict[int, Set[str]]:
     """Map line number -> rule names suppressed there (``"*"`` = all).
 
     Comments are read from the token stream, so strings containing the
-    marker text do not suppress anything.  A file that cannot be tokenized
-    yields no suppressions (its parse failure is reported separately).
+    marker text do not suppress anything.  A disable comment anywhere in a
+    **logical line** (a statement continued over several physical lines —
+    an open bracket, a backslash continuation) suppresses the whole
+    statement's line range, so the comment can sit on the closing paren of
+    a multi-line call and still cover the reported first line.  A comment
+    on a **decorator** line extends over the decorated ``def``/``class``
+    header it precedes (rules report decorated definitions at the ``def``
+    line).  A file that cannot be tokenized yields no suppressions (its
+    parse failure is reported separately).
     """
     table: Dict[int, Set[str]] = {}
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
         return table
+
+    # Group tokens into logical lines: NEWLINE ends a statement, NL is a
+    # mere physical break inside one.  Each group keeps its physical line
+    # span, the rules from any disable comments inside it, and whether it
+    # is a decorator line (first significant token is the ``@`` operator).
+    groups: List[Tuple[int, int, Set[str], bool]] = []
+    start: Optional[int] = None
+    end = 0
+    rules: Set[str] = set()
+    decorator = False
+    first_significant = True
     for token in tokens:
-        if token.type != tokenize.COMMENT:
+        if token.type in (tokenize.INDENT, tokenize.DEDENT,
+                          tokenize.ENDMARKER):
             continue
-        match = _SUPPRESS.search(token.string)
-        if match is None:
+        if token.type == tokenize.COMMENT:
+            match = _SUPPRESS.search(token.string)
+            if match is not None:
+                names = match.group("rules")
+                rules.update({"*"} if names is None else
+                             {part.strip() for part in names.split(",")
+                              if part.strip()})
+                # A comment outside any statement (its own line) applies
+                # to its own physical line, as before.
+                if start is None:
+                    table.setdefault(token.start[0], set()).update(rules)
+            if start is None:
+                rules = set()
             continue
-        names = match.group("rules")
-        rules = {"*"} if names is None else \
-            {part.strip() for part in names.split(",") if part.strip()}
-        table.setdefault(token.start[0], set()).update(rules)
+        if token.type == tokenize.NL:
+            continue
+        if token.type == tokenize.NEWLINE:
+            if start is not None:
+                groups.append((start, max(end, token.start[0]), rules,
+                               decorator))
+            start, rules, decorator = None, set(), False
+            first_significant = True
+            continue
+        if start is None:
+            start = token.start[0]
+        if first_significant:
+            decorator = (token.type == tokenize.OP
+                         and token.string == "@")
+            first_significant = False
+        end = token.end[0]
+    if start is not None:  # unterminated final statement
+        groups.append((start, end, rules, decorator))
+
+    # Decorator lines chain onto the following group (more decorators or
+    # the def/class header), so a disable above the decorator stack covers
+    # the definition line itself.
+    for index, (first, last, found, decorator) in enumerate(groups):
+        if not found:
+            continue
+        span_last = last
+        cursor = index
+        while decorator and cursor + 1 < len(groups):
+            cursor += 1
+            nxt = groups[cursor]
+            span_last = nxt[1]
+            decorator = nxt[3]
+        for line in range(first, span_last + 1):
+            table.setdefault(line, set()).update(found)
     return table
 
 

@@ -1,0 +1,262 @@
+"""Profile ingestion for the PERF pack: ``module.function → exclusive s``.
+
+The PERF rules are *profile-guided*: a structural anti-pattern inside a
+function the profile says is hot is an error worth failing CI over, the
+same pattern in a cold utility is a warning.  Both the lint pack and
+``repro report --hot`` rank from the data this module loads, so humans
+and the linter always argue from the same numbers.
+
+Two source formats, auto-detected per file:
+
+* **REPRO_TRACE JSONL** — one tracer span per line.  Parent links are
+  real (each span records the name of its enclosing span), so exclusive
+  time is computed exactly: per-name total wall minus the total wall of
+  spans naming it as parent.
+* **BENCH_<date>.json** — a bench report whose ``observability.stages``
+  block holds per-span aggregates (count/wall) with nesting lost.  The
+  static span tree declared in :mod:`repro.obs.attribution` substitutes:
+  ``exclusive(s) = wall(s) − Σ wall(declared child present)``, clamped at
+  zero.
+
+Span names become functions through the attribution tables
+(:func:`repro.obs.attribution.span_function`).  The lint package stays
+stdlib-only: the obs import is deferred and a stripped checkout without
+``repro.obs`` degrades to an empty profile instead of an ImportError.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["HOT_MIN_SECONDS", "HOT_FRACTION", "HotSpot", "HotnessProfile",
+           "ProfileError", "load_hotness", "discover_default_profile"]
+
+#: Absolute floor: functions below this many exclusive seconds are never
+#: hot, however small the workload.
+HOT_MIN_SECONDS = 0.01
+
+#: Relative floor: a function is hot when its exclusive seconds reach
+#: this fraction of the profile's total exclusive time.
+HOT_FRACTION = 0.01
+
+
+class ProfileError(ValueError):
+    """A named profile file exists but cannot be understood."""
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One span name's aggregated cost, attributed to a function."""
+
+    span: str
+    module: Optional[str]    # defining module, when attributed
+    qualname: Optional[str]  # function qualname, when attributed
+    calls: int
+    wall_s: float            # inclusive
+    exclusive_s: float       # inclusive minus child spans
+
+    @property
+    def function(self) -> Optional[str]:
+        if self.module is None or self.qualname is None:
+            return None
+        return f"{self.module}.{self.qualname}"
+
+
+class HotnessProfile:
+    """Loaded profile: hot spots by span, plus the hotness predicate."""
+
+    def __init__(self, spots: Sequence[HotSpot],
+                 sources: Sequence[str]) -> None:
+        self.spots: Tuple[HotSpot, ...] = tuple(
+            sorted(spots, key=lambda s: (-s.exclusive_s, s.span)))
+        self.sources: Tuple[str, ...] = tuple(sources)
+        self.total_exclusive_s: float = sum(s.exclusive_s
+                                            for s in self.spots)
+
+    def __bool__(self) -> bool:
+        return bool(self.spots)
+
+    @property
+    def threshold_s(self) -> float:
+        """Exclusive seconds above which a function counts as hot."""
+        return max(HOT_MIN_SECONDS, HOT_FRACTION * self.total_exclusive_s)
+
+    def hot_functions(self) -> Dict[Tuple[str, str], HotSpot]:
+        """``(module, qualname) → costliest hot spot`` over the threshold."""
+        out: Dict[Tuple[str, str], HotSpot] = {}
+        for spot in self.spots:
+            if spot.module is None or spot.qualname is None:
+                continue
+            if spot.exclusive_s < self.threshold_s:
+                continue
+            key = (spot.module, spot.qualname)
+            if key not in out:  # spots are sorted costliest-first
+                out[key] = spot
+        return out
+
+    def top(self, n: int) -> List[HotSpot]:
+        """The ``n`` costliest spots by exclusive seconds."""
+        return list(self.spots[: max(n, 0)])
+
+    def manifest(self) -> List[Dict[str, object]]:
+        """The hot-path manifest rows for the JSON report (stable order)."""
+        rows: List[Dict[str, object]] = []
+        for spot in self.spots:
+            rows.append({
+                "span": spot.span,
+                "function": spot.function,
+                "calls": spot.calls,
+                "wall_s": round(spot.wall_s, 9),
+                "exclusive_s": round(spot.exclusive_s, 9),
+                "hot": spot.exclusive_s >= self.threshold_s,
+            })
+        return rows
+
+
+def load_hotness(paths: Sequence[str]) -> HotnessProfile:
+    """Load and merge one profile per path (trace JSONL or BENCH json).
+
+    Merging takes the *maximum* exclusive seconds per span across sources,
+    so a function hot in any supplied profile stays hot.  Raises
+    :class:`ProfileError` for unreadable or unrecognizable files — a typo'd
+    ``--hot-profile`` must not silently mean "everything is cold".
+    """
+    merged: Dict[str, Tuple[int, float, float]] = {}
+    for path in paths:
+        for span, calls, wall, exclusive in _load_one(path):
+            known = merged.get(span)
+            if known is None or exclusive > known[2]:
+                merged[span] = (calls, wall, exclusive)
+    spots = [_attribute(span, calls, wall, exclusive)
+             for span, (calls, wall, exclusive) in merged.items()]
+    return HotnessProfile(spots, sources=list(paths))
+
+
+def discover_default_profile(directory: str = ".") -> Optional[str]:
+    """The newest committed ``BENCH_*.json`` in a directory, if any.
+
+    Bench filenames embed an ISO date, so the lexicographic maximum is the
+    newest baseline — the profile CI self-application ranks against when
+    no ``--hot-profile`` is given.
+    """
+    try:
+        names = sorted(name for name in os.listdir(directory)
+                       if name.startswith("BENCH_")
+                       and name.endswith(".json"))
+    except OSError:
+        return None
+    if not names:
+        return None
+    return os.path.join(directory, names[-1])
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def _load_one(path: str) -> List[Tuple[str, int, float, float]]:
+    """``(span, calls, wall_s, exclusive_s)`` rows of one profile file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ProfileError(f"cannot read profile {path!r}: {exc}") from exc
+    stripped = text.lstrip()
+    if not stripped:
+        raise ProfileError(f"profile {path!r} is empty")
+    document: Optional[Dict[str, object]] = None
+    if stripped.startswith("{"):
+        try:
+            parsed = json.loads(text)
+        except ValueError:
+            parsed = None  # multi-line JSONL whose first span parses alone
+        if isinstance(parsed, dict) and "observability" in parsed:
+            document = parsed
+    if document is not None:
+        return _load_bench(document, path)
+    return _load_trace(text, path)
+
+
+def _load_bench(document: Dict[str, object],
+                path: str) -> List[Tuple[str, int, float, float]]:
+    observability = document.get("observability")
+    stages = observability.get("stages") \
+        if isinstance(observability, dict) else None
+    if not isinstance(stages, dict):
+        raise ProfileError(
+            f"profile {path!r} has no observability.stages block")
+    walls: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for span, stats in stages.items():
+        if not isinstance(stats, dict):
+            continue
+        try:
+            walls[str(span)] = float(stats["wall_s"])  # type: ignore[arg-type]
+            counts[str(span)] = int(stats.get("count", 0))  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            continue
+    rows: List[Tuple[str, int, float, float]] = []
+    for span, wall in walls.items():
+        children = _declared_children(span)
+        child_wall = sum(walls.get(child, 0.0) for child in children)
+        rows.append((span, counts.get(span, 0), wall,
+                     max(wall - child_wall, 0.0)))
+    return rows
+
+
+def _load_trace(text: str, path: str) -> List[Tuple[str, int, float, float]]:
+    walls: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    child_wall: Dict[str, float] = {}
+    parsed_any = False
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(raw, dict) or "name" not in raw:
+            continue
+        try:
+            name = str(raw["name"])
+            wall = float(raw.get("wall_s", 0.0))
+        except (TypeError, ValueError):
+            continue
+        parsed_any = True
+        walls[name] = walls.get(name, 0.0) + wall
+        counts[name] = counts.get(name, 0) + 1
+        parent = raw.get("parent")
+        if isinstance(parent, str) and parent:
+            child_wall[parent] = child_wall.get(parent, 0.0) + wall
+    if not parsed_any:
+        raise ProfileError(
+            f"profile {path!r} is neither a BENCH report nor trace JSONL")
+    return [(name, counts[name], wall,
+             max(wall - child_wall.get(name, 0.0), 0.0))
+            for name, wall in walls.items()]
+
+
+def _declared_children(span: str) -> List[str]:
+    try:
+        from repro.obs.attribution import span_children
+    except ImportError:  # pragma: no cover - stripped checkout
+        return []
+    return span_children(span)
+
+
+def _attribute(span: str, calls: int, wall: float,
+               exclusive: float) -> HotSpot:
+    target: Optional[Tuple[str, str]] = None
+    try:
+        from repro.obs.attribution import span_function
+    except ImportError:  # pragma: no cover - stripped checkout
+        span_function = None  # type: ignore[assignment]
+    if span_function is not None:
+        target = span_function(span)
+    module, qualname = target if target is not None else (None, None)
+    return HotSpot(span=span, module=module, qualname=qualname, calls=calls,
+                   wall_s=wall, exclusive_s=exclusive)

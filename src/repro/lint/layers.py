@@ -1,0 +1,220 @@
+"""The ARCH pack: layer contracts over the import graph (``--arch``).
+
+PreRoutGNN-style systems keep their scalability by strict partition
+discipline; this repo keeps its import-time cost, testability and
+parallel-worker safety the same way.  The contract is declared in
+``pyproject.toml``:
+
+.. code-block:: toml
+
+    [tool.repro-lint.layers]
+    obs  = []                          # zero-dep at import time
+    nn   = ["obs", "robustness"]      # the model stack never sees design
+    analysis = ["obs", "rcnet", "robustness"]
+
+Each key names a **layer** — a top-level package under ``repro`` (the
+second dotted segment: ``repro.analysis.awe`` is in layer ``analysis``;
+``repro.cli`` is layer ``cli``) — and its value lists the layers it may
+import from.  Rules:
+
+* **ARCH001** (error): a module in a declared layer has a *top-level*
+  import of another repro layer absent from its allowed list.  Deferred
+  (function-scoped) imports are the sanctioned escape hatch: they create
+  no import-time coupling, which is exactly what the contract protects —
+  ``cli`` imports the world lazily and declares only ``core``.
+* **ARCH002** (warning): a repro module's layer has no contract entry
+  while a contract table exists — the table must stay exhaustive, so a
+  new top-level package is a deliberate declaration, not an accident.
+
+The check runs over the import graph the deep tier already builds
+(:class:`~repro.lint.symbols.ModuleSummary` import sites carry line
+numbers and a top-level flag), and :func:`dump_layer_graph` renders the
+observed layer graph as a stable text golden.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .deep import DeepRuleInfo
+from .engine import Finding
+from .symbols import ModuleSummary
+
+#: Bump when ARCH semantics change; feeds the cache fingerprint.
+ARCH_PACK_VERSION = "repro-lint-arch/1"
+
+#: The project namespace layers are defined under.
+PROJECT_ROOT = "repro"
+
+
+def module_layer(module: str) -> Optional[str]:
+    """Layer of a dotted module name, or ``None`` outside the project.
+
+    ``repro.analysis.awe`` → ``analysis``; the top-level ``repro``
+    package itself (``repro``/``repro.cli``) maps to its second segment
+    when present, else ``None`` (the root ``__init__`` belongs to no
+    layer and is exempt — it *is* the public facade).
+    """
+    parts = module.split(".")
+    if len(parts) < 2 or parts[0] != PROJECT_ROOT:
+        return None
+    return parts[1]
+
+
+@dataclass
+class LayerGraph:
+    """Observed layer-level import edges (top-level imports only)."""
+
+    #: (source layer, target layer) → example ``display:line`` sites.
+    edges: Dict[Tuple[str, str], List[str]] = field(default_factory=dict)
+    #: layers observed in the module set.
+    layers: Set[str] = field(default_factory=set)
+
+    def add(self, source: str, target: str, site: str) -> None:
+        self.layers.update((source, target))
+        self.edges.setdefault((source, target), []).append(site)
+
+    def dump(self) -> str:
+        """Stable text rendering for goldens: one line per source layer."""
+        lines: List[str] = ["layer graph (top-level imports)"]
+        deps: Dict[str, Set[str]] = {}
+        for (source, target), _sites in self.edges.items():
+            deps.setdefault(source, set()).add(target)
+        for layer in sorted(self.layers):
+            targets = sorted(deps.get(layer, set()))
+            arrow = " ".join(targets) if targets else "(none)"
+            lines.append(f"  {layer} -> {arrow}")
+        return "\n".join(lines) + "\n"
+
+
+def build_layer_graph(summaries: Dict[str, ModuleSummary]) -> LayerGraph:
+    """The observed layer graph of a summarized module set."""
+    graph = LayerGraph()
+    for module in sorted(summaries):
+        summary = summaries[module]
+        layer = module_layer(module)
+        if layer is None:
+            continue
+        graph.layers.add(layer)
+        for target, line, toplevel in _import_sites(summary):
+            if not toplevel:
+                continue
+            target_layer = module_layer(target)
+            if target_layer is None or target_layer == layer:
+                continue
+            graph.add(layer, target_layer, f"{summary.path}:{line}")
+    return graph
+
+
+def run_arch(summaries: Dict[str, ModuleSummary],
+             contracts: Dict[str, Tuple[str, ...]],
+             check_modules: Sequence[str]
+             ) -> Tuple[List[Finding], Dict[str, object]]:
+    """ARCH findings for ``check_modules`` plus the report's arch block.
+
+    ``summaries`` may cover more modules than are being linted (retained
+    cache entries keep resolution whole); findings are only emitted for
+    the modules in the current input set.
+    """
+    graph = build_layer_graph(summaries)
+    findings: List[Finding] = []
+    for module in sorted(check_modules):
+        summary = summaries.get(module)
+        if summary is None:
+            continue
+        findings.extend(_check_module(summary, contracts))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    violations = sum(1 for f in findings if f.rule == "ARCH001")
+    stats: Dict[str, object] = {
+        "layers_declared": len(contracts),
+        "layers_observed": len(graph.layers),
+        "edges": len(graph.edges),
+        "findings": len(findings),
+        "violations": violations,
+    }
+    return findings, stats
+
+
+def _check_module(summary: ModuleSummary,
+                  contracts: Dict[str, Tuple[str, ...]]) -> List[Finding]:
+    layer = module_layer(summary.module)
+    if layer is None or not contracts:
+        return []
+    findings: List[Finding] = []
+    allowed = contracts.get(layer)
+    if allowed is None:
+        findings.append(Finding(
+            rule="ARCH002", severity="warning", path=summary.path,
+            line=1, col=0,
+            message=(f"layer {layer!r} (module {summary.module}) has no "
+                     f"entry in [tool.repro-lint.layers]; declare its "
+                     f"allowed dependencies"),
+            snippet=""))
+        return findings
+    permitted = set(allowed) | {layer}
+    for target, line, toplevel in _import_sites(summary):
+        if not toplevel:
+            continue
+        target_layer = module_layer(target)
+        if target_layer is None or target_layer in permitted:
+            continue
+        findings.append(Finding(
+            rule="ARCH001", severity="error", path=summary.path,
+            line=line, col=0,
+            message=(f"layer contract violation: {layer!r} may not "
+                     f"import {target_layer!r} at module scope "
+                     f"(allowed: {', '.join(sorted(allowed)) or 'none'}); "
+                     f"defer the import into the using function if the "
+                     f"coupling is intentional"),
+            snippet=f"import {target}"))
+    return findings
+
+
+def _import_sites(summary: ModuleSummary
+                  ) -> List[Tuple[str, int, bool]]:
+    """``(imported module, line, toplevel)`` rows of one summary."""
+    return [(site.module, site.line, site.toplevel)
+            for site in summary.import_sites]
+
+
+def dump_layer_graph(files: Sequence[str]) -> str:
+    """Standalone stable layer-graph dump of a set of Python files.
+
+    Golden-test entry point, parallel to
+    :func:`~repro.lint.concurrency.dump_lock_graph`.
+    """
+    from .engine import display_path, module_name, python_files
+    from .symbols import summarize_module
+
+    summaries: Dict[str, ModuleSummary] = {}
+    for path in python_files(files):
+        module = module_name(path)
+        if not module:
+            continue
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, UnicodeDecodeError, SyntaxError, ValueError):
+            continue
+        summaries[module] = summarize_module(
+            module, display_path(path), tree, source.splitlines(),
+            is_package=path.endswith("__init__.py"))
+    return build_layer_graph(summaries).dump()
+
+
+# ----------------------------------------------------------------------
+# Catalogue
+# ----------------------------------------------------------------------
+ARCH_RULE_CATALOGUE: Tuple[DeepRuleInfo, ...] = (
+    DeepRuleInfo("ARCH001", "layer-contract-violation", "error",
+                 "module-scope import crosses layers against "
+                 "[tool.repro-lint.layers]"),
+    DeepRuleInfo("ARCH002", "undeclared-layer", "warning",
+                 "repro layer missing from the layer-contract table"),
+)
+
+ARCH_RULE_NAMES: Tuple[str, ...] = tuple(
+    info.name for info in ARCH_RULE_CATALOGUE)

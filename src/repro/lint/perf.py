@@ -1,0 +1,640 @@
+"""The PERF pack: profile-guided hot-path performance rules (``--perf``).
+
+The repo's performance story was won in specific, recognizable moves —
+batching scalar eigensolves (PR 7), replacing O(nets×loads) scans with
+the ``nets_loaded_by`` reverse index (PR 8), content-addressed solve/AWE
+caches — and every rule here targets the anti-pattern that would silently
+undo one of them:
+
+* **PERF001** — a scalar ``numpy.linalg``/``scipy.linalg`` factorization
+  executed (directly or through a resolvable call chain) inside a loop
+  over nets/paths, where :mod:`repro.analysis.batch` has a batched
+  equivalent (``golden_analyze_many`` / ``BatchedEigenEngine.solve_many``).
+* **PERF002** — per-iteration allocation in a loop of a *hot* function:
+  a loop-invariant ``np.zeros``-style allocation, or the quadratic
+  list-append-then-``np.array`` rebuild inside the appending loop.
+* **PERF003** — nested iteration over two design collections
+  (``X.nets × Y.paths``-shaped scans) where a reverse index exists.
+* **PERF004** — cache bypass: constructing ``EigenSolve``/AWE moments
+  directly at a call site where the keyed ``SolveCache``/``AWEStepCache``
+  entry points are the sanctioned route.
+* **PERF005** — per-iteration ``import`` or wall-clock/formatting work
+  under a loop.
+
+The pack is **profile-guided** (:mod:`.hotness`): findings whose
+enclosing function is on a measured hot path (a hot-ranked span function,
+or call-graph-reachable from one) are errors carrying the measured
+exclusive seconds; cold findings downgrade to warnings.  PERF002 fires
+*only* for hot functions — a hoistable allocation in cold code is noise.
+
+Extraction is per-module and pure (:func:`extract_module_perf` ⇒
+:class:`ModulePerf`, serialized into the incremental cache by content
+hash); findings are assembled fresh each run from all modules' sites plus
+the call graph and the current profile, mirroring the CONC pack.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CallGraph, Node, display_chain
+from .deep import DeepRuleInfo
+from .engine import Finding
+from .hotness import HotnessProfile, HotSpot
+from .symbols import ModuleSummary, SymbolTable, canonical_name, dotted_name
+
+#: Bump when extraction or any PERF rule's semantics change; feeds the
+#: cache fingerprint so stale per-module perf sites self-invalidate.
+PERF_PACK_VERSION = "repro-lint-perf/1"
+
+#: Scalar factorization tails under the linalg namespaces (PERF001).
+FACTORIZATION_PREFIXES = ("numpy.linalg.", "scipy.linalg.")
+FACTORIZATION_TAILS = frozenset({
+    "eig", "eigh", "eigvals", "eigvalsh", "svd", "solve", "lstsq",
+    "cholesky", "inv", "pinv", "qr", "lu", "lu_factor", "lu_solve",
+    "expm"})
+
+#: Allocation tails under ``numpy.`` whose loop-invariant use is PERF002.
+ALLOC_TAILS = frozenset({
+    "zeros", "ones", "empty", "full", "eye", "identity", "zeros_like",
+    "ones_like", "empty_like", "full_like", "concatenate", "stack",
+    "vstack", "hstack", "column_stack"})
+
+#: Loop-iterable name tails that mean "per net / per path / per job".
+NET_LOOP_TAILS = frozenset({"nets", "paths", "net_names", "requests",
+                            "jobs"})
+NET_LOOP_SUFFIXES = ("_nets", "_paths", "_jobs", "_requests")
+
+#: Attribute tails that name a design-level collection (PERF003).
+DESIGN_COLLECTIONS = frozenset({
+    "nets", "paths", "loads", "gates", "cells", "pins", "stages", "sinks"})
+
+#: Canonical names whose direct call/construction bypasses a keyed cache
+#: (PERF004), with the sanctioned entry point for the message.
+CACHE_BYPASS_TARGETS: Dict[str, str] = {
+    "repro.analysis.simulator.EigenSolve":
+        "SolveCache (analysis/cache.py: get_solve_cache + solve_key)",
+    "repro.analysis.simulator.eigendecompose":
+        "SolveCache (analysis/cache.py: get_solve_cache + solve_key)",
+    "repro.analysis.moments.moments":
+        "moment memo (analysis/moments.py: cached_moments)",
+}
+
+#: Modules allowed to touch the scalar/direct machinery: the batching and
+#: caching layers themselves.  Call chains are not followed into these —
+#: routing per-net work through them is the *sanctioned* pattern.
+SAFE_MODULES = frozenset({
+    "repro.analysis.batch", "repro.analysis.cache", "repro.analysis.awe",
+    "repro.analysis.simulator", "repro.analysis.moments",
+})
+
+#: Wall-clock / formatting canonicals that do not belong inside hot loops
+#: (PERF005); ``time.perf_counter`` is a duration read and stays legal.
+CLOCK_CALLS = frozenset({
+    "time.time", "time.strftime", "time.ctime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today"})
+
+#: Wrappers unwrapped when classifying what a ``for`` iterates over.
+_ITER_WRAPPERS = frozenset({"enumerate", "sorted", "list", "tuple",
+                            "reversed", "iter", "zip"})
+
+
+# ----------------------------------------------------------------------
+# Per-module extraction (pure, cacheable)
+# ----------------------------------------------------------------------
+@dataclass
+class PerfSite:
+    """One extracted performance-relevant site.
+
+    ``kind`` is one of ``linalg`` (factorization call), ``net-call``
+    (any call inside a net/path loop, for interprocedural PERF001),
+    ``alloc`` / ``growing-array`` (PERF002), ``nested-scan`` (PERF003),
+    ``cache-bypass`` (PERF004), ``import`` / ``clock`` (PERF005).
+    """
+
+    kind: str
+    line: int
+    col: int
+    function: str      # enclosing qualname, or "<module>"
+    detail: str        # canonical / written name, import target, ...
+    loop_line: int = 0  # innermost enclosing loop line (0 = none)
+    loop_iter: str = ""  # written iterable of that loop
+    net_loop: bool = False  # some enclosing loop iterates nets/paths
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "line": self.line, "col": self.col,
+                "function": self.function, "detail": self.detail,
+                "loop_line": self.loop_line, "loop_iter": self.loop_iter,
+                "net_loop": self.net_loop}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "PerfSite":
+        return cls(kind=str(raw["kind"]), line=int(raw["line"]),  # type: ignore[arg-type]
+                   col=int(raw["col"]),  # type: ignore[arg-type]
+                   function=str(raw["function"]), detail=str(raw["detail"]),
+                   loop_line=int(raw.get("loop_line", 0)),  # type: ignore[arg-type]
+                   loop_iter=str(raw.get("loop_iter", "")),
+                   net_loop=bool(raw.get("net_loop", False)))
+
+
+@dataclass
+class ModulePerf:
+    """Serializable per-module PERF extraction result."""
+
+    module: str
+    display: str
+    sites: List[PerfSite] = field(default_factory=list)
+
+    def factorizing_functions(self) -> Set[str]:
+        """Qualnames containing a direct scalar factorization call."""
+        return {site.function for site in self.sites
+                if site.kind == "linalg" and site.function != "<module>"}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"module": self.module, "display": self.display,
+                "sites": [site.as_dict() for site in self.sites]}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ModulePerf":
+        sites_raw = raw.get("sites", [])
+        sites = [PerfSite.from_dict(item) for item in sites_raw
+                 if isinstance(item, dict)] \
+            if isinstance(sites_raw, list) else []
+        return cls(module=str(raw["module"]), display=str(raw["display"]),
+                   sites=sites)
+
+
+@dataclass
+class _LoopFrame:
+    line: int
+    iter_text: str
+    over_nets: bool
+    design_attr: Optional[Tuple[str, str]]  # (root name, collection tail)
+    target_names: FrozenSet[str]
+    bound_names: FrozenSet[str]
+    appended: Set[str] = field(default_factory=set)
+
+
+def extract_module_perf(summary: ModuleSummary, tree: ast.Module,
+                        display: str) -> ModulePerf:
+    """Extract every PERF-relevant site of one parsed module."""
+    perf = ModulePerf(module=summary.module, display=display)
+    scanner = _PerfScanner(summary, perf)
+    scanner.scan(tree)
+    perf.sites.sort(key=lambda s: (s.line, s.col, s.kind))
+    return perf
+
+
+class _PerfScanner:
+    """Single-pass walker tracking the lexical loop stack per function."""
+
+    def __init__(self, summary: ModuleSummary, perf: ModulePerf) -> None:
+        self.summary = summary
+        self.perf = perf
+        self.loops: List[_LoopFrame] = []
+        self.function = "<module>"
+
+    # -- driving -------------------------------------------------------
+    def scan(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(node.name, node)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._scan_function(f"{node.name}.{item.name}", item)
+                    else:
+                        self._visit(item)
+            else:
+                self._visit(node)
+
+    def _scan_function(self, qualname: str, node: ast.AST) -> None:
+        outer, self.function = self.function, qualname
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+        self.function = outer
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._enter_for(node)
+            return
+        if isinstance(node, ast.While):
+            self._enter_while(node)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # A nested def's body does not run per iteration of the
+            # enclosing loop: scan it with an empty loop stack.
+            saved, self.loops = self.loops, []
+            if isinstance(node, ast.Lambda):
+                self._visit(node.body)
+            else:
+                for child in ast.iter_child_nodes(node):
+                    self._visit(child)
+            self.loops = saved
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)) and self.loops:
+            names = ", ".join(alias.name for alias in node.names)
+            self._site("import", node.lineno, node.col_offset, names)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    # -- loops ---------------------------------------------------------
+    def _enter_for(self, node: ast.For) -> None:
+        unwrapped = _unwrap_iterable(node.iter)
+        iter_text = dotted_name(unwrapped) or "<expr>"
+        frame = _LoopFrame(
+            line=node.lineno, iter_text=iter_text,
+            over_nets=_is_net_collection(iter_text),
+            design_attr=_design_attr(iter_text),
+            target_names=frozenset(_target_names(node.target)),
+            bound_names=frozenset(_bound_names(node)))
+        if frame.design_attr is not None:
+            self._check_nested_scan(node, frame)
+        self.loops.append(frame)
+        for child in ast.iter_child_nodes(node):
+            if child is not node.iter and child is not node.target:
+                self._visit(child)
+        self.loops.pop()
+        # The iterable expression itself runs once, outside the loop.
+        self._visit(node.iter)
+
+    def _enter_while(self, node: ast.While) -> None:
+        frame = _LoopFrame(line=node.lineno, iter_text="<while>",
+                           over_nets=False, design_attr=None,
+                           target_names=frozenset(),
+                           bound_names=frozenset(_bound_names(node)))
+        self.loops.append(frame)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+        self.loops.pop()
+
+    def _check_nested_scan(self, node: ast.For, inner: _LoopFrame) -> None:
+        assert inner.design_attr is not None
+        root, _tail = inner.design_attr
+        for outer in self.loops:
+            if outer.design_attr is None:
+                continue
+            if root in outer.target_names:
+                continue  # iterating an attribute of the outer loop var
+            self.perf.sites.append(PerfSite(
+                kind="nested-scan", line=node.lineno, col=node.col_offset,
+                function=self.function,
+                detail=f"{outer.iter_text} x {inner.iter_text}",
+                loop_line=outer.line, loop_iter=outer.iter_text,
+                net_loop=outer.over_nets))
+            return
+
+    # -- calls ---------------------------------------------------------
+    def _record_call(self, node: ast.Call) -> None:
+        written = dotted_name(node.func)
+        if written is None:
+            return
+        canonical = canonical_name(self.summary, written)
+        in_net_loop = any(frame.over_nets for frame in self.loops)
+        if _is_factorization(canonical):
+            self._site("linalg", node.lineno, node.col_offset, canonical)
+        elif in_net_loop:
+            # Candidate for interprocedural PERF001 resolution.
+            self._site("net-call", node.lineno, node.col_offset, written)
+        if canonical in CACHE_BYPASS_TARGETS:
+            self._site("cache-bypass", node.lineno, node.col_offset,
+                       canonical)
+        if self.loops:
+            self._record_loop_call(node, written, canonical)
+
+    def _record_loop_call(self, node: ast.Call, written: str,
+                          canonical: str) -> None:
+        frame = self.loops[-1]
+        tail = canonical.rsplit(".", 1)[-1]
+        if canonical.startswith("numpy.") and tail in ALLOC_TAILS \
+                and _is_loop_invariant(node, frame):
+            self._site("alloc", node.lineno, node.col_offset, canonical)
+        if canonical in ("numpy.array", "numpy.asarray") and node.args:
+            grown = node.args[0]
+            if isinstance(grown, ast.Name) \
+                    and grown.id in frame.appended:
+                self._site("growing-array", node.lineno, node.col_offset,
+                           grown.id)
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "append" \
+                and isinstance(node.func.value, ast.Name):
+            for open_frame in self.loops:
+                open_frame.appended.add(node.func.value.id)
+        if canonical in CLOCK_CALLS:
+            self._site("clock", node.lineno, node.col_offset, canonical)
+
+    def _site(self, kind: str, line: int, col: int, detail: str) -> None:
+        frame = self.loops[-1] if self.loops else None
+        self.perf.sites.append(PerfSite(
+            kind=kind, line=line, col=col, function=self.function,
+            detail=detail,
+            loop_line=frame.line if frame else 0,
+            loop_iter=frame.iter_text if frame else "",
+            net_loop=any(f.over_nets for f in self.loops)))
+
+
+# ----------------------------------------------------------------------
+# Classification helpers
+# ----------------------------------------------------------------------
+def _unwrap_iterable(node: ast.expr) -> ast.expr:
+    """Peel ``enumerate/sorted/.values()/range(len(..))`` wrappers."""
+    while True:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _ITER_WRAPPERS \
+                    and node.args:
+                node = node.args[0]
+                continue
+            if isinstance(func, ast.Name) and func.id == "range" \
+                    and len(node.args) == 1:
+                inner = node.args[0]
+                if isinstance(inner, ast.Call) \
+                        and isinstance(inner.func, ast.Name) \
+                        and inner.func.id == "len" and inner.args:
+                    node = inner.args[0]
+                    continue
+                return node
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in ("values", "items", "keys"):
+                node = func.value
+                continue
+        return node
+
+
+def _is_net_collection(iter_text: str) -> bool:
+    if iter_text in ("<expr>", "<while>"):
+        return False
+    tail = iter_text.rsplit(".", 1)[-1]
+    return tail in NET_LOOP_TAILS or tail.endswith(NET_LOOP_SUFFIXES)
+
+
+def _design_attr(iter_text: str) -> Optional[Tuple[str, str]]:
+    """``(root, collection)`` when the iterable is ``root...collection``."""
+    if "." not in iter_text or iter_text in ("<expr>", "<while>"):
+        return None
+    root, _, _rest = iter_text.partition(".")
+    tail = iter_text.rsplit(".", 1)[-1]
+    if tail in DESIGN_COLLECTIONS:
+        return root, tail
+    return None
+
+
+def _is_factorization(canonical: str) -> bool:
+    for prefix in FACTORIZATION_PREFIXES:
+        if canonical.startswith(prefix) \
+                and canonical[len(prefix):] in FACTORIZATION_TAILS:
+            return True
+    return False
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _bound_names(loop: ast.AST) -> Set[str]:
+    """Names (re)bound anywhere inside a loop — the invariance blocklist."""
+    names: Set[str] = set()
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Name) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+    return names
+
+
+def _is_loop_invariant(call: ast.Call, frame: _LoopFrame) -> bool:
+    """True when no argument reads a name bound within the loop."""
+    blocked = frame.bound_names | frame.target_names
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Name) and node.id in blocked:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Whole-program assembly (fresh every run; profile-guided)
+# ----------------------------------------------------------------------
+def run_perf(table: SymbolTable, graph: CallGraph,
+             perfs: Dict[str, ModulePerf],
+             sources: Dict[str, Sequence[str]],
+             hotness: Optional[HotnessProfile]
+             ) -> Tuple[List[Finding], Dict[str, object]]:
+    """Assemble PERF findings from per-module sites + call graph + profile.
+
+    Returns ``(findings, stats)`` where stats is the JSON report's
+    ``perf`` block (counters plus the hot-path manifest).
+    """
+    hot_costs = _hot_node_costs(graph, hotness)
+    factorizing: Set[Node] = set()
+    for module, perf in perfs.items():
+        if module in SAFE_MODULES:
+            continue
+        for qualname in perf.factorizing_functions():
+            factorizing.add((module, qualname))
+    reach_cache: Dict[Node, Optional[Node]] = {}
+    findings: List[Finding] = []
+    for module in sorted(perfs):
+        perf = perfs[module]
+        lines = sources.get(module, ())
+        for site in perf.sites:
+            finding = _finding_for_site(
+                module, perf, site, lines, table, graph, factorizing,
+                reach_cache, hot_costs)
+            if finding is not None:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    hot = sum(1 for f in findings if f.severity == "error")
+    stats: Dict[str, object] = {
+        "modules": len(perfs),
+        "findings": len(findings),
+        "hot": hot,
+        "cold": len(findings) - hot,
+        "profile_sources": list(hotness.sources) if hotness else [],
+        "hot_threshold_s": hotness.threshold_s if hotness else None,
+        "manifest": hotness.manifest() if hotness else [],
+    }
+    return findings, stats
+
+
+def _hot_node_costs(graph: CallGraph, hotness: Optional[HotnessProfile]
+                    ) -> Dict[Node, HotSpot]:
+    """Every node on a measured hot path, with its costliest root spot."""
+    if not hotness:
+        return {}
+    costs: Dict[Node, HotSpot] = {}
+    roots = sorted(hotness.hot_functions().items(),
+                   key=lambda item: -item[1].exclusive_s)
+    for root, spot in roots:
+        for node in graph.reachable_from(root):
+            if node not in costs:  # roots iterate costliest-first
+                costs[node] = spot
+    return costs
+
+
+def _finding_for_site(module: str, perf: ModulePerf, site: PerfSite,
+                      lines: Sequence[str], table: SymbolTable,
+                      graph: CallGraph, factorizing: Set[Node],
+                      reach_cache: Dict[Node, Optional[Node]],
+                      hot_costs: Dict[Node, HotSpot]) -> Optional[Finding]:
+    node: Node = (module, site.function)
+    spot = hot_costs.get(node)
+    if site.kind == "linalg":
+        if module in SAFE_MODULES or not site.net_loop:
+            return None
+        message = (f"scalar {site.detail} inside a loop over "
+                   f"{site.loop_iter!r}; use the batched entry points in "
+                   f"analysis/batch.py (golden_analyze_many / "
+                   f"BatchedEigenEngine.solve_many)")
+        return _finding("PERF001", perf, site, message, spot, lines)
+    if site.kind == "net-call":
+        if module in SAFE_MODULES:
+            return None
+        hit = _reaches_factorization(table, graph, module, site.detail,
+                                     factorizing, reach_cache)
+        if hit is None:
+            return None
+        target, via = hit
+        message = (f"call to {site.detail}() inside a loop over "
+                   f"{site.loop_iter!r} reaches scalar "
+                   f"{display_chain(via)}; batch it via analysis/batch.py "
+                   f"(golden_analyze_many / BatchedEigenEngine.solve_many)")
+        del target
+        return _finding("PERF001", perf, site, message, spot, lines)
+    if site.kind == "alloc":
+        if spot is None:
+            return None  # PERF002 is strictly profile-gated
+        message = (f"loop-invariant {site.detail} allocated every "
+                   f"iteration of the loop at line {site.loop_line} in "
+                   f"hot function {site.function}; hoist it out of the "
+                   f"loop")
+        return _finding("PERF002", perf, site, message, spot, lines)
+    if site.kind == "growing-array":
+        if spot is None:
+            return None  # PERF002 is strictly profile-gated
+        message = (f"np.array({site.detail}) inside the loop that appends "
+                   f"to {site.detail!r} rebuilds the array every "
+                   f"iteration; convert once after the loop")
+        return _finding("PERF002", perf, site, message, spot, lines)
+    if site.kind == "nested-scan":
+        message = (f"nested scan over design collections ({site.detail}); "
+                   f"use a reverse index (e.g. Netlist.nets_loaded_by, "
+                   f"the fanout-cone index) instead of the product scan")
+        return _finding("PERF003", perf, site, message, spot, lines)
+    if site.kind == "cache-bypass":
+        if module in SAFE_MODULES:
+            return None
+        entry = CACHE_BYPASS_TARGETS[site.detail]
+        message = (f"direct {site.detail.rsplit('.', 1)[-1]} construction "
+                   f"bypasses the keyed {entry}; route through the cache "
+                   f"entry point")
+        return _finding("PERF004", perf, site, message, spot, lines)
+    if site.kind == "import":
+        message = (f"import of {site.detail} inside the loop at line "
+                   f"{site.loop_line} re-runs the import machinery every "
+                   f"iteration; hoist it to module scope")
+        return _finding("PERF005", perf, site, message, spot, lines)
+    if site.kind == "clock":
+        message = (f"wall-clock/formatting call {site.detail} inside the "
+                   f"loop at line {site.loop_line}; hoist it (or use "
+                   f"time.perf_counter for durations)")
+        return _finding("PERF005", perf, site, message, spot, lines)
+    return None
+
+
+def _reaches_factorization(table: SymbolTable, graph: CallGraph,
+                           module: str, written: str,
+                           factorizing: Set[Node],
+                           cache: Dict[Node, Optional[Node]]
+                           ) -> Optional[Tuple[Node, List[Node]]]:
+    """Resolve a call and walk its chain to a factorizing function.
+
+    Returns ``(factorizing node, chain)`` or ``None``.  Chains never enter
+    :data:`SAFE_MODULES` — delegating to the batch/cache layer is the fix,
+    not a violation.
+    """
+    resolved = table.resolve(module, written)
+    if resolved is None or resolved[0] in SAFE_MODULES:
+        return None
+    hit = cache.get(resolved, _UNCOMPUTED)
+    if hit is not _UNCOMPUTED:
+        if hit is None:
+            return None
+        chain = graph.find_path(
+            resolved, lambda node, fn: node == hit and node[0]
+            not in SAFE_MODULES)
+        return (hit, chain) if chain is not None else None
+    path = _find_factorizing_path(graph, resolved, factorizing)
+    cache[resolved] = path[-1] if path else None
+    if path is None:
+        return None
+    return path[-1], path
+
+
+def _find_factorizing_path(graph: CallGraph, start: Node,
+                           factorizing: Set[Node]) -> Optional[List[Node]]:
+    stack: List[Tuple[Node, List[Node]]] = [(start, [start])]
+    visited: Set[Node] = set()
+    while stack:
+        node, chain = stack.pop()
+        if node in visited or len(chain) > graph.MAX_DEPTH:
+            continue
+        if node[0] in SAFE_MODULES:
+            continue
+        visited.add(node)
+        if node in factorizing:
+            return chain
+        for succ in graph.successors(node):
+            if succ not in visited:
+                stack.append((succ, chain + [succ]))
+    return None
+
+
+_UNCOMPUTED: Optional[Node] = ("", "\0uncomputed")
+
+
+def _finding(rule: str, perf: ModulePerf, site: PerfSite, message: str,
+             spot: Optional[HotSpot], lines: Sequence[str]) -> Finding:
+    if spot is not None:
+        message += (f" [hot path: {spot.exclusive_s:.3f}s exclusive "
+                    f"in span {spot.span}]")
+    snippet = ""
+    if 0 < site.line <= len(lines):
+        snippet = lines[site.line - 1].strip()
+    return Finding(rule=rule, severity="error" if spot else "warning",
+                   path=perf.display, line=site.line, col=site.col,
+                   message=message, snippet=snippet)
+
+
+# ----------------------------------------------------------------------
+# Catalogue
+# ----------------------------------------------------------------------
+PERF_RULE_CATALOGUE: Tuple[DeepRuleInfo, ...] = (
+    DeepRuleInfo("PERF001", "scalar-solve-in-net-loop", "error",
+                 "scalar linalg factorization reachable inside a loop "
+                 "over nets/paths (batch via analysis/batch.py)"),
+    DeepRuleInfo("PERF002", "per-iteration-allocation", "error",
+                 "loop-invariant allocation or append-then-np.array "
+                 "rebuild inside a hot loop (profile-gated)"),
+    DeepRuleInfo("PERF003", "nested-design-scan", "error",
+                 "nested iteration over design collections where a "
+                 "reverse index exists"),
+    DeepRuleInfo("PERF004", "cache-bypass", "error",
+                 "direct EigenSolve/moment construction where the keyed "
+                 "SolveCache/AWEStepCache entry points apply"),
+    DeepRuleInfo("PERF005", "per-iteration-import-or-clock", "warning",
+                 "import or wall-clock/formatting work under a loop"),
+)
+
+PERF_RULE_NAMES: Tuple[str, ...] = tuple(
+    info.name for info in PERF_RULE_CATALOGUE)

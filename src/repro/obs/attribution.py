@@ -1,0 +1,90 @@
+"""Span → function attribution: which code a tracer span measures.
+
+Span names are *stage* labels ("sta.analyze_design", "train.epoch") chosen
+for report readability, not code identity.  Profile consumers that reason
+about *code* — the PERF lint pack's hotness ranking and ``repro report
+--hot`` — need the reverse mapping: the dotted ``module.qualname`` of the
+function whose body each span wraps.  That mapping is declared here, next
+to the tracer, so adding or renaming a span and updating its attribution
+is one review away from each other (``tests/obs/test_attribution.py``
+fails when the two drift apart).
+
+Two tables:
+
+* :data:`SPAN_FUNCTIONS` — exact span name → ``(module, qualname)``.
+  Dynamic families ("bench.<stage>", "parallel.<label>") match by prefix
+  via :data:`SPAN_FAMILIES`.
+* :data:`SPAN_CHILDREN` — the static nesting of span names, used to turn
+  *inclusive* stage walls (the aggregated ``observability.stages`` block
+  of a BENCH report, where parent links are lost) back into *exclusive*
+  seconds: ``exclusive(s) = wall(s) - sum(wall(child) for child present)``.
+  Raw ``REPRO_TRACE`` JSONL keeps real parent links and does not need it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SPAN_FUNCTIONS", "SPAN_FAMILIES", "SPAN_CHILDREN",
+           "span_function", "span_children"]
+
+#: Exact span name → (defining module, function qualname).  The qualname
+#: convention matches the lint symbol table: ``Class.method`` for methods,
+#: the bare name for module-level functions.
+SPAN_FUNCTIONS: Dict[str, Tuple[str, str]] = {
+    "dataset.generate": ("repro.data.generate", "generate_dataset"),
+    "dataset.design": ("repro.data.generate", "_design_tasks"),
+    "simulate.net": ("repro.analysis.simulator", "GoldenTimer.analyze"),
+    "simulate.decompose": ("repro.analysis.simulator",
+                           "TransientSolution.__init__"),
+    "simulate.batch": ("repro.analysis.batch", "golden_analyze_many"),
+    "features.scaler_fit": ("repro.features.pipeline", "FeatureScaler.fit"),
+    "estimator.fit": ("repro.core.estimator", "WireTimingEstimator.fit"),
+    "estimator.evaluate": ("repro.core.estimator",
+                           "WireTimingEstimator.evaluate"),
+    "train.epoch": ("repro.nn.trainer", "Trainer.fit"),
+    "sta.analyze_design": ("repro.design.sta", "STAEngine.analyze_design"),
+}
+
+#: Dynamic span families, matched by prefix when no exact entry exists.
+#: ``None`` marks harness spans (the bench stage clock) that wrap other
+#: people's code and must not become hot roots themselves.
+SPAN_FAMILIES: Dict[str, Optional[Tuple[str, str]]] = {
+    "bench.": None,
+    "parallel.": ("repro.parallel.pool", "parallel_map"),
+}
+
+#: Static span nesting: parent name → child names that may appear inside
+#: it.  Only consulted for aggregated stage profiles; a child absent from
+#: a profile simply contributes nothing.
+SPAN_CHILDREN: Dict[str, Tuple[str, ...]] = {
+    "bench.dataset": ("dataset.generate",),
+    "bench.train": ("estimator.fit",),
+    "bench.evaluate": ("estimator.evaluate",),
+    "bench.sta": ("sta.analyze_design",),
+    "dataset.generate": ("parallel.generate_designs", "dataset.design"),
+    "dataset.design": ("simulate.batch", "simulate.net"),
+    "estimator.fit": ("features.scaler_fit", "train.epoch"),
+    "sta.analyze_design": ("simulate.net", "simulate.batch"),
+    "simulate.net": ("simulate.decompose",),
+}
+
+
+def span_function(name: str) -> Optional[Tuple[str, str]]:
+    """``(module, qualname)`` measured by a span name, or ``None``.
+
+    ``None`` means the span is unattributed (unknown name) or a declared
+    harness span; either way it cannot seed a hot path.
+    """
+    exact = SPAN_FUNCTIONS.get(name)
+    if exact is not None:
+        return exact
+    for prefix, target in SPAN_FAMILIES.items():
+        if name.startswith(prefix):
+            return target
+    return None
+
+
+def span_children(name: str) -> List[str]:
+    """Declared child span names of ``name`` (empty when a leaf)."""
+    return list(SPAN_CHILDREN.get(name, ()))

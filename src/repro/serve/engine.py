@@ -33,7 +33,8 @@ from ..robustness.fallback import (LAST_RESORT_TIER, FallbackChain,
                                    LumpedRCWireModel)
 from .admission import SHED_ANALYTIC, SHED_FULL, SHED_LAST_RESORT, Ticket
 from .batching import Batch
-from .protocol import QueryResult, ServeResponse, TimingQuery, error_document
+from .protocol import (QueryResult, ServeResponse, TimingQuery,
+                       error_document, error_response)
 
 _REQUESTS = get_metrics().counter("serve.requests")
 _NETS_OK = get_metrics().counter("serve.nets_served")
@@ -336,15 +337,10 @@ class EstimationEngine:
             # The recovery tier must not crash the supervisor; a failure
             # here still terminates the ticket, with the crash reason.
             except Exception as exc:  # repro-lint: disable=ERR002
-                from .protocol import error_response
-
                 ticket.finish(error_response(exc))
         for ticket in batch.tickets:
             if not ticket.done.is_set():  # pragma: no cover - belt/braces
-                from ..robustness.errors import EstimationError as _EE
-                from .protocol import error_response
-
-                ticket.finish(error_response(_EE(
+                ticket.finish(error_response(EstimationError(
                     f"worker crashed while serving this request: {reason}",
                     stage="serve")))
 

@@ -30,20 +30,21 @@ def lint_snippet(tmp_path):
 def deep_lint(tmp_path, monkeypatch):
     """Write a package of snippets and run the deep tier over it.
 
-    Returns ``deep(files, cache_path=None, config=None)`` ->
+    Returns ``deep(files, cache_path=None, config=None, **packs)`` ->
     ``(findings, stats)`` where ``files`` maps relative paths (package
     layout, e.g. ``"pkg/tasks.py"``) to source text.  Re-invoking with the
-    same ``cache_path`` exercises the incremental cache.
+    same ``cache_path`` exercises the incremental cache; ``**packs``
+    forwards pack toggles (``concurrency=True``, ``perf=True``, ...).
     """
     monkeypatch.chdir(tmp_path)
 
-    def deep(files, cache_path=None, config=None):
+    def deep(files, cache_path=None, config=None, **packs):
         for name, source in files.items():
             path = tmp_path / name
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(textwrap.dedent(source), encoding="utf-8")
         analyzer = DeepAnalyzer(config=config or LintConfig(),
-                                cache_path=cache_path)
+                                cache_path=cache_path, **packs)
         return analyzer.analyze(sorted(files))
 
     return deep

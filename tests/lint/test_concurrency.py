@@ -544,7 +544,8 @@ def test_repo_lock_graph_is_acyclic():
 def test_stats_carry_concurrency_block(conc_lint):
     findings, stats = conc_lint({"pkg/store.py": INVERTED})
     assert stats.concurrency == {
-        "modules": 1, "findings": 2, "locks": 2, "lock_edges": 2}
+        "modules": 1, "findings": 2, "locks": 2, "lock_edges": 2,
+        "models_reused": 0, "models_extracted": 1}
     assert "CONC" in stats.as_dict()["packs"]
 
 

@@ -82,3 +82,85 @@ class TestIncrementalCache:
         deep_lint(PACKAGE, cache_path=None)
         after = {p.name for p in tmp_path.iterdir()}
         assert after - before == {"pkg"}
+
+
+LOCKED = {
+    "pkg/store.py": '''\
+        import threading
+
+
+        class Store:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+    ''',
+}
+
+
+class TestPackToggleInvalidation:
+    """The cache key covers the enabled pack set (regression).
+
+    A cache written by a plain ``--deep`` run must not be replayed
+    verbatim once ``--concurrency``/``--perf``/``--arch`` joins: the old
+    entries carry no pack models and their findings lists are silently
+    missing pack results.  The fingerprint now includes the pack set and
+    each pack's version, so any toggle invalidates the whole cache.
+    """
+
+    def test_enabling_a_pack_invalidates_a_deep_only_cache(self, deep_lint,
+                                                           tmp_path):
+        cache = str(tmp_path / "cache.json")
+        deep_lint(LOCKED, cache_path=cache)                     # cold
+        _, warm = deep_lint(LOCKED, cache_path=cache)           # warm
+        assert warm.cache_loaded and warm.modules_analyzed == 0
+
+        findings, stats = deep_lint(LOCKED, cache_path=cache,
+                                    concurrency=True)
+        # The stale deep-only cache must NOT be served: pack toggles
+        # change the fingerprint, forcing a cold re-analysis that can
+        # actually see the lock-order cycle.
+        assert not stats.cache_loaded
+        assert stats.modules_analyzed == 1
+        assert [f.rule for f in findings] == ["LOCK001", "LOCK001"]
+
+    def test_warm_pack_run_replays_models_without_parsing(self, deep_lint,
+                                                          tmp_path):
+        cache = str(tmp_path / "cache.json")
+        deep_lint(LOCKED, cache_path=cache, concurrency=True)
+        findings, stats = deep_lint(LOCKED, cache_path=cache,
+                                    concurrency=True)
+        assert stats.cache_loaded
+        assert stats.modules_analyzed == 0
+        assert stats.modules_parsed == 0  # models came from the cache
+        assert stats.concurrency["models_reused"] == 1
+        assert stats.concurrency["models_extracted"] == 0
+        # Pack findings are assembled fresh from cached models, never
+        # replayed from stale per-module finding lists.
+        assert [f.rule for f in findings] == ["LOCK001", "LOCK001"]
+
+    def test_disabling_the_pack_invalidates_again(self, deep_lint, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        deep_lint(LOCKED, cache_path=cache, concurrency=True)
+        findings, stats = deep_lint(LOCKED, cache_path=cache)
+        assert not stats.cache_loaded
+        assert findings == []  # no pack, no pack findings
+
+    def test_pack_toggle_preserves_distinct_fingerprints(self, deep_lint,
+                                                         tmp_path):
+        # perf and arch toggles invalidate independently too.
+        cache = str(tmp_path / "cache.json")
+        deep_lint(LOCKED, cache_path=cache, perf=True)
+        _, stats = deep_lint(LOCKED, cache_path=cache, arch=True)
+        assert not stats.cache_loaded
+        _, stats = deep_lint(LOCKED, cache_path=cache, arch=True)
+        assert stats.cache_loaded

@@ -59,6 +59,56 @@ class TestSuppression:
         assert suppressed_lines("x = 1  # repro-lint: disable\n") == \
             {1: {"*"}}
 
+    def test_multiline_statement_covered_end_to_end(self):
+        # A disable anywhere in a logical line covers every physical
+        # line of the statement — findings anchor to the first line, the
+        # comment often fits only on the last.
+        source = (
+            "value = compute(\n"
+            "    alpha,\n"
+            "    beta,\n"
+            ")  # repro-lint: disable=PERF001\n")
+        lines = suppressed_lines(source)
+        assert lines[1] == {"PERF001"}
+        assert lines[4] == {"PERF001"}
+
+    def test_multiline_comment_on_first_line_also_covers_all(self):
+        source = (
+            "value = compute(  # repro-lint: disable=SHAPE001\n"
+            "    alpha,\n"
+            ")\n")
+        assert suppressed_lines(source) == {1: {"SHAPE001"},
+                                            2: {"SHAPE001"},
+                                            3: {"SHAPE001"}}
+
+    def test_decorator_comment_covers_the_decorated_def(self):
+        source = (
+            "@app.route('/x')  # repro-lint: disable=FLOW001\n"
+            "def handler():\n"
+            "    pass\n")
+        lines = suppressed_lines(source)
+        assert lines[1] == {"FLOW001"}
+        assert lines[2] == {"FLOW001"}  # the def header it decorates
+        assert 3 not in lines           # the body is NOT blanketed
+
+    def test_standalone_comment_still_covers_only_its_own_line(self):
+        source = (
+            "# repro-lint: disable=DET002\n"
+            "import random\n")
+        assert suppressed_lines(source) == {1: {"DET002"}}
+
+    def test_multiline_suppression_end_to_end(self, lint_snippet):
+        # The DET001 finding anchors at the call line (3); the disable
+        # sits on the statement's closing bracket one line later.
+        result = lint_snippet("""
+            import numpy as np
+            values = [
+                np.random.rand(4),
+            ]  # repro-lint: disable=DET001
+        """)
+        assert result.findings == []
+        assert result.suppressed == 1
+
 
 class TestRuleSelection:
     def test_select_limits_rules(self, lint_snippet):

@@ -1,0 +1,154 @@
+"""Hotness loader: trace/bench ingestion, exclusive math, hot predicate."""
+
+import json
+
+import pytest
+
+from repro.lint.hotness import (HOT_MIN_SECONDS, HotnessProfile, HotSpot,
+                                ProfileError, discover_default_profile,
+                                load_hotness)
+
+
+def _trace_line(name, wall, parent=None):
+    record = {"name": name, "wall_s": wall, "cpu_s": wall, "count": 1}
+    if parent is not None:
+        record["parent"] = parent
+    return json.dumps(record)
+
+
+def _write_trace(tmp_path, lines, name="trace.jsonl"):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# Trace JSONL ingestion
+# ----------------------------------------------------------------------
+def test_trace_exclusive_subtracts_real_children(tmp_path):
+    path = _write_trace(tmp_path, [
+        _trace_line("sta.analyze_design", 1.0),
+        _trace_line("simulate.net", 0.3, parent="sta.analyze_design"),
+        _trace_line("simulate.net", 0.4, parent="sta.analyze_design"),
+        _trace_line("simulate.decompose", 0.2, parent="simulate.net"),
+    ])
+    profile = load_hotness([path])
+    by_span = {s.span: s for s in profile.spots}
+    assert by_span["sta.analyze_design"].wall_s == pytest.approx(1.0)
+    # 1.0 inclusive minus the 0.7 spent in child simulate.net spans.
+    assert by_span["sta.analyze_design"].exclusive_s == pytest.approx(0.3)
+    assert by_span["simulate.net"].calls == 2
+    assert by_span["simulate.net"].exclusive_s == pytest.approx(0.5)
+    assert by_span["simulate.decompose"].exclusive_s == pytest.approx(0.2)
+
+
+def test_trace_spans_attribute_to_functions(tmp_path):
+    path = _write_trace(tmp_path, [_trace_line("sta.analyze_design", 1.0)])
+    profile = load_hotness([path])
+    (spot,) = profile.spots
+    assert spot.module == "repro.design.sta"
+    assert spot.qualname == "STAEngine.analyze_design"
+    assert spot.function == "repro.design.sta.STAEngine.analyze_design"
+
+
+def test_trace_family_prefixes(tmp_path):
+    path = _write_trace(tmp_path, [
+        _trace_line("bench.sta", 1.0),          # harness: unattributed
+        _trace_line("parallel.generate_designs", 0.5),
+    ])
+    profile = load_hotness([path])
+    by_span = {s.span: s for s in profile.spots}
+    assert by_span["bench.sta"].function is None
+    assert by_span["parallel.generate_designs"].module == \
+        "repro.parallel.pool"
+
+
+# ----------------------------------------------------------------------
+# BENCH report ingestion
+# ----------------------------------------------------------------------
+def _bench_document(stages):
+    return {
+        "schema": "repro-bench/1",
+        "observability": {"stages": stages},
+    }
+
+
+def test_bench_exclusive_uses_declared_children(tmp_path):
+    path = tmp_path / "BENCH_2026-01-01.json"
+    path.write_text(json.dumps(_bench_document({
+        "sta.analyze_design": {"count": 1, "wall_s": 1.0},
+        "simulate.net": {"count": 40, "wall_s": 0.8},
+        "simulate.decompose": {"count": 40, "wall_s": 0.1},
+    })), encoding="utf-8")
+    profile = load_hotness([str(path)])
+    by_span = {s.span: s for s in profile.spots}
+    # sta.analyze_design declares simulate.net (and simulate.batch, absent)
+    # as children; simulate.net declares simulate.decompose.
+    assert by_span["sta.analyze_design"].exclusive_s == pytest.approx(0.2)
+    assert by_span["simulate.net"].exclusive_s == pytest.approx(0.7)
+    assert by_span["simulate.net"].calls == 40
+
+
+def test_committed_bench_baseline_loads(monkeypatch):
+    from pathlib import Path
+    repo = Path(__file__).resolve().parents[2]
+    newest = discover_default_profile(str(repo))
+    assert newest is not None and "BENCH_" in newest
+    profile = load_hotness([newest])
+    assert profile  # non-empty
+    assert profile.total_exclusive_s > 0
+    # The committed workload takes real time, so something must be hot.
+    assert profile.hot_functions()
+
+
+# ----------------------------------------------------------------------
+# Merging, thresholds, errors
+# ----------------------------------------------------------------------
+def test_merge_takes_max_exclusive_per_span(tmp_path):
+    a = _write_trace(tmp_path, [_trace_line("train.epoch", 0.2)], "a.jsonl")
+    b = _write_trace(tmp_path, [_trace_line("train.epoch", 0.9)], "b.jsonl")
+    profile = load_hotness([a, b])
+    (spot,) = profile.spots
+    assert spot.exclusive_s == pytest.approx(0.9)
+    assert list(profile.sources) == [a, b]
+
+
+def test_threshold_has_absolute_floor():
+    tiny = HotnessProfile([HotSpot("train.epoch", "repro.nn.trainer",
+                                   "Trainer.fit", 1, 1e-4, 1e-4)], ["x"])
+    assert tiny.threshold_s == HOT_MIN_SECONDS
+    assert tiny.hot_functions() == {}
+
+
+def test_manifest_rows_are_stable_and_flagged(tmp_path):
+    path = _write_trace(tmp_path, [
+        _trace_line("train.epoch", 2.0),
+        _trace_line("features.scaler_fit", 0.001),
+    ])
+    profile = load_hotness([path])
+    rows = profile.manifest()
+    assert [row["span"] for row in rows] == ["train.epoch",
+                                             "features.scaler_fit"]
+    assert rows[0]["hot"] is True and rows[1]["hot"] is False
+    assert rows[0]["function"] == "repro.nn.trainer.Trainer.fit"
+
+
+def test_profile_errors(tmp_path):
+    with pytest.raises(ProfileError):
+        load_hotness([str(tmp_path / "missing.json")])
+    empty = tmp_path / "empty.json"
+    empty.write_text("", encoding="utf-8")
+    with pytest.raises(ProfileError):
+        load_hotness([str(empty)])
+    garbage = tmp_path / "garbage.txt"
+    garbage.write_text("not a profile\n", encoding="utf-8")
+    with pytest.raises(ProfileError):
+        load_hotness([str(garbage)])
+
+
+def test_discover_default_profile_picks_newest(tmp_path):
+    assert discover_default_profile(str(tmp_path)) is None
+    (tmp_path / "BENCH_2026-08-05.json").write_text("{}", encoding="utf-8")
+    (tmp_path / "BENCH_2026-08-08.json").write_text("{}", encoding="utf-8")
+    newest = discover_default_profile(str(tmp_path))
+    assert newest is not None and newest.endswith("BENCH_2026-08-08.json")

@@ -1,0 +1,156 @@
+"""ARCH pack: layer contracts, the layer graph, and the repo golden."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint import DeepAnalyzer, LintConfig, dump_layer_graph
+from repro.lint.layers import (LayerGraph, build_layer_graph, module_layer,
+                               run_arch)
+from repro.lint.symbols import summarize_module
+
+REPO = Path(__file__).resolve().parents[2]
+GOLDEN = Path(__file__).resolve().parent / "goldens" / "repro_layer_graph.txt"
+
+
+def _summaries(files):
+    out = {}
+    for name, raw in files.items():
+        source = textwrap.dedent(raw)
+        module = name[:-3].replace("/", ".")
+        tree = ast.parse(source)
+        out[module] = summarize_module(module, name, tree,
+                                      source.splitlines(), False)
+    return out
+
+
+def _arch(files, contracts):
+    summaries = _summaries(files)
+    return run_arch(summaries, contracts, sorted(summaries))
+
+
+def test_module_layer_extraction():
+    assert module_layer("repro.analysis.awe") == "analysis"
+    assert module_layer("repro.cli") == "cli"
+    assert module_layer("repro") is None          # the facade is exempt
+    assert module_layer("numpy.linalg") is None   # outside the project
+
+
+def test_arch001_disallowed_toplevel_import():
+    findings, stats = _arch(
+        {"repro/nn/model.py": """\
+            import numpy as np
+            from repro.design.netlist import Design
+
+            def forward(design):
+                return np.asarray(design)
+            """},
+        {"nn": ("obs", "robustness"), "design": ()})
+    (finding,) = findings
+    assert finding.rule == "ARCH001" and finding.severity == "error"
+    assert finding.line == 2
+    assert "'nn' may not import 'design'" in finding.message
+    assert "defer the import" in finding.message
+    assert stats["violations"] == 1
+
+
+def test_arch001_deferred_import_is_the_escape_hatch():
+    findings, _ = _arch(
+        {"repro/nn/model.py": """\
+            def forward(raw):
+                from repro.design.netlist import Design
+                return Design(raw)
+            """},
+        {"nn": ("obs", "robustness"), "design": ()})
+    assert findings == []
+
+
+def test_arch001_same_layer_and_stdlib_are_free():
+    findings, _ = _arch(
+        {"repro/nn/model.py": """\
+            import json
+            from repro.nn.layers import Dense
+            from repro.obs import get_metrics
+            """},
+        {"nn": ("obs",), "obs": ()})
+    assert findings == []
+
+
+def test_arch002_undeclared_layer_warns():
+    findings, stats = _arch(
+        {"repro/viz/plots.py": "x = 1\n"},
+        {"nn": ("obs",)})
+    (finding,) = findings
+    assert finding.rule == "ARCH002" and finding.severity == "warning"
+    assert finding.line == 1
+    assert "'viz'" in finding.message
+    assert stats["violations"] == 0  # ARCH002 is advisory
+
+
+def test_empty_contract_table_is_a_no_op():
+    findings, stats = _arch(
+        {"repro/viz/plots.py": "from repro.design.netlist import Design\n"},
+        {})
+    assert findings == []
+    assert stats["layers_declared"] == 0
+
+
+def test_layer_graph_dump_is_stable():
+    graph = LayerGraph()
+    graph.add("core", "design", "repro/core/flow.py:10")
+    graph.add("core", "features", "repro/core/flow.py:11")
+    graph.layers.add("obs")
+    assert graph.dump() == (
+        "layer graph (top-level imports)\n"
+        "  core -> design features\n"
+        "  design -> (none)\n"
+        "  features -> (none)\n"
+        "  obs -> (none)\n")
+    assert graph.dump() == graph.dump()
+
+
+def test_build_layer_graph_skips_deferred_imports():
+    graph = build_layer_graph(_summaries({"repro/cli.py": """\
+        from repro.core.config import load
+
+        def main():
+            from repro.design.netlist import Design
+            return Design(load())
+        """}))
+    assert set(graph.edges) == {("cli", "core")}
+
+
+def test_repo_layer_graph_matches_golden(monkeypatch):
+    monkeypatch.chdir(REPO)
+    assert dump_layer_graph(["src/repro"]) == GOLDEN.read_text(
+        encoding="utf-8")
+
+
+def test_deep_analyzer_arch_wiring(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "src" / "repro" / "nn"
+    pkg.mkdir(parents=True)
+    (pkg / "model.py").write_text(
+        "from repro.design.netlist import Design\n", encoding="utf-8")
+    config = LintConfig(layers=(("design", ()), ("nn", ("obs",))))
+    analyzer = DeepAnalyzer(config=config, cache_path=None, arch=True)
+    findings, stats = analyzer.analyze(["src/repro/nn/model.py"])
+    assert [f.rule for f in findings] == ["ARCH001"]
+    assert stats.arch is not None
+    assert stats.arch["violations"] == 1
+    assert stats.arch["layers_declared"] == 2
+
+
+def test_arch_suppressible_inline(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "src" / "repro" / "nn"
+    pkg.mkdir(parents=True)
+    (pkg / "model.py").write_text(
+        "from repro.design.netlist import Design"
+        "  # repro-lint: disable=ARCH001\n", encoding="utf-8")
+    config = LintConfig(layers=(("design", ()), ("nn", ("obs",))))
+    analyzer = DeepAnalyzer(config=config, cache_path=None, arch=True)
+    findings, stats = analyzer.analyze(["src/repro/nn/model.py"])
+    assert findings == []
+    assert stats.suppressed == 1
+    assert stats.arch is not None and stats.arch["violations"] == 0

@@ -1,0 +1,356 @@
+"""PERF pack: each rule's positive/negative fixture + profile gating."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint import DeepAnalyzer, LintConfig
+from repro.lint.callgraph import CallGraph
+from repro.lint.hotness import HotnessProfile, HotSpot
+from repro.lint.perf import ModulePerf, extract_module_perf, run_perf
+from repro.lint.symbols import SymbolTable, summarize_module
+
+
+def _analyze(files, hotness=None):
+    """Extract + assemble PERF findings for a dict of ``name -> source``."""
+    summaries, perfs, sources = {}, {}, {}
+    for name, raw in files.items():
+        source = textwrap.dedent(raw)
+        module = name[:-3].replace("/", ".")
+        tree = ast.parse(source)
+        summary = summarize_module(module, name, tree,
+                                   source.splitlines(), False)
+        summaries[module] = summary
+        perfs[module] = extract_module_perf(summary, tree, name)
+        sources[module] = source.splitlines()
+    table = SymbolTable(summaries)
+    return run_perf(table, CallGraph(table), perfs, sources, hotness)
+
+
+def _hot(module, qualname, seconds=1.0, span="synthetic.span"):
+    return HotnessProfile(
+        [HotSpot(span, module, qualname, 1, seconds, seconds)],
+        sources=["synthetic"])
+
+
+def _rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+# ----------------------------------------------------------------------
+# PERF001: scalar factorization in a net loop
+# ----------------------------------------------------------------------
+def test_perf001_direct_factorization_in_net_loop():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        import numpy as np
+
+        def analyze(nets):
+            out = []
+            for net in nets:
+                out.append(np.linalg.eig(net))
+            return out
+        """})
+    assert _rules(findings) == ["PERF001"]
+    assert findings[0].severity == "warning"  # cold without a profile
+    assert "batched entry points" in findings[0].message
+
+
+def test_perf001_interprocedural_chain():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        import numpy as np
+
+        def decompose(net):
+            return np.linalg.solve(net, net)
+
+        def analyze(nets):
+            return [decompose(net) for net in nets]
+        """, "pkg/driver.py": """\
+        from pkg.mod import decompose
+
+        def sweep(design_nets):
+            for net in design_nets:
+                decompose(net)
+        """})
+    # Direct hit in mod.analyze's comprehension loop + the cross-module
+    # chain from driver.sweep.
+    assert "PERF001" in _rules(findings)
+    chains = [f for f in findings if "reaches scalar" in f.message]
+    assert any(f.path == "pkg/driver.py" for f in chains)
+
+
+def test_perf001_silent_outside_net_loops():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        import numpy as np
+
+        def decompose(matrix):
+            return np.linalg.eig(matrix)
+
+        def tabulate(rows):
+            for row in rows:
+                print(row)
+        """})
+    assert findings == []
+
+
+def test_perf001_hot_when_profiled():
+    findings, stats = _analyze({"pkg/mod.py": """\
+        import numpy as np
+
+        def analyze(nets):
+            for net in nets:
+                np.linalg.svd(net)
+        """}, hotness=_hot("pkg.mod", "analyze"))
+    (finding,) = findings
+    assert finding.severity == "error"
+    assert "hot path" in finding.message
+    assert stats["hot"] == 1 and stats["cold"] == 0
+
+
+# ----------------------------------------------------------------------
+# PERF002: per-iteration allocation (profile-gated)
+# ----------------------------------------------------------------------
+ALLOC = """\
+    import numpy as np
+
+    def build(count):
+        total = 0.0
+        for i in range(count):
+            scratch = np.zeros(64)
+            total += scratch.sum() + i
+        return total
+    """
+
+GROWING = """\
+    import numpy as np
+
+    def collect(rows):
+        out = []
+        for row in rows:
+            out.append(row * 2)
+            snapshot = np.array(out)
+        return snapshot
+    """
+
+
+def test_perf002_is_silent_without_a_profile():
+    findings, _ = _analyze({"pkg/mod.py": ALLOC})
+    assert findings == []
+
+
+def test_perf002_fires_for_hot_functions():
+    findings, _ = _analyze({"pkg/mod.py": ALLOC},
+                           hotness=_hot("pkg.mod", "build"))
+    (finding,) = findings
+    assert finding.rule == "PERF002"
+    assert finding.severity == "error"
+    assert "hoist" in finding.message
+
+
+def test_perf002_loop_dependent_allocation_is_fine():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        import numpy as np
+
+        def build(sizes):
+            out = []
+            for size in sizes:
+                out.append(np.zeros(size))
+            return out
+        """}, hotness=_hot("pkg.mod", "build"))
+    assert findings == []
+
+
+def test_perf002_growing_array_rebuild():
+    findings, _ = _analyze({"pkg/mod.py": GROWING},
+                           hotness=_hot("pkg.mod", "collect"))
+    (finding,) = findings
+    assert finding.rule == "PERF002"
+    assert "rebuilds the array" in finding.message
+
+
+def test_perf002_hotness_propagates_through_the_call_graph():
+    # Only the caller is profiled; the callee inherits hotness via
+    # call-graph reachability.
+    findings, _ = _analyze({"pkg/mod.py": ALLOC + """\
+
+    def pipeline(count):
+        return build(count)
+    """}, hotness=_hot("pkg.mod", "pipeline"))
+    assert _rules(findings) == ["PERF002"]
+
+
+# ----------------------------------------------------------------------
+# PERF003: nested design-collection scans
+# ----------------------------------------------------------------------
+def test_perf003_nested_scan_over_independent_collections():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        def cross(design, report):
+            hits = []
+            for net in design.nets:
+                for path in report.paths:
+                    hits.append((net, path))
+            return hits
+        """})
+    (finding,) = findings
+    assert finding.rule == "PERF003"
+    assert "reverse index" in finding.message
+
+
+def test_perf003_iterating_the_loop_variables_attribute_is_fine():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        def fanout(design):
+            hits = []
+            for net in design.nets:
+                for sink in net.sinks:
+                    hits.append(sink)
+            return hits
+        """})
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PERF004: cache bypass
+# ----------------------------------------------------------------------
+def test_perf004_direct_moments_call():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        from repro.analysis.moments import moments
+
+        def metric(net):
+            return moments(net, order=2)
+        """})
+    (finding,) = findings
+    assert finding.rule == "PERF004"
+    assert "cached_moments" in finding.message
+
+
+def test_perf004_exempts_the_caching_layer_itself():
+    findings, _ = _analyze({"repro/analysis/batch.py": """\
+        from repro.analysis.moments import moments
+
+        def prime(net):
+            return moments(net, order=2)
+        """})
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PERF005: imports / wall-clock under a loop
+# ----------------------------------------------------------------------
+def test_perf005_import_inside_loop():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        def handle(items):
+            for item in items:
+                import json
+                json.dumps(item)
+        """})
+    (finding,) = findings
+    assert finding.rule == "PERF005"
+    assert "hoist it to module scope" in finding.message
+
+
+def test_perf005_clock_inside_loop():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        import time
+
+        def stamp(items):
+            out = []
+            for item in items:
+                out.append((time.time(), item))
+            return out
+        """})
+    (finding,) = findings
+    assert finding.rule == "PERF005"
+    assert "time.perf_counter" in finding.message
+
+
+def test_perf005_perf_counter_is_legal():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        import time
+
+        def measure(items):
+            out = []
+            for item in items:
+                start = time.perf_counter()
+                out.append(item)
+                out.append(time.perf_counter() - start)
+            return out
+        """})
+    assert findings == []
+
+
+def test_nested_def_body_is_not_per_iteration():
+    findings, _ = _analyze({"pkg/mod.py": """\
+        def outer(items):
+            for item in items:
+                def later():
+                    import json
+                    return json.dumps(item)
+                yield later
+        """})
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Serialization + stats
+# ----------------------------------------------------------------------
+def test_module_perf_round_trips():
+    source = textwrap.dedent(ALLOC)
+    tree = ast.parse(source)
+    summary = summarize_module("pkg.mod", "pkg/mod.py", tree,
+                               source.splitlines(), False)
+    perf = extract_module_perf(summary, tree, "pkg/mod.py")
+    assert perf.sites  # the np.zeros alloc site at minimum
+    restored = ModulePerf.from_dict(perf.as_dict())
+    assert restored.as_dict() == perf.as_dict()
+
+
+def test_stats_block_shape():
+    _, stats = _analyze({"pkg/mod.py": ALLOC},
+                        hotness=_hot("pkg.mod", "build"))
+    assert stats["modules"] == 1
+    assert stats["profile_sources"] == ["synthetic"]
+    assert stats["hot_threshold_s"] == pytest.approx(0.01)
+    assert stats["manifest"][0]["span"] == "synthetic.span"
+
+
+# ----------------------------------------------------------------------
+# DeepAnalyzer wiring: cache ride-along + suppression
+# ----------------------------------------------------------------------
+def test_perf_models_ride_the_incremental_cache(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text(textwrap.dedent("""\
+        import numpy as np
+
+        def analyze(nets):
+            for net in nets:
+                np.linalg.eig(net)
+        """), encoding="utf-8")
+    cache = str(tmp_path / "cache.json")
+    cold = DeepAnalyzer(config=LintConfig(), cache_path=cache, perf=True)
+    findings, stats = cold.analyze(["pkg/mod.py"])
+    assert _rules(findings) == ["PERF001"]
+    assert stats.perf is not None
+    assert stats.perf["models_extracted"] == 1
+    warm = DeepAnalyzer(config=LintConfig(), cache_path=cache, perf=True)
+    findings, stats = warm.analyze(["pkg/mod.py"])
+    assert _rules(findings) == ["PERF001"]  # findings re-assembled fresh
+    assert stats.perf is not None
+    assert stats.perf["models_reused"] == 1
+    assert stats.modules_parsed == 0  # nothing re-parsed on a warm run
+
+
+def test_perf_findings_respect_inline_suppression(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text(textwrap.dedent("""\
+        import numpy as np
+
+        def analyze(nets):
+            for net in nets:
+                np.linalg.eig(net)  # repro-lint: disable=PERF001
+        """), encoding="utf-8")
+    analyzer = DeepAnalyzer(config=LintConfig(), cache_path=None, perf=True)
+    findings, stats = analyzer.analyze(["pkg/mod.py"])
+    assert findings == []
+    assert stats.suppressed == 1

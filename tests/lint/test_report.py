@@ -17,7 +17,7 @@ def run(task):
 """
 
 GOLDEN = {
-    "schema": "repro-lint/3",
+    "schema": "repro-lint/4",
     "files_checked": 1,
     "findings": [
         {
@@ -48,6 +48,8 @@ GOLDEN = {
     "packs": [],
     "cache": None,
     "concurrency": None,
+    "perf": None,
+    "arch": None,
     "exit_code": 1,
 }
 

@@ -67,6 +67,56 @@ def test_repo_is_concurrency_clean(monkeypatch):
     assert conc["lock_edges"] >= 3
 
 
+def test_repo_is_perf_clean(monkeypatch):
+    """The PERF pack, ranked against the committed bench profile.
+
+    The acceptance bar for this pack is "fixed, not waived": hot-ranked
+    findings were paid down (cached_moments, hoisted serve imports), so
+    the run must be clean with the empty baseline — no inline waivers.
+    """
+    monkeypatch.chdir(REPO)
+    from repro.lint import discover_default_profile
+
+    config = load_config(str(REPO))
+    profile = discover_default_profile(str(REPO))
+    assert profile is not None, "committed BENCH_*.json profile is missing"
+    deep = DeepAnalyzer(config=config, cache_path=None, perf=True,
+                        hot_profiles=[profile])
+    runner = LintRunner(exclude=config.exclude)
+    result = runner.run(["src"], baseline=load_baseline(DEFAULT_BASELINE),
+                        deep=deep)
+    details = "\n".join(
+        f"{f.location()}: {f.rule}: {f.message}" for f in result.findings)
+    assert result.exit_code == 0, f"perf findings:\n{details}"
+    assert result.deep is not None
+    perf = result.deep.perf
+    assert perf is not None and perf["modules"] > 50
+    # The profile attributes real workload time: the manifest is non-empty
+    # and at least one span clears the hot threshold.
+    assert any(row["hot"] for row in perf["manifest"])
+
+
+def test_repo_is_arch_clean(monkeypatch):
+    """Layer contracts in pyproject.toml hold over all of src/repro."""
+    monkeypatch.chdir(REPO)
+    config = load_config(str(REPO))
+    assert config.layer_contracts(), "pyproject layer table went missing"
+    deep = DeepAnalyzer(config=config, cache_path=None, arch=True)
+    runner = LintRunner(exclude=config.exclude)
+    result = runner.run(["src"], baseline=load_baseline(DEFAULT_BASELINE),
+                        deep=deep)
+    details = "\n".join(
+        f"{f.location()}: {f.rule}: {f.message}" for f in result.findings)
+    assert result.exit_code == 0, f"arch findings:\n{details}"
+    assert result.deep is not None
+    arch = result.deep.arch
+    assert arch is not None
+    assert arch["violations"] == 0
+    # The contract table stays exhaustive: every observed layer declared.
+    assert arch["layers_observed"] <= arch["layers_declared"]
+    assert arch["edges"] >= 40
+
+
 def test_committed_baseline_is_well_formed():
     entries = load_baseline(os.path.join(str(REPO), DEFAULT_BASELINE))
     for entry in entries:

@@ -1,0 +1,78 @@
+"""Span attribution tables stay truthful: every entry names real code.
+
+These tests are the drift alarm promised in ``repro/obs/attribution.py``:
+renaming a traced function (or a span) without updating the tables fails
+here, next to the tracer, instead of silently mis-ranking hot paths in
+the PERF lint pack.
+"""
+
+import importlib
+
+import pytest
+
+from repro.obs import (SPAN_CHILDREN, SPAN_FAMILIES, SPAN_FUNCTIONS,
+                       span_children, span_function)
+
+
+def _resolve(module, qualname):
+    """Import ``module`` and walk ``qualname`` attribute by attribute."""
+    obj = importlib.import_module(module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+@pytest.mark.parametrize("span", sorted(SPAN_FUNCTIONS))
+def test_every_exact_attribution_resolves(span):
+    module, qualname = SPAN_FUNCTIONS[span]
+    target = _resolve(module, qualname)
+    assert callable(target), f"{span} -> {module}.{qualname} not callable"
+
+
+def test_every_family_attribution_resolves():
+    for prefix, target in SPAN_FAMILIES.items():
+        assert prefix.endswith(".")
+        if target is None:
+            continue  # declared harness family
+        module, qualname = target
+        assert callable(_resolve(module, qualname))
+
+
+def test_family_prefix_matching():
+    assert span_function("bench.sta") is None          # harness span
+    assert span_function("bench.anything.new") is None
+    assert span_function("parallel.generate_designs") == \
+        ("repro.parallel.pool", "parallel_map")
+    assert span_function("unknown.span") is None
+
+
+def test_exact_entry_wins_over_family_prefix():
+    # No exact entry currently shadows a family; the contract is that an
+    # exact entry would win, which span_function implements by checking
+    # SPAN_FUNCTIONS first.
+    assert span_function("train.epoch") == ("repro.nn.trainer",
+                                            "Trainer.fit")
+
+
+def test_children_tree_references_known_spans():
+    known = set(SPAN_FUNCTIONS)
+    prefixes = tuple(SPAN_FAMILIES)
+    for parent, children in SPAN_CHILDREN.items():
+        for name in (parent, *children):
+            assert name in known or name.startswith(prefixes), (
+                f"span {name!r} in SPAN_CHILDREN has no attribution entry")
+        assert len(children) == len(set(children))
+
+
+def test_children_tree_is_acyclic():
+    def walk(name, seen):
+        assert name not in seen, f"cycle through {name!r}"
+        for child in span_children(name):
+            walk(child, seen | {name})
+
+    for root in SPAN_CHILDREN:
+        walk(root, frozenset())
+
+
+def test_span_children_of_a_leaf_is_empty():
+    assert span_children("simulate.decompose") == []
